@@ -1,0 +1,65 @@
+"""Figure 14: packet sizes under block-wise transfer (Appendix D)."""
+
+from repro.experiments import FRAGMENTATION_LIMIT
+from repro.experiments.packet_sizes import dissect_blockwise, dissect_transport
+
+from conftest import print_rows
+
+
+def _grid():
+    return {size: dissect_blockwise(size) for size in (16, 32, 64)}
+
+
+def test_fig14_blockwise_packet_sizes(benchmark):
+    grid = benchmark(_grid)
+
+    rows = []
+    for size, dissections in grid.items():
+        for d in dissections:
+            rows.append(
+                (
+                    f"{size} B",
+                    d.message,
+                    d.udp_payload,
+                    list(d.frame_sizes),
+                    "FRAG" if d.fragmented else "",
+                )
+            )
+    print_rows(
+        "Figure 14 — block-wise packet sizes",
+        ["block size", "message", "UDP payload", "frames", ""],
+        rows,
+    )
+
+    def by_message(size):
+        return {d.message: d for d in grid[size]}
+
+    # Block-wise drops FETCH/POST exchanges below the fragmentation
+    # line for block sizes 16 and 32 (Appendix D).
+    for size in (16, 32):
+        for message, d in by_message(size).items():
+            if message == "query [G]":
+                continue  # GET cannot be block-wise transferred
+            assert not d.fragmented, (size, message)
+
+    # The GET query stays identical (and fragmented) in all modes.
+    for size in (16, 32, 64):
+        assert by_message(size)["query [G]"].fragmented
+
+    # "a block size of 32 bytes is ideal: 16 makes blocks smaller and
+    # more numerous than necessary and 64 already leads to 6LoWPAN
+    # fragmentation."
+    full = {d.message: d for d in dissect_transport("coap")}
+    aaaa64 = by_message(64).get("Response (AAAA)")
+    assert aaaa64 is not None and aaaa64.fragmented
+    # 16-byte blocks need more messages than 32-byte blocks for the
+    # same query (42 B -> 3 vs 2 blocks).
+    from repro.coap.blockwise import split_body
+
+    query_len = full["query"].dns_bytes
+    assert len(split_body(bytes(query_len), 16)) > len(split_body(bytes(query_len), 32))
+
+    # Everything respects the PDU limit.
+    for dissections in grid.values():
+        for d in dissections:
+            assert all(f <= FRAGMENTATION_LIMIT for f in d.frame_sizes)

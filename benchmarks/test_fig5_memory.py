@@ -1,0 +1,44 @@
+"""Figure 5: ROM/RAM consumption per DNS transport."""
+
+from repro.memmodel import fig5_builds
+
+from conftest import print_rows
+
+
+def test_fig5_memory_consumption(benchmark):
+    builds = benchmark(fig5_builds, True)
+
+    rows = []
+    for name, build in builds.items():
+        rows.append(
+            (
+                name,
+                f"{build.rom_kbytes:.1f} kB",
+                f"{build.ram_kbytes:.1f} kB",
+                ", ".join(
+                    f"{category}={size/1000:.1f}k"
+                    for category, size in sorted(build.rom_by_category.items())
+                ),
+            )
+        )
+    print_rows("Figure 5 — memory consumption", ["build", "ROM", "RAM", "ROM by category"], rows)
+
+    # Shape checks against Section 5.2's statements.
+    assert builds["UDP"].rom < builds["CoAP"].rom < builds["OSCORE"].rom
+    assert builds["OSCORE"].rom < builds["CoAPSv1.2"].rom
+    # DTLS ≈ +24 kB ROM, OSCORE ≈ +11 kB ROM over plain CoAP (compared
+    # without the GET overhead, which only the CoAP builds carry).
+    plain_builds = fig5_builds(with_get=False)
+    assert 20_000 < plain_builds["CoAPSv1.2"].rom - plain_builds["CoAP"].rom < 30_000
+    assert 9_000 < plain_builds["OSCORE"].rom - plain_builds["CoAP"].rom < 13_000
+    # "With OSCORE, we can save more than 10 kBytes of code memory
+    # compared to DTLS, when a CoAP application is already present."
+    assert builds["CoAPSv1.2"].rom - builds["OSCORE"].rom > 10_000
+    # DTLS also costs ~1.5 kB RAM.
+    assert builds["CoAPSv1.2"].ram - builds["OSCORE"].ram > 1_000
+    # All builds fit class-2 ROM budgets (≈250 kB, Table 2a).
+    assert all(build.rom < 250_000 for build in builds.values())
+    # GET overhead visible in the CoAP builds (+2 kB / +173 B).
+    plain = fig5_builds(with_get=False)
+    assert builds["CoAP"].rom - plain["CoAP"].rom == 2_000
+    assert builds["CoAP"].ram - plain["CoAP"].ram == 173

@@ -1,0 +1,62 @@
+"""Figure 6: maximum link-layer packet sizes per transport."""
+
+from repro.experiments import FRAGMENTATION_LIMIT, dissect_all
+from repro.experiments.packet_sizes import dissect_transport
+
+from conftest import print_rows
+
+
+def test_fig6_packet_sizes(benchmark):
+    grid = benchmark(dissect_all)
+
+    rows = []
+    for transport, dissections in grid.items():
+        for d in dissections:
+            rows.append(
+                (
+                    transport,
+                    d.message,
+                    d.dns_bytes,
+                    d.security_bytes,
+                    d.coap_bytes,
+                    d.framing_bytes,
+                    list(d.frame_sizes),
+                    "FRAG" if d.fragmented else "",
+                )
+            )
+    print_rows(
+        "Figure 6 — link-layer packet sizes (24-char name)",
+        ["transport", "message", "DNS", "security", "CoAP", "L2+6Lo", "frames", ""],
+        rows,
+    )
+
+    udp = {d.message: d for d in grid["UDP"] }
+    coap = {d.message: d for d in dissect_transport("coap")}
+    coaps = {d.message: d for d in dissect_transport("coaps")}
+    oscore = {d.message: d for d in dissect_transport("oscore")}
+    dtls = {d.message: d for d in dissect_transport("dtls")}
+
+    # The DNS messages themselves (paper: 42/58/70 bytes).
+    assert udp["query"].dns_bytes == 42
+    assert udp["response_a"].dns_bytes == 58
+    assert udp["response_aaaa"].dns_bytes == 70
+
+    # Fragmentation pattern of Section 5.3/5.4.
+    assert not udp["query"].fragmented and not udp["response_a"].fragmented
+    assert udp["response_aaaa"].fragmented
+    assert not coap["query"].fragmented
+    for name, d in {**coaps, **oscore, **dtls}.items():
+        assert d.fragmented, name
+
+    # The DTLS handshake alone causes fragmented datagrams.
+    handshake = [d for d in grid["DTLSv1.2"] if "Hello" in d.message]
+    assert any(d.fragmented for d in grid["DTLSv1.2"] if "Cookie" in d.message)
+
+    # OSCORE beats CoAPS on every message (smaller security overhead).
+    for message in ("query", "response_a", "response_aaaa"):
+        assert oscore[message].udp_payload < coaps[message].udp_payload
+
+    # Everything respects the 127-byte PDU.
+    for dissections in grid.values():
+        for d in dissections:
+            assert all(f <= FRAGMENTATION_LIMIT for f in d.frame_sizes)

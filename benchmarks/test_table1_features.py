@@ -1,0 +1,36 @@
+"""Table 1: DNS transport feature comparison."""
+
+from repro.doc.features import TABLE1
+
+from conftest import print_rows
+
+
+def test_table1_feature_matrix(benchmark):
+    def build():
+        return [
+            (
+                t.name,
+                "Y" if t.message_segmentation else "-",
+                "Y" if t.message_authentication else "-",
+                "Y" if t.message_encryption else "-",
+                "Y" if t.format_multiplexing else "-",
+                "Y" if t.shares_protocol_with_application else "-",
+                "Y" if t.constrained_iot_suitable else "-",
+                "Y" if t.secure_enroute_caching else "-",
+            )
+            for t in TABLE1
+        ]
+
+    rows = benchmark(build)
+    print_rows(
+        "Table 1 — DNS transport features",
+        ["transport", "segment", "auth", "encrypt", "multiplex",
+         "shares-app", "IoT-suitable", "enroute-cache"],
+        rows,
+    )
+    # The paper's headline claims.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["OSCORE"][-1] == "Y"
+    assert all(row[-1] == "-" for name, row in by_name.items() if name != "OSCORE")
+    assert by_name["UDP"][3] == "-"          # no encryption
+    assert by_name["CoAP"][1] == "Y"         # segmentation via block-wise

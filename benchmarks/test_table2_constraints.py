@@ -1,0 +1,67 @@
+"""Table 2: the constraints DoC must fit — checked against our builds
+and packets, not just restated."""
+
+from repro.experiments.packet_sizes import MEDIAN_NAME, dissect_transport
+from repro.memmodel import fig5_builds
+from repro.memmodel.platforms import (
+    DEVICE_CLASSES,
+    EVALUATION_PLATFORM,
+    LINK_TECHNOLOGIES,
+)
+
+from conftest import print_rows
+
+
+def test_table2_constraints(benchmark):
+    builds = benchmark(fig5_builds, True)
+
+    rows = [
+        (
+            cls.name,
+            f"{cls.ram_bytes // 1000} kB",
+            f"{cls.rom_bytes // 1000} kB",
+            ", ".join(
+                name for name, build in builds.items()
+                if cls.fits(build.rom, build.ram)
+            ) or "-",
+        )
+        for cls in DEVICE_CLASSES.values()
+    ]
+    print_rows(
+        "Table 2a — device classes vs. our builds",
+        ["class", "RAM", "ROM", "fitting builds"],
+        rows,
+    )
+
+    link_rows = [
+        (
+            tech.name,
+            f"{tech.data_rate_kbps[0]}-{tech.data_rate_kbps[1]} kbit/s",
+            f"{tech.frame_size_bytes[0]}-{tech.frame_size_bytes[1]} B",
+            f"{100 * tech.name_fraction(24):.1f}%",
+        )
+        for tech in LINK_TECHNOLOGIES.values()
+    ]
+    print_rows(
+        "Table 2b — link technologies (24-char name share of min frame)",
+        ["technology", "data rate", "frame size", "24-char name"],
+        link_rows,
+    )
+
+    # Section 3's arithmetic: a 24-char name occupies 18.9% of the
+    # 127-byte 802.15.4 PDU and 40.7% of LoRaWAN's 59-byte PDU.
+    assert abs(LINK_TECHNOLOGIES["ieee802154"].name_fraction(24) - 0.189) < 0.01
+    assert abs(LINK_TECHNOLOGIES["lorawan"].name_fraction(24) - 0.407) < 0.01
+
+    # Every DoC build fits class 2 and the evaluation platform; the
+    # OSCORE build also approaches class-1 ROM feasibility.
+    for build in builds.values():
+        assert DEVICE_CLASSES["class2"].fits(build.rom, build.ram), build.name
+        assert EVALUATION_PLATFORM.fits(build.rom, build.ram)
+    assert builds["OSCORE"].rom < DEVICE_CLASSES["class1"].rom_bytes // 2
+
+    # The Figure 6 packets respect the 802.15.4 frame limit per-fragment.
+    for transport in ("udp", "coap", "oscore"):
+        for dissection in dissect_transport(transport, name=MEDIAN_NAME):
+            for frame in dissection.frame_sizes:
+                assert frame <= LINK_TECHNOLOGIES["ieee802154"].min_frame

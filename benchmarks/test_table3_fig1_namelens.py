@@ -1,0 +1,68 @@
+"""Table 3 + Figure 1: name-length statistics, IoT vs IXP."""
+
+import random
+
+from repro.datasets import DATASET_PROFILES, generate_names, name_length_stats
+from repro.datasets.stats import length_histogram
+
+from conftest import print_rows
+
+#: Table 3 reference values: (median, mean) per data source.
+PAPER_TABLE3 = {
+    "yourthings": (24, 24.5),
+    "iotfinder": (24, 26.8),
+    "moniotr": (23, 27.1),
+    "ixp": (25, 26.1),
+}
+
+
+def _generate_all(seed=1):
+    rng = random.Random(seed)
+    return {
+        key: generate_names(profile, rng)
+        for key, profile in DATASET_PROFILES.items()
+    }
+
+
+def test_table3_name_length_statistics(benchmark):
+    datasets = benchmark(_generate_all)
+    rows = []
+    for key, names in datasets.items():
+        stats = name_length_stats(names)
+        rows.append(
+            (
+                DATASET_PROFILES[key].name,
+                int(stats["count"]),
+                int(stats["min"]),
+                int(stats["max"]),
+                round(stats["mean"], 1),
+                round(stats["std"], 1),
+                int(stats["q1"]),
+                int(stats["q2"]),
+                int(stats["q3"]),
+            )
+        )
+    print_rows(
+        "Table 3 — name lengths [chars]",
+        ["source", "names", "min", "max", "mean", "std", "Q1", "Q2", "Q3"],
+        rows,
+    )
+    for key, (paper_median, paper_mean) in PAPER_TABLE3.items():
+        stats = name_length_stats(datasets[key])
+        assert abs(stats["q2"] - paper_median) <= 3, key
+        assert abs(stats["mean"] - paper_mean) <= 4, key
+
+
+def test_fig1_length_distribution_shape():
+    datasets = _generate_all(seed=2)
+    iot = [n for key in ("yourthings", "iotfinder", "moniotr") for n in datasets[key]]
+    histogram = length_histogram(iot)
+    # Figure 1a: a dominant hump in 15-35 and a visible mDNS tail >45.
+    peak = histogram.index(max(histogram))
+    assert 15 <= peak <= 35
+    tail_mass = sum(histogram[45:])
+    assert 0.01 <= tail_mass <= 0.15
+    # IXP (Figure 1b): much smaller tail beyond 45 chars, max 68.
+    ixp_histogram = length_histogram(datasets["ixp"])
+    assert sum(ixp_histogram[69:]) == 0
+    assert sum(ixp_histogram[45:]) < tail_mass

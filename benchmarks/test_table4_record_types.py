@@ -1,0 +1,51 @@
+"""Table 4: queried record types in the IN class."""
+
+import random
+
+from repro.datasets import DATASET_PROFILES, generate_queries, record_type_shares
+from repro.dns import RecordType
+
+from conftest import print_rows
+
+
+def test_table4_record_type_shares(benchmark):
+    rng = random.Random(3)
+
+    def build():
+        iot = generate_queries(DATASET_PROFILES["yourthings"], rng, 30000)
+        ixp = generate_queries(DATASET_PROFILES["ixp"], rng, 30000)
+        return iot, ixp
+
+    iot, ixp = benchmark(build)
+
+    iot_all = record_type_shares(iot)
+    iot_unicast = record_type_shares([q for q in iot if not q.is_mdns])
+    ixp_shares = record_type_shares(ixp)
+
+    def fmt(shares):
+        def pct(rtype):
+            return f"{100 * shares.get(int(rtype), 0.0):.1f}%"
+
+        return [pct(RecordType.A), pct(RecordType.AAAA), pct(RecordType.ANY),
+                pct(RecordType.HTTPS), pct(RecordType.PTR), pct(RecordType.SRV),
+                pct(RecordType.TXT)]
+
+    print_rows(
+        "Table 4 — record types",
+        ["dataset", "A", "AAAA", "ANY", "HTTPS", "PTR", "SRV", "TXT"],
+        [
+            ["IoT w/ mDNS"] + fmt(iot_all),
+            ["IoT w/o mDNS"] + fmt(iot_unicast),
+            ["IXP"] + fmt(ixp_shares),
+        ],
+    )
+
+    # Paper claims: A most requested, AAAA second; w/o mDNS A+AAAA >99%.
+    assert iot_all[int(RecordType.A)] > iot_all[int(RecordType.AAAA)]
+    a_aaaa = iot_unicast[int(RecordType.A)] + iot_unicast[int(RecordType.AAAA)]
+    assert a_aaaa > 0.97
+    # IXP shows HTTPS records (~9%) that IoT devices do not query.
+    assert ixp_shares[int(RecordType.HTTPS)] > 0.05
+    assert int(RecordType.HTTPS) not in iot_all
+    # PTR is prominent only with mDNS (~20%).
+    assert iot_all[int(RecordType.PTR)] > 0.15

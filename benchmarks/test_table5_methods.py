@@ -1,0 +1,35 @@
+"""Table 5: comparison of the DoC request methods."""
+
+from repro.coap import CoapMessage, Code, cache_key_for
+from repro.doc.features import TABLE5
+
+from conftest import print_rows
+
+
+def test_table5_method_comparison(benchmark):
+    def build():
+        return [
+            (
+                name,
+                "Y" if features.cacheable else "-",
+                "Y" if features.body_carried else "-",
+                "Y" if features.blockwise_query else "-",
+            )
+            for name, features in TABLE5.items()
+        ]
+
+    rows = benchmark(build)
+    print_rows(
+        "Table 5 — DoC request methods",
+        ["method", "cacheable", "body-carried", "blockwise-query"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["GET"] == ("GET", "Y", "-", "-")
+    assert by_name["POST"] == ("POST", "-", "Y", "Y")
+    assert by_name["FETCH"] == ("FETCH", "Y", "Y", "Y")
+
+    # Cross-check against the implementation, not just the registry.
+    assert cache_key_for(CoapMessage.request(Code.FETCH, "/dns", payload=b"q"))
+    assert cache_key_for(CoapMessage.request(Code.GET, "/dns"))
+    assert cache_key_for(CoapMessage.request(Code.POST, "/dns", payload=b"q")) is None

@@ -1,0 +1,37 @@
+"""Concise Binary Object Representation (CBOR, RFC 8949) — minimal codec.
+
+This is a from-scratch implementation of the CBOR subset required by the
+rest of the repository:
+
+* COSE_Encrypt0 objects for OSCORE (:mod:`repro.oscore`),
+* the compressed DNS message format of Section 7 of the paper
+  (:mod:`repro.doc.cbor_format`).
+
+Supported major types: unsigned/negative integers, byte strings, text
+strings, arrays, maps, tags, simple values (false/true/null), and floats.
+Indefinite-length items are supported on decode and rejected on encode
+(deterministic encoding only, per RFC 8949 §4.2).
+
+Example
+-------
+>>> from repro.cborlib import dumps, loads
+>>> dumps(["example.org", 28])
+b'\\x82kexample.org\\x18\\x1c'
+>>> loads(dumps({1: b"key"}))
+{1: b'key'}
+"""
+
+from .encoder import CBOREncodeError, dumps
+from .decoder import CBORDecodeError, loads, loads_prefix
+from .types import Tag, Simple, UNDEFINED
+
+__all__ = [
+    "CBORDecodeError",
+    "CBOREncodeError",
+    "Simple",
+    "Tag",
+    "UNDEFINED",
+    "dumps",
+    "loads",
+    "loads_prefix",
+]

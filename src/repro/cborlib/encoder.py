@@ -1,0 +1,120 @@
+"""Deterministic CBOR encoding (RFC 8949 §4.2 core requirements).
+
+Integers use the shortest form, map keys are sorted bytewise by their
+encoded form, and indefinite-length items are never produced.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any
+
+from .types import Simple, Tag
+
+_MT_UNSIGNED = 0
+_MT_NEGATIVE = 1
+_MT_BYTES = 2
+_MT_TEXT = 3
+_MT_ARRAY = 4
+_MT_MAP = 5
+_MT_TAG = 6
+_MT_SIMPLE = 7
+
+
+class CBOREncodeError(ValueError):
+    """Raised when a value cannot be represented in CBOR."""
+
+
+def _head(major: int, argument: int) -> bytes:
+    """Encode the initial byte(s): major type plus shortest-form argument."""
+    if argument < 0:
+        raise CBOREncodeError("argument must be non-negative")
+    mt = major << 5
+    if argument < 24:
+        return bytes([mt | argument])
+    if argument < 0x100:
+        return bytes([mt | 24, argument])
+    if argument < 0x10000:
+        return bytes([mt | 25]) + argument.to_bytes(2, "big")
+    if argument < 0x100000000:
+        return bytes([mt | 26]) + argument.to_bytes(4, "big")
+    if argument < 0x10000000000000000:
+        return bytes([mt | 27]) + argument.to_bytes(8, "big")
+    raise CBOREncodeError("integer too large for CBOR head")
+
+
+def _encode_int(value: int) -> bytes:
+    if value >= 0:
+        return _head(_MT_UNSIGNED, value)
+    return _head(_MT_NEGATIVE, -1 - value)
+
+
+def _encode_float(value: float) -> bytes:
+    # Deterministic encoding: use the shortest float representation that
+    # round-trips. Half precision is attempted first, then single.
+    if math.isnan(value):
+        return b"\xf9\x7e\x00"
+    try:
+        half = struct.pack(">e", value)
+        if struct.unpack(">e", half)[0] == value:
+            return b"\xf9" + half
+    except (OverflowError, struct.error):
+        pass
+    try:
+        single = struct.pack(">f", value)
+        if struct.unpack(">f", single)[0] == value:
+            return b"\xfa" + single
+    except (OverflowError, struct.error):
+        pass
+    return b"\xfb" + struct.pack(">d", value)
+
+
+def _encode(value: Any) -> bytes:
+    if value is False:
+        return b"\xf4"
+    if value is True:
+        return b"\xf5"
+    if value is None:
+        return b"\xf6"
+    if isinstance(value, int):
+        return _encode_int(value)
+    if isinstance(value, float):
+        return _encode_float(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        return _head(_MT_BYTES, len(data)) + data
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        return _head(_MT_TEXT, len(data)) + data
+    if isinstance(value, (list, tuple)):
+        out = [_head(_MT_ARRAY, len(value))]
+        out.extend(_encode(item) for item in value)
+        return b"".join(out)
+    if isinstance(value, dict):
+        encoded_pairs = sorted(
+            (_encode(k), _encode(v)) for k, v in value.items()
+        )
+        out = [_head(_MT_MAP, len(value))]
+        for key, val in encoded_pairs:
+            out.append(key)
+            out.append(val)
+        return b"".join(out)
+    if isinstance(value, Tag):
+        return _head(_MT_TAG, value.number) + _encode(value.value)
+    if isinstance(value, Simple):
+        if value.value < 24:
+            return bytes([(_MT_SIMPLE << 5) | value.value])
+        return bytes([(_MT_SIMPLE << 5) | 24, value.value])
+    raise CBOREncodeError(f"cannot encode {type(value).__name__} in CBOR")
+
+
+def dumps(value: Any) -> bytes:
+    """Serialise *value* to deterministic CBOR bytes.
+
+    Raises
+    ------
+    CBOREncodeError
+        If the value (or a nested element) has no CBOR representation.
+    """
+    return _encode(value)

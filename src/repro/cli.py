@@ -1,0 +1,210 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Subcommands
+-----------
+``dissect``
+    Print the Figure 6 per-layer packet dissection for one transport.
+``resolve``
+    Run a demo resolution over a chosen transport on the Figure 2
+    topology and print timings.
+``experiment``
+    Run a full Figure 7-style experiment and print summary statistics.
+``memory``
+    Print the Figure 5 / Figure 8 build-size tables.
+``compress``
+    Show the Section 7 CBOR compression for a given name.
+
+Examples
+--------
+::
+
+    python -m repro.cli dissect --transport oscore
+    python -m repro.cli resolve --transport coaps --names 5
+    python -m repro.cli experiment --transport coap --queries 50 --loss 0.2
+    python -m repro.cli memory
+    python -m repro.cli compress --name device.example.org
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_dissect(args: argparse.Namespace) -> int:
+    from repro.coap.codes import Code
+    from repro.experiments.packet_sizes import dissect_transport
+
+    method = {"fetch": Code.FETCH, "get": Code.GET, "post": Code.POST}[args.method]
+    dissections = dissect_transport(args.transport, method=method)
+    print(f"{'message':16s} {'DNS':>5s} {'sec':>5s} {'CoAP':>5s} "
+          f"{'UDP':>5s} frames")
+    for d in dissections:
+        print(
+            f"{d.message:16s} {d.dns_bytes:5d} {d.security_bytes:5d} "
+            f"{d.coap_bytes:5d} {d.udp_payload:5d} {list(d.frame_sizes)}"
+            f"{'  FRAGMENTED' if d.fragmented else ''}"
+        )
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    from repro.dns import RecordType, RecursiveResolver, Zone
+    from repro.doc import DocClient, DocServer
+    from repro.sim import Simulator
+    from repro.stack import build_figure2_topology
+
+    sim = Simulator(seed=args.seed)
+    topo = build_figure2_topology(sim, loss=args.loss)
+    zone = Zone()
+    for index in range(args.names):
+        zone.add_address(
+            f"name{index:02d}.example.org", f"2001:db8::{index + 1}", ttl=300
+        )
+    DocServer(sim, topo.resolver_host.bind(5683), RecursiveResolver(zone))
+    client = DocClient(
+        sim, topo.clients[0].bind(), (topo.resolver_host.address, 5683)
+    )
+
+    def report(result, error) -> None:
+        if error is not None:
+            print(f"  FAILED: {error}")
+        else:
+            print(
+                f"  {result.question.name:28s} -> "
+                f"{', '.join(result.addresses):20s} "
+                f"{result.resolution_time * 1000:7.1f} ms"
+            )
+
+    for index in range(args.names):
+        sim.schedule(index * 0.5, client.resolve,
+                     f"name{index:02d}.example.org", RecordType.AAAA, report)
+    sim.run(until=60)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, run_resolution_experiment
+    from repro.experiments.metrics import fraction_below, percentile
+
+    config = ExperimentConfig(
+        transport=args.transport,
+        num_queries=args.queries,
+        loss=args.loss,
+        l2_retries=args.l2_retries,
+        seed=args.seed,
+    )
+    result = run_resolution_experiment(config)
+    times = result.resolution_times
+    print(f"transport:        {args.transport}")
+    print(f"queries:          {len(result.outcomes)}")
+    print(f"success rate:     {result.success_rate:.2%}")
+    if times:
+        print(f"< 250 ms:         {fraction_below(times, 0.25):.0%}")
+        print(f"median:           {percentile(times, 50) * 1000:.1f} ms")
+        print(f"p95:              {percentile(times, 95):.2f} s")
+        print(f"max:              {max(times):.2f} s")
+    print(f"frames @1hop:     {result.link.frames_1hop}")
+    print(f"frames @2hop:     {result.link.frames_2hop}")
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    from repro.memmodel import fig5_builds, fig8_builds
+
+    print("Figure 5 (with CoAP example app):")
+    for name, build in fig5_builds(with_get=True).items():
+        print(f"  {name:10s} ROM {build.rom_kbytes:5.1f} kB   "
+              f"RAM {build.ram_kbytes:4.1f} kB")
+    print("Figure 8 (UDP/sock omitted):")
+    for name, build in fig8_builds().items():
+        print(f"  {name:10s} ROM {build.rom_kbytes:5.1f} kB")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.dns import (
+        AAAAData,
+        DNSClass,
+        Flags,
+        Message,
+        Question,
+        RecordType,
+        ResourceRecord,
+        make_query,
+    )
+    from repro.doc.cbor_format import encode_query, encode_response
+
+    question = Question(args.name, RecordType.AAAA)
+    wire_query = make_query(args.name, RecordType.AAAA, txid=0).encode()
+    cbor_query = encode_query(question)
+    response = Message(
+        flags=Flags(qr=True),
+        questions=(question,),
+        answers=(
+            ResourceRecord(args.name, RecordType.AAAA, DNSClass.IN, 300,
+                           AAAAData("2001:db8::1")),
+        ),
+    )
+    wire_response = response.encode()
+    cbor_response = encode_response(response)
+    print(f"name: {args.name} ({len(args.name)} chars)")
+    print(f"query:    wire {len(wire_query):3d} B -> CBOR {len(cbor_query):3d} B "
+          f"(-{100 * (1 - len(cbor_query) / len(wire_query)):.0f}%)")
+    print(f"response: wire {len(wire_response):3d} B -> CBOR {len(cbor_response):3d} B "
+          f"(-{100 * (1 - len(cbor_response) / len(wire_response)):.0f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DNS over CoAP reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    dissect = subparsers.add_parser("dissect", help="Figure 6 packet dissection")
+    dissect.add_argument(
+        "--transport", default="coap",
+        choices=["udp", "dtls", "coap", "coaps", "oscore"],
+    )
+    dissect.add_argument(
+        "--method", default="fetch", choices=["fetch", "get", "post"]
+    )
+    dissect.set_defaults(func=_cmd_dissect)
+
+    resolve = subparsers.add_parser("resolve", help="demo DoC resolution")
+    resolve.add_argument("--names", type=int, default=4)
+    resolve.add_argument("--loss", type=float, default=0.05)
+    resolve.add_argument("--seed", type=int, default=1)
+    resolve.set_defaults(func=_cmd_resolve)
+
+    experiment = subparsers.add_parser("experiment", help="Figure 7-style run")
+    experiment.add_argument(
+        "--transport", default="coap",
+        choices=["udp", "dtls", "coap", "coaps", "oscore"],
+    )
+    experiment.add_argument("--queries", type=int, default=50)
+    experiment.add_argument("--loss", type=float, default=0.15)
+    experiment.add_argument("--l2-retries", type=int, default=1)
+    experiment.add_argument("--seed", type=int, default=1)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    memory = subparsers.add_parser("memory", help="Figure 5/8 build sizes")
+    memory.set_defaults(func=_cmd_memory)
+
+    compress = subparsers.add_parser("compress", help="Section 7 CBOR sizes")
+    compress.add_argument("--name", default="name0000.example-iot.org")
+    compress.set_defaults(func=_cmd_compress)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""CoAP method and response codes (RFC 7252 §12.1, RFC 8132)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CodeClass(enum.IntEnum):
+    """The 3-bit class component of a CoAP code."""
+
+    REQUEST = 0
+    SUCCESS = 2
+    CLIENT_ERROR = 4
+    SERVER_ERROR = 5
+    SIGNALING = 7
+
+
+class Code(enum.IntEnum):
+    """CoAP codes in their ``class.detail`` composite byte form."""
+
+    EMPTY = 0x00
+
+    # Methods (0.xx)
+    GET = 0x01
+    POST = 0x02
+    PUT = 0x03
+    DELETE = 0x04
+    FETCH = 0x05
+    PATCH = 0x06
+    IPATCH = 0x07
+
+    # Success (2.xx)
+    CREATED = 0x41   # 2.01
+    DELETED = 0x42   # 2.02
+    VALID = 0x43     # 2.03
+    CHANGED = 0x44   # 2.04
+    CONTENT = 0x45   # 2.05
+    CONTINUE = 0x5F  # 2.31 (RFC 7959)
+
+    # Client errors (4.xx)
+    BAD_REQUEST = 0x80
+    UNAUTHORIZED = 0x81          # 4.01 (OSCORE Echo challenge)
+    BAD_OPTION = 0x82
+    FORBIDDEN = 0x83
+    NOT_FOUND = 0x84
+    METHOD_NOT_ALLOWED = 0x85
+    NOT_ACCEPTABLE = 0x86
+    REQUEST_ENTITY_INCOMPLETE = 0x88  # 4.08 (RFC 7959)
+    PRECONDITION_FAILED = 0x8C
+    REQUEST_ENTITY_TOO_LARGE = 0x8D
+    UNSUPPORTED_CONTENT_FORMAT = 0x8F
+
+    # Server errors (5.xx)
+    INTERNAL_SERVER_ERROR = 0xA0
+    NOT_IMPLEMENTED = 0xA1
+    BAD_GATEWAY = 0xA2
+    SERVICE_UNAVAILABLE = 0xA3
+    GATEWAY_TIMEOUT = 0xA4
+    PROXYING_NOT_SUPPORTED = 0xA5
+
+    @property
+    def code_class(self) -> int:
+        return self >> 5
+
+    @property
+    def detail(self) -> int:
+        return self & 0x1F
+
+    @property
+    def is_request(self) -> bool:
+        return self.code_class == CodeClass.REQUEST and self != Code.EMPTY
+
+    @property
+    def is_response(self) -> bool:
+        return self.code_class in (
+            CodeClass.SUCCESS,
+            CodeClass.CLIENT_ERROR,
+            CodeClass.SERVER_ERROR,
+        )
+
+    @property
+    def is_success(self) -> bool:
+        return self.code_class == CodeClass.SUCCESS
+
+    @property
+    def dotted(self) -> str:
+        """Presentation form, e.g. ``"2.05"``."""
+        return f"{self.code_class}.{self.detail:02d}"
+
+
+#: Methods whose responses are cacheable when they arrive with a
+#: freshness indication (RFC 7252 §5.6; FETCH per RFC 8132 §2.1 when
+#: the response would be reusable for the same body). POST responses
+#: are not cacheable — the root of the paper's Table 5.
+CACHEABLE_METHODS = frozenset({Code.GET, Code.FETCH})
+
+#: Methods that carry their application data in the request body.
+BODY_METHODS = frozenset({Code.POST, Code.PUT, Code.FETCH, Code.PATCH, Code.IPATCH})

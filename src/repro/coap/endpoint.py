@@ -1,0 +1,621 @@
+"""CoAP endpoints: the message layer and request/response layer.
+
+:class:`CoapClient` and :class:`CoapServer` implement RFC 7252's two
+sub-layers over any datagram transport (a simulated UDP socket or a
+DTLS session adapter):
+
+* message layer — CON/ACK/RST exchange, deduplication, and the
+  exponential back-off retransmission of §4.2 (the source of the gray
+  regions in the paper's Figure 11);
+* request/response layer — token matching, piggybacked and separate
+  responses, and block-wise transfers (RFC 7959) in both directions.
+
+The client can be given a :class:`repro.coap.cache.CoapCache` to act as
+the paper's "CoAP client cache" configuration, including ETag
+revalidation of stale entries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.core import Event, Simulator
+
+from .blockwise import Block, BlockAssembler, block_for
+from .cache import CoapCache
+from .codes import Code
+from .message import CoapMessage, CoapMessageError, MessageType
+from .options import OptionNumber
+from .reliability import ReliabilityParams, TransmissionState
+
+#: How long (peer, MID) pairs are remembered for deduplication.
+EXCHANGE_LIFETIME = 247.0
+
+
+class CoapTimeoutError(Exception):
+    """Raised (delivered via errback) when retransmissions are exhausted."""
+
+
+@dataclass
+class ClientEvent:
+    """One client-side transmission/cache event (Figure 11 input)."""
+
+    time: float
+    kind: str          # "transmission" | "retransmission" | "cache_hit" | "validation"
+    token: bytes
+    mid: int
+
+
+class _Exchange:
+    """State of one outstanding request."""
+
+    def __init__(
+        self,
+        request: CoapMessage,
+        dst: Tuple[str, int],
+        on_response: Callable[[Optional[CoapMessage], Optional[Exception]], None],
+        metadata: dict,
+    ) -> None:
+        self.request = request
+        self.dst = dst
+        self.on_response = on_response
+        self.metadata = metadata
+        self.transmission: Optional[TransmissionState] = None
+        self.timer: Optional[Event] = None
+        self.acknowledged = False
+        self.block1_body: Optional[bytes] = None
+        self.block1_number = 0
+        self.block2_assembler: Optional[BlockAssembler] = None
+        self.first_block_response: Optional[CoapMessage] = None
+        self.done = False
+
+
+class CoapClient:
+    """The client role: request/response with reliability and block-wise.
+
+    Parameters
+    ----------
+    sim:
+        The event loop (timers and RNG).
+    socket:
+        Object with ``sendto(payload, dst_addr, dst_port, metadata)``
+        and an ``on_datagram`` callback attribute.
+    cache:
+        Optional CoAP response cache (the paper's client CoAP cache).
+    block_size:
+        When set, force block-wise transfer with this block size for
+        request bodies (Block1) and ask for it in responses (Block2).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket,
+        params: ReliabilityParams = ReliabilityParams(),
+        cache: Optional[CoapCache] = None,
+        block_size: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.socket = socket
+        self.params = params
+        self.cache = cache
+        self.block_size = block_size
+        self.events: List[ClientEvent] = []
+        self._exchanges: Dict[bytes, _Exchange] = {}
+        self._next_mid = sim.rng.randrange(0x10000)
+        self._next_token = sim.rng.randrange(1 << 32)
+        socket.on_datagram = self._on_datagram
+
+    # -- public API -----------------------------------------------------------
+
+    def request(
+        self,
+        message: CoapMessage,
+        dst_addr: str,
+        dst_port: int,
+        on_response: Callable[[Optional[CoapMessage], Optional[Exception]], None],
+        metadata: Optional[dict] = None,
+    ) -> bytes:
+        """Issue *message*; ``on_response(response, error)`` fires once.
+
+        Returns the token assigned to the exchange. Responses served
+        from the local cache short-circuit the network entirely.
+        """
+        metadata = dict(metadata or {})
+        token = self._claim_token()
+        message = self._prepare(message, token)
+
+        if self.cache is not None:
+            served = self._try_cache(message, dst_addr, dst_port, on_response, metadata)
+            if served:
+                return token
+
+        exchange = _Exchange(message, (dst_addr, dst_port), on_response, metadata)
+        if self.block_size is not None and len(message.payload) > self.block_size:
+            exchange.block1_body = message.payload
+            message = self._block1_request(exchange, 0)
+            exchange.request = message
+        self._exchanges[token] = exchange
+        self._transmit(exchange, first=True)
+        return token
+
+    # -- cache integration ------------------------------------------------------
+
+    def _try_cache(
+        self,
+        message: CoapMessage,
+        dst_addr: str,
+        dst_port: int,
+        on_response,
+        metadata: dict,
+    ) -> bool:
+        assert self.cache is not None
+        fresh, entry = self.cache.lookup(message, self.sim.now)
+        if fresh is not None:
+            self.events.append(
+                ClientEvent(self.sim.now, "cache_hit", message.token, message.mid)
+            )
+            self.sim.schedule(0.0, on_response, fresh, None)
+            return True
+        if entry is not None and entry.etag is not None:
+            # Stale entry: revalidate with the ETag.
+            message = message.with_option(OptionNumber.ETAG, entry.etag)
+            original = on_response
+
+            def on_validated(response: Optional[CoapMessage], error):
+                if response is not None and response.code == Code.VALID:
+                    revived = self.cache.refresh(
+                        message.without_option(OptionNumber.ETAG), response, self.sim.now
+                    )
+                    if revived is not None:
+                        self.events.append(
+                            ClientEvent(
+                                self.sim.now, "validation", message.token, message.mid
+                            )
+                        )
+                        original(revived, None)
+                        return
+                original(response, error)
+
+            exchange = _Exchange(message, (dst_addr, dst_port), on_validated, metadata)
+            self._exchanges[message.token] = exchange
+            self._transmit(exchange, first=True)
+            return True
+        return False
+
+    # -- internals ----------------------------------------------------------------
+
+    def _claim_token(self) -> bytes:
+        token = self._next_token.to_bytes(4, "big")
+        self._next_token = (self._next_token + 1) & 0xFFFFFFFF
+        return token
+
+    def _claim_mid(self) -> int:
+        mid = self._next_mid
+        self._next_mid = (self._next_mid + 1) & 0xFFFF
+        return mid
+
+    def _prepare(self, message: CoapMessage, token: bytes) -> CoapMessage:
+        from dataclasses import replace
+
+        message = replace(message, token=token, mid=self._claim_mid())
+        if (
+            self.block_size is not None
+            and OptionNumber.BLOCK2 not in [n for n, _ in message.options]
+        ):
+            # Ask the server to use our block size for the response.
+            message = message.with_option(
+                OptionNumber.BLOCK2, Block(0, False, self.block_size).encode()
+            )
+        return message
+
+    def _block1_request(self, exchange: _Exchange, number: int) -> CoapMessage:
+        from dataclasses import replace
+
+        assert exchange.block1_body is not None
+        block, chunk = block_for(exchange.block1_body, number, self.block_size)
+        message = replace(
+            exchange.request, payload=chunk, mid=self._claim_mid()
+        ).without_option(OptionNumber.BLOCK1).with_option(
+            OptionNumber.BLOCK1, block.encode()
+        )
+        exchange.block1_number = number
+        return message
+
+    def _transmit(self, exchange: _Exchange, first: bool) -> None:
+        message = exchange.request
+        self.events.append(
+            ClientEvent(
+                self.sim.now,
+                "transmission" if first else "retransmission",
+                message.token,
+                message.mid,
+            )
+        )
+        self.socket.sendto(
+            message.encode(), exchange.dst[0], exchange.dst[1], exchange.metadata
+        )
+        if message.mtype == MessageType.CON:
+            if first:
+                exchange.transmission = TransmissionState(self.params, self.sim.rng)
+            assert exchange.transmission is not None
+            exchange.timer = self.sim.schedule(
+                exchange.transmission.timeout, self._on_timeout, exchange
+            )
+
+    def _on_timeout(self, exchange: _Exchange) -> None:
+        if exchange.done or exchange.acknowledged:
+            return
+        assert exchange.transmission is not None
+        if exchange.transmission.register_timeout():
+            self._transmit(exchange, first=False)
+        else:
+            self._fail(exchange, CoapTimeoutError("retransmissions exhausted"))
+
+    def _fail(self, exchange: _Exchange, error: Exception) -> None:
+        if exchange.done:
+            return
+        exchange.done = True
+        self._exchanges.pop(exchange.request.token, None)
+        exchange.on_response(None, error)
+
+    def _on_datagram(self, src_addr: str, src_port: int, data: bytes, metadata: dict) -> None:
+        try:
+            message = CoapMessage.decode(data)
+        except CoapMessageError:
+            return
+
+        if message.mtype == MessageType.ACK and message.code == Code.EMPTY:
+            # Empty ACK: stop retransmitting, await separate response.
+            for exchange in self._exchanges.values():
+                if exchange.request.mid == message.mid:
+                    self._stop_timer(exchange)
+                    exchange.acknowledged = True
+                    return
+            return
+        if message.mtype == MessageType.RST:
+            for token, exchange in list(self._exchanges.items()):
+                if exchange.request.mid == message.mid:
+                    self._fail(exchange, CoapTimeoutError("reset by peer"))
+            return
+        if not message.code.is_response:
+            return
+
+        exchange = self._exchanges.get(message.token)
+        if message.mtype == MessageType.CON:
+            # Separate CON response: always ACK, even duplicates.
+            ack = message.make_ack()
+            self.socket.sendto(
+                ack.encode(), src_addr, src_port, {"kind": "ack"}
+            )
+        if exchange is None or exchange.done:
+            return
+        self._stop_timer(exchange)
+        exchange.acknowledged = True
+        self._handle_response(exchange, message)
+
+    def _stop_timer(self, exchange: _Exchange) -> None:
+        if exchange.timer is not None:
+            exchange.timer.cancel()
+            exchange.timer = None
+
+    def _handle_response(self, exchange: _Exchange, response: CoapMessage) -> None:
+        # Block1 continuation (2.31 Continue).
+        if response.code == Code.CONTINUE and exchange.block1_body is not None:
+            next_number = exchange.block1_number + 1
+            exchange.request = self._block1_request(exchange, next_number)
+            exchange.transmission = None
+            self._transmit(exchange, first=True)
+            return
+
+        # Block2 download.
+        block2_data = response.option(OptionNumber.BLOCK2)
+        if block2_data is not None:
+            block = Block.decode(block2_data)
+            if exchange.block2_assembler is None:
+                exchange.block2_assembler = BlockAssembler()
+                exchange.first_block_response = response
+            exchange.block2_assembler.add(block, response.payload)
+            if block.more:
+                from dataclasses import replace
+
+                # Continuation: same token, no body (RFC 7959 §3.3).
+                next_request = replace(
+                    exchange.request, mid=self._claim_mid(), payload=b""
+                ).without_option(OptionNumber.BLOCK2).without_option(
+                    OptionNumber.BLOCK1
+                ).with_option(
+                    OptionNumber.BLOCK2,
+                    Block(block.number + 1, False, block.size).encode(),
+                )
+                exchange.request = next_request
+                exchange.transmission = None
+                exchange.acknowledged = False
+                self._transmit(exchange, first=True)
+                return
+            # Complete: synthesise the full response.
+            from dataclasses import replace
+
+            first = exchange.first_block_response
+            assert first is not None
+            response = replace(
+                first.without_option(OptionNumber.BLOCK2),
+                payload=exchange.block2_assembler.body(),
+            )
+
+        exchange.done = True
+        self._exchanges.pop(exchange.request.token, None)
+        if self.cache is not None:
+            key_request = exchange.request.without_option(OptionNumber.ETAG)
+            if response.code == Code.VALID:
+                pass  # refresh handled by the validation callback
+            else:
+                self.cache.store(key_request, response, self.sim.now)
+        exchange.on_response(response, None)
+
+
+ResourceHandler = Callable[
+    [CoapMessage, Callable[[CoapMessage], None], dict], None
+]
+
+
+class CoapServer:
+    """The server role: resources, dedup, separate responses, Block2.
+
+    Handlers receive ``(request, respond, metadata)`` and must call
+    ``respond(response_message)`` exactly once, synchronously or later
+    (a later call produces an empty ACK + separate CON response, the
+    behaviour a proxy needs while it forwards upstream).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket,
+        params: ReliabilityParams = ReliabilityParams(),
+    ) -> None:
+        self.sim = sim
+        self.socket = socket
+        self.params = params
+        self._resources: Dict[str, ResourceHandler] = {}
+        self.default_handler: Optional[ResourceHandler] = None
+        #: (peer, mid) -> encoded reply, for deduplication.
+        self._dedup: Dict[Tuple[str, int, int], bytes] = {}
+        #: Block2 continuation state: full responses by cache key-ish token.
+        self._block2_store: Dict[Tuple, CoapMessage] = {}
+        self._block1_assembly: Dict[Tuple[str, int], BlockAssembler] = {}
+        self._separate_pending: Dict[int, Callable[[], None]] = {}
+        self._current_peer: Tuple[str, int] = ("", 0)
+        self._next_mid = sim.rng.randrange(0x10000)
+        socket.on_datagram = self._on_datagram
+
+    def add_resource(self, path: str, handler: ResourceHandler) -> None:
+        self._resources["/" + path.strip("/")] = handler
+
+    # -- receive path -----------------------------------------------------------
+
+    def _on_datagram(self, src_addr: str, src_port: int, data: bytes, metadata: dict) -> None:
+        try:
+            message = CoapMessage.decode(data)
+        except CoapMessageError:
+            return
+        if message.mtype == MessageType.ACK or message.mtype == MessageType.RST:
+            self._note_ack(message.mid)
+            return
+        if not message.code.is_request:
+            return
+
+        self._current_peer = (src_addr, src_port)
+        dedup_key = (src_addr, src_port, message.mid)
+        cached_reply = self._dedup.get(dedup_key)
+        if cached_reply is not None:
+            self.socket.sendto(cached_reply, src_addr, src_port, {"kind": "dup-reply"})
+            return
+
+        handler = self._resources.get(message.uri_path, self.default_handler)
+        if handler is None:
+            self._reply(
+                message, src_addr, src_port,
+                message.make_response(Code.NOT_FOUND), dedup_key, metadata,
+            )
+            return
+
+        request, early_reply = self._apply_blockwise_request(message)
+        if early_reply is not None:
+            self._reply(message, src_addr, src_port, early_reply, dedup_key, metadata)
+            return
+        if request is None:
+            return  # mid-assembly, 2.31 already sent via early_reply path
+
+        served = self._serve_block2_continuation(message, src_addr, src_port, dedup_key, metadata)
+        if served:
+            return
+
+        responded = {"sync": True, "done": False}
+
+        def respond(response: CoapMessage) -> None:
+            if responded["done"]:
+                raise RuntimeError("respond() called twice")
+            responded["done"] = True
+            response = self._apply_blockwise_response(message, response)
+            if responded["sync"]:
+                self._reply(message, src_addr, src_port, response, dedup_key, metadata)
+            else:
+                self._send_separate(message, src_addr, src_port, response, metadata)
+
+        handler(request, respond, metadata)
+        if not responded["done"] and message.mtype == MessageType.CON:
+            # Handler deferred: empty ACK now, separate response later.
+            self.socket.sendto(
+                message.make_ack().encode(), src_addr, src_port, {"kind": "ack"}
+            )
+        responded["sync"] = False
+
+    # -- block-wise (server side) --------------------------------------------------
+
+    def _apply_blockwise_request(self, message: CoapMessage):
+        """Handle Block1 assembly; returns (complete_request, early_reply)."""
+        block1_data = message.option(OptionNumber.BLOCK1)
+        if block1_data is None:
+            return message, None
+        block = Block.decode(block1_data)
+        key = (message.token.hex(), 1)
+        assembler = self._block1_assembly.get(key)
+        if assembler is None or block.number == 0:
+            assembler = BlockAssembler()
+            self._block1_assembly[key] = assembler
+        try:
+            complete = assembler.add(block, message.payload)
+        except Exception:
+            return None, message.make_response(Code.REQUEST_ENTITY_INCOMPLETE)
+        if not complete:
+            reply = message.make_response(Code.CONTINUE).with_option(
+                OptionNumber.BLOCK1, block.encode()
+            )
+            return None, reply
+        del self._block1_assembly[key]
+        from dataclasses import replace
+
+        full = replace(message, payload=assembler.body()).without_option(
+            OptionNumber.BLOCK1
+        )
+        return full, None
+
+    def _block2_key(self, message: CoapMessage, src_addr: str, src_port: int) -> Tuple:
+        # Continuation requests keep the exchange token (RFC 7959 §3.3),
+        # so the token identifies the stored full response.
+        return (src_addr, src_port, message.token)
+
+    def _serve_block2_continuation(
+        self, message: CoapMessage, src_addr: str, src_port: int, dedup_key, metadata
+    ) -> bool:
+        block2_data = message.option(OptionNumber.BLOCK2)
+        if block2_data is None:
+            return False
+        block = Block.decode(block2_data)
+        if block.number == 0:
+            return False
+        key = self._block2_key(message, src_addr, src_port)
+        full = self._block2_store.get(key)
+        if full is None:
+            self._reply(
+                message, src_addr, src_port,
+                message.make_response(Code.REQUEST_ENTITY_INCOMPLETE),
+                dedup_key, metadata,
+            )
+            return True
+        from dataclasses import replace
+
+        try:
+            blk, chunk = block_for(full.payload, block.number, block.size)
+        except Exception:
+            self._reply(
+                message, src_addr, src_port,
+                message.make_response(Code.BAD_OPTION), dedup_key, metadata,
+            )
+            return True
+        piece = replace(
+            full, payload=chunk, mid=message.mid, token=message.token,
+            mtype=MessageType.ACK if message.mtype == MessageType.CON else MessageType.NON,
+        ).without_option(OptionNumber.BLOCK2).with_option(
+            OptionNumber.BLOCK2, blk.encode()
+        )
+        self._reply(message, src_addr, src_port, piece, dedup_key, metadata)
+        return True
+
+    def _apply_blockwise_response(
+        self, request: CoapMessage, response: CoapMessage
+    ) -> CoapMessage:
+        """Slice large responses into block 0 when Block2 was requested."""
+        block2_data = request.option(OptionNumber.BLOCK2)
+        if block2_data is None or not response.code.is_success:
+            return response
+        preferred = Block.decode(block2_data)
+        if len(response.payload) <= preferred.size:
+            return response
+        # Store the full response for continuations, send block 0.
+        src_addr, src_port = self._current_peer
+        key = self._block2_key(request, src_addr, src_port)
+        self._block2_store[key] = response
+        from dataclasses import replace
+
+        blk, chunk = block_for(response.payload, 0, preferred.size)
+        return replace(response, payload=chunk).with_option(
+            OptionNumber.BLOCK2, blk.encode()
+        )
+
+    # -- send path ---------------------------------------------------------------
+
+    def _reply(
+        self,
+        request: CoapMessage,
+        src_addr: str,
+        src_port: int,
+        response: CoapMessage,
+        dedup_key,
+        metadata: dict,
+    ) -> None:
+        from dataclasses import replace
+
+        self._current_peer = (src_addr, src_port)
+        if request.mtype == MessageType.CON:
+            response = replace(
+                response, mtype=MessageType.ACK, mid=request.mid, token=request.token
+            )
+        else:
+            response = replace(
+                response, mtype=MessageType.NON, mid=request.mid, token=request.token
+            )
+        encoded = response.encode()
+        self._dedup[dedup_key] = encoded
+        self.sim.schedule(
+            EXCHANGE_LIFETIME, self._dedup.pop, dedup_key, None
+        )
+        out_metadata = dict(metadata)
+        out_metadata["kind"] = out_metadata.get("response_kind", "response")
+        self.socket.sendto(encoded, src_addr, src_port, out_metadata)
+
+    def _send_separate(
+        self,
+        request: CoapMessage,
+        src_addr: str,
+        src_port: int,
+        response: CoapMessage,
+        metadata: dict,
+    ) -> None:
+        from dataclasses import replace
+
+        mid = self._next_mid
+        self._next_mid = (self._next_mid + 1) & 0xFFFF
+        response = replace(
+            response, mtype=MessageType.CON, mid=mid, token=request.token
+        )
+        out_metadata = dict(metadata)
+        out_metadata["kind"] = out_metadata.get("response_kind", "response")
+        # Separate CON responses get their own (simple) retransmission.
+        state = TransmissionState(self.params, self.sim.rng)
+        encoded = response.encode()
+
+        def send_and_arm() -> None:
+            self.socket.sendto(encoded, src_addr, src_port, out_metadata)
+            self.sim.schedule(state.timeout, maybe_retransmit)
+
+        acked = {"done": False}
+
+        def maybe_retransmit() -> None:
+            if acked["done"]:
+                return
+            if state.register_timeout():
+                send_and_arm()
+
+        # Hook ACK detection: we watch for the ACK in _on_datagram via
+        # a registry keyed by MID.
+        self._separate_pending[mid] = lambda: acked.__setitem__("done", True)
+        send_and_arm()
+
+    def _note_ack(self, mid: int) -> None:
+        callback = self._separate_pending.pop(mid, None)
+        if callback is not None:
+            callback()

@@ -1,0 +1,232 @@
+"""CoAP message codec (RFC 7252 §3) and convenience accessors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from .codes import Code
+from .options import (
+    OptionNumber,
+    decode_options,
+    decode_uint,
+    encode_options,
+    encode_uint,
+)
+
+COAP_VERSION = 1
+COAP_DEFAULT_PORT = 5683
+COAPS_DEFAULT_PORT = 5684
+
+
+class CoapMessageError(ValueError):
+    """Raised on malformed CoAP messages."""
+
+
+class MessageType(enum.IntEnum):
+    """The four CoAP message types."""
+
+    CON = 0
+    NON = 1
+    ACK = 2
+    RST = 3
+
+
+@dataclass(frozen=True)
+class CoapMessage:
+    """A CoAP message.
+
+    Options are stored as a tuple of ``(number, raw_value)`` pairs in
+    wire order; typed accessors are provided for the options DoC uses.
+    """
+
+    mtype: MessageType = MessageType.CON
+    code: Code = Code.EMPTY
+    mid: int = 0
+    token: bytes = b""
+    options: Tuple[Tuple[int, bytes], ...] = ()
+    payload: bytes = b""
+
+    # -- option helpers ---------------------------------------------------
+
+    def option_values(self, number: int) -> List[bytes]:
+        return [value for num, value in self.options if num == number]
+
+    def option(self, number: int) -> Optional[bytes]:
+        values = self.option_values(number)
+        if not values:
+            return None
+        return values[0]
+
+    def uint_option(self, number: int) -> Optional[int]:
+        value = self.option(number)
+        if value is None:
+            return None
+        return decode_uint(value)
+
+    def with_option(self, number: int, value: bytes) -> "CoapMessage":
+        """Copy with one more option appended (kept sorted on encode)."""
+        return replace(self, options=self.options + ((number, value),))
+
+    def with_uint_option(self, number: int, value: int) -> "CoapMessage":
+        return self.with_option(number, encode_uint(value))
+
+    def without_option(self, number: int) -> "CoapMessage":
+        return replace(
+            self,
+            options=tuple((n, v) for n, v in self.options if n != number),
+        )
+
+    def replace_uint_option(self, number: int, value: int) -> "CoapMessage":
+        return self.without_option(number).with_uint_option(number, value)
+
+    # Typed accessors for frequently used options --------------------------
+
+    @property
+    def content_format(self) -> Optional[int]:
+        return self.uint_option(OptionNumber.CONTENT_FORMAT)
+
+    @property
+    def max_age(self) -> Optional[int]:
+        return self.uint_option(OptionNumber.MAX_AGE)
+
+    @property
+    def etag(self) -> Optional[bytes]:
+        return self.option(OptionNumber.ETAG)
+
+    @property
+    def etags(self) -> List[bytes]:
+        """All ETag options (requests may carry several for validation)."""
+        return self.option_values(OptionNumber.ETAG)
+
+    @property
+    def uri_path(self) -> str:
+        return "/" + "/".join(
+            value.decode("utf-8", "replace")
+            for value in self.option_values(OptionNumber.URI_PATH)
+        )
+
+    @property
+    def uri_queries(self) -> List[str]:
+        return [
+            value.decode("utf-8", "replace")
+            for value in self.option_values(OptionNumber.URI_QUERY)
+        ]
+
+    def with_uri_path(self, path: str) -> "CoapMessage":
+        message = self
+        for segment in path.strip("/").split("/"):
+            if segment:
+                message = message.with_option(
+                    OptionNumber.URI_PATH, segment.encode("utf-8")
+                )
+        return message
+
+    # -- wire format -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        if not 0 <= self.mid <= 0xFFFF:
+            raise CoapMessageError("message ID out of range")
+        if len(self.token) > 8:
+            raise CoapMessageError("token longer than 8 bytes")
+        header = bytes(
+            [
+                (COAP_VERSION << 6) | (self.mtype << 4) | len(self.token),
+                int(self.code),
+                self.mid >> 8,
+                self.mid & 0xFF,
+            ]
+        )
+        out = bytearray(header)
+        out += self.token
+        out += encode_options(self.options)
+        if self.payload:
+            out += b"\xff" + self.payload
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CoapMessage":
+        if len(data) < 4:
+            raise CoapMessageError("message shorter than header")
+        version = data[0] >> 6
+        if version != COAP_VERSION:
+            raise CoapMessageError(f"unsupported CoAP version {version}")
+        mtype = MessageType((data[0] >> 4) & 0x3)
+        token_length = data[0] & 0x0F
+        if token_length > 8:
+            raise CoapMessageError("token length 9-15 is reserved")
+        try:
+            code = Code(data[1])
+        except ValueError as exc:
+            raise CoapMessageError(f"unknown code 0x{data[1]:02x}") from exc
+        mid = (data[2] << 8) | data[3]
+        if 4 + token_length > len(data):
+            raise CoapMessageError("truncated token")
+        token = bytes(data[4 : 4 + token_length])
+        options, payload_offset = decode_options(data, 4 + token_length)
+        payload = bytes(data[payload_offset:])
+        if code == Code.EMPTY and (token or options or payload):
+            raise CoapMessageError("empty message with content")
+        return cls(
+            mtype=mtype,
+            code=code,
+            mid=mid,
+            token=token,
+            options=tuple(options),
+            payload=payload,
+        )
+
+    # -- message factories -------------------------------------------------
+
+    @classmethod
+    def request(
+        cls,
+        code: Code,
+        path: str = "",
+        *,
+        mtype: MessageType = MessageType.CON,
+        mid: int = 0,
+        token: bytes = b"",
+        payload: bytes = b"",
+        confirmable: bool = True,
+    ) -> "CoapMessage":
+        if not code.is_request:
+            raise CoapMessageError(f"{code!r} is not a request code")
+        message = cls(
+            mtype=mtype if confirmable else MessageType.NON,
+            code=code,
+            mid=mid,
+            token=token,
+            payload=payload,
+        )
+        if path:
+            message = message.with_uri_path(path)
+        return message
+
+    def make_response(
+        self,
+        code: Code,
+        *,
+        payload: bytes = b"",
+        piggybacked: bool = True,
+    ) -> "CoapMessage":
+        """Build a response matching this request's token.
+
+        Piggybacked responses ride on the ACK (same MID); separate
+        responses get a fresh CON/NON exchange.
+        """
+        if piggybacked and self.mtype == MessageType.CON:
+            mtype, mid = MessageType.ACK, self.mid
+        else:
+            mtype, mid = MessageType.NON, self.mid
+        return CoapMessage(
+            mtype=mtype, code=code, mid=mid, token=self.token, payload=payload
+        )
+
+    def make_ack(self) -> "CoapMessage":
+        """An empty ACK for this CON message."""
+        return CoapMessage(mtype=MessageType.ACK, code=Code.EMPTY, mid=self.mid)
+
+    def make_reset(self) -> "CoapMessage":
+        return CoapMessage(mtype=MessageType.RST, code=Code.EMPTY, mid=self.mid)

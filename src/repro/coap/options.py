@@ -1,0 +1,197 @@
+"""CoAP options: registry, value codecs, and delta encoding (RFC 7252 §3.1).
+
+Options are modelled as ``(number, bytes)`` pairs at the wire level with
+helpers to convert uint/string values. The delta/extended-length scheme
+is implemented exactly, since option overhead is part of every packet
+size the paper reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+class OptionNumber(enum.IntEnum):
+    """IANA CoAP option numbers used in this repository."""
+
+    IF_MATCH = 1
+    URI_HOST = 3
+    ETAG = 4
+    IF_NONE_MATCH = 5
+    OBSERVE = 6
+    URI_PORT = 7
+    LOCATION_PATH = 8
+    OSCORE = 9
+    URI_PATH = 11
+    CONTENT_FORMAT = 12
+    MAX_AGE = 14
+    URI_QUERY = 15
+    ACCEPT = 17
+    LOCATION_QUERY = 20
+    BLOCK2 = 23
+    BLOCK1 = 27
+    SIZE2 = 28
+    PROXY_URI = 35
+    PROXY_SCHEME = 39
+    SIZE1 = 60
+    ECHO = 252
+    NO_RESPONSE = 258
+
+    @property
+    def is_critical(self) -> bool:
+        return bool(self & 1)
+
+    @property
+    def is_unsafe_to_forward(self) -> bool:
+        return bool(self & 2)
+
+    @property
+    def is_no_cache_key(self) -> bool:
+        """True if the option is NoCacheKey (RFC 7252 §5.4.2)."""
+        return (self & 0x1E) == 0x1C
+
+
+class ContentFormat(enum.IntEnum):
+    """Content-Format registry entries relevant to DoC.
+
+    ``DNS_MESSAGE`` is the ``application/dns-message`` format registered
+    by draft-ietf-core-dns-over-coap; ``DNS_CBOR`` stands for the
+    compressed ``application/dns+cbor`` format of Section 7
+    (draft-lenders-dns-cbor).
+    """
+
+    TEXT_PLAIN = 0
+    LINK_FORMAT = 40
+    OCTET_STREAM = 42
+    CBOR = 60
+    DNS_MESSAGE = 553
+    DNS_CBOR = 554
+
+
+@dataclass(frozen=True)
+class OptionDef:
+    """Static properties of an option (for validation and tooling)."""
+
+    number: int
+    name: str
+    repeatable: bool
+    min_length: int
+    max_length: int
+
+
+_REGISTRY = {
+    OptionNumber.IF_MATCH: OptionDef(1, "If-Match", True, 0, 8),
+    OptionNumber.URI_HOST: OptionDef(3, "Uri-Host", False, 1, 255),
+    OptionNumber.ETAG: OptionDef(4, "ETag", True, 1, 8),
+    OptionNumber.IF_NONE_MATCH: OptionDef(5, "If-None-Match", False, 0, 0),
+    OptionNumber.OBSERVE: OptionDef(6, "Observe", False, 0, 3),
+    OptionNumber.URI_PORT: OptionDef(7, "Uri-Port", False, 0, 2),
+    OptionNumber.OSCORE: OptionDef(9, "OSCORE", False, 0, 255),
+    OptionNumber.URI_PATH: OptionDef(11, "Uri-Path", True, 0, 255),
+    OptionNumber.CONTENT_FORMAT: OptionDef(12, "Content-Format", False, 0, 2),
+    OptionNumber.MAX_AGE: OptionDef(14, "Max-Age", False, 0, 4),
+    OptionNumber.URI_QUERY: OptionDef(15, "Uri-Query", True, 0, 255),
+    OptionNumber.ACCEPT: OptionDef(17, "Accept", False, 0, 2),
+    OptionNumber.BLOCK2: OptionDef(23, "Block2", False, 0, 3),
+    OptionNumber.BLOCK1: OptionDef(27, "Block1", False, 0, 3),
+    OptionNumber.SIZE2: OptionDef(28, "Size2", False, 0, 4),
+    OptionNumber.PROXY_URI: OptionDef(35, "Proxy-Uri", False, 1, 1034),
+    OptionNumber.PROXY_SCHEME: OptionDef(39, "Proxy-Scheme", False, 1, 255),
+    OptionNumber.SIZE1: OptionDef(60, "Size1", False, 0, 4),
+    OptionNumber.ECHO: OptionDef(252, "Echo", False, 1, 40),
+}
+
+
+def option_def(number: int) -> OptionDef | None:
+    """Look up the registry entry for *number*, if known."""
+    try:
+        return _REGISTRY[OptionNumber(number)]
+    except ValueError:
+        return None
+
+
+class OptionError(ValueError):
+    """Raised on malformed option encodings."""
+
+
+def encode_uint(value: int) -> bytes:
+    """Encode a CoAP uint option value (shortest form; 0 is empty)."""
+    if value < 0:
+        raise OptionError("uint option value must be non-negative")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def decode_uint(data: bytes) -> int:
+    """Decode a CoAP uint option value."""
+    return int.from_bytes(data, "big")
+
+
+def _nibble(value: int) -> Tuple[int, bytes]:
+    """Split delta/length into its 4-bit nibble and extension bytes."""
+    if value < 13:
+        return value, b""
+    if value < 269:
+        return 13, bytes([value - 13])
+    if value < 65805:
+        return 14, (value - 269).to_bytes(2, "big")
+    raise OptionError("option delta/length too large")
+
+
+def encode_options(options: Iterable[Tuple[int, bytes]]) -> bytes:
+    """Serialise options (sorted by number, stable for equal numbers)."""
+    out = bytearray()
+    previous = 0
+    for number, value in sorted(options, key=lambda item: item[0]):
+        delta_nibble, delta_ext = _nibble(number - previous)
+        length_nibble, length_ext = _nibble(len(value))
+        out.append((delta_nibble << 4) | length_nibble)
+        out += delta_ext
+        out += length_ext
+        out += value
+        previous = number
+    return bytes(out)
+
+
+def decode_options(data: bytes, offset: int = 0) -> Tuple[List[Tuple[int, bytes]], int]:
+    """Parse options starting at *offset*.
+
+    Returns the option list and the offset of the payload (just past the
+    0xFF payload marker if present, else end of data).
+    """
+    options: List[Tuple[int, bytes]] = []
+    number = 0
+    while offset < len(data):
+        byte = data[offset]
+        if byte == 0xFF:
+            offset += 1
+            if offset >= len(data):
+                raise OptionError("payload marker with empty payload")
+            return options, offset
+        offset += 1
+        delta_nibble, length_nibble = byte >> 4, byte & 0x0F
+
+        def extend(nibble: int, position: int) -> Tuple[int, int]:
+            if nibble < 13:
+                return nibble, position
+            if nibble == 13:
+                if position >= len(data):
+                    raise OptionError("truncated option extension")
+                return data[position] + 13, position + 1
+            if nibble == 14:
+                if position + 2 > len(data):
+                    raise OptionError("truncated option extension")
+                return int.from_bytes(data[position : position + 2], "big") + 269, position + 2
+            raise OptionError("reserved option nibble 15")
+
+        delta, offset = extend(delta_nibble, offset)
+        length, offset = extend(length_nibble, offset)
+        number += delta
+        if offset + length > len(data):
+            raise OptionError("truncated option value")
+        options.append((number, bytes(data[offset : offset + length])))
+        offset += length
+    return options, len(data)

@@ -1,0 +1,138 @@
+"""CoAP forward proxy with response cache (RFC 7252 §5.7).
+
+The paper's forwarder node *P* (Figure 2) runs this proxy in the
+"caching CoAP proxy" scenarios: clients address their DoC requests to
+the proxy with Uri-Host naming the origin; the proxy serves fresh
+cached responses, revalidates stale entries with the origin using the
+entry's ETag (receiving 2.03 Valid on success), and otherwise forwards
+and caches. The proxy is DoC-agnostic: it treats the DNS payload as
+opaque bytes, which is exactly why DoC must make equal queries
+byte-identical (ID zeroing) to benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.sim.core import Simulator
+
+from .cache import CoapCache
+from .codes import Code
+from .endpoint import CoapClient, CoapServer
+from .message import CoapMessage
+from .options import OptionNumber
+from .reliability import ReliabilityParams
+
+
+class ForwardProxy:
+    """A caching CoAP forward proxy between two sockets.
+
+    Parameters
+    ----------
+    sim:
+        Event loop.
+    server_socket:
+        Socket facing the clients.
+    client_socket:
+        Socket facing the origin server.
+    origin:
+        ``(address, port)`` of the origin CoAP server.
+    cache_entries:
+        Capacity of the proxy cache (Table 6: 50 on the proxy).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_socket,
+        client_socket,
+        origin: Tuple[str, int],
+        cache_entries: int = 50,
+        params: ReliabilityParams = ReliabilityParams(),
+    ) -> None:
+        self.sim = sim
+        self.origin = origin
+        self.cache = CoapCache(cache_entries)
+        self.server = CoapServer(sim, server_socket, params)
+        self.upstream = CoapClient(sim, client_socket, params)
+        self.server.default_handler = self._handle
+        self.requests_served_from_cache = 0
+        self.requests_revalidated = 0
+        self.requests_forwarded = 0
+
+    def _handle(self, request: CoapMessage, respond, metadata: dict) -> None:
+        now = self.sim.now
+        fresh, entry = self.cache.lookup(request, now)
+        if fresh is not None:
+            self.requests_served_from_cache += 1
+            metadata["cache"] = "proxy-hit"
+            # RFC 7252 §5.7: a fresh entry matching a client-presented
+            # ETag is confirmed with a small 2.03 Valid.
+            etag = fresh.etag
+            if etag is not None and etag in request.etags:
+                valid = request.make_response(Code.VALID).with_option(
+                    OptionNumber.ETAG, etag
+                )
+                max_age = fresh.max_age
+                if max_age is not None:
+                    valid = valid.with_uint_option(OptionNumber.MAX_AGE, max_age)
+                respond(valid)
+                return
+            respond(fresh)
+            return
+
+        upstream_request = replace(request, token=b"", mid=0)
+        if entry is not None and entry.etag is not None:
+            # Stale: revalidate with the origin using the cached ETag.
+            self.requests_revalidated += 1
+            upstream_request = upstream_request.with_option(
+                OptionNumber.ETAG, entry.etag
+            )
+
+            def on_validation(response: Optional[CoapMessage], error) -> None:
+                if error is not None:
+                    respond(request.make_response(Code.GATEWAY_TIMEOUT))
+                    return
+                if response.code == Code.VALID:
+                    revived = self.cache.refresh(request, response, self.sim.now)
+                    if revived is not None:
+                        etag = revived.etag
+                        if etag is not None and etag in request.etags:
+                            # Pass the small confirmation through.
+                            respond(response)
+                            return
+                        respond(revived)
+                        return
+                    # ETag changed (the DoH-like failure): fall through
+                    # with whatever the origin sent.
+                self._store_and_respond(request, response, respond)
+
+            self.upstream.request(
+                upstream_request, self.origin[0], self.origin[1],
+                on_validation, metadata,
+            )
+            return
+
+        self.requests_forwarded += 1
+
+        def on_response(response: Optional[CoapMessage], error) -> None:
+            if error is not None:
+                respond(request.make_response(Code.GATEWAY_TIMEOUT))
+                return
+            self._store_and_respond(request, response, respond)
+
+        self.upstream.request(
+            upstream_request, self.origin[0], self.origin[1], on_response, metadata
+        )
+
+    def _store_and_respond(
+        self, request: CoapMessage, response: CoapMessage, respond
+    ) -> None:
+        if response.code == Code.VALID:
+            # 2.03 without a matching entry (e.g. ETag mismatch was
+            # detected at the origin): nothing cacheable to serve.
+            respond(response)
+            return
+        self.cache.store(request, response, self.sim.now)
+        respond(response)

@@ -1,0 +1,159 @@
+"""AES-128 block cipher (FIPS 197), pure Python.
+
+Only the forward cipher is implemented: every mode used in this
+repository (CCM = CTR + CBC-MAC) needs encryption only. Tables are
+precomputed at import time; per-block work is table lookups and XORs,
+which is fast enough for simulated traffic volumes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_SBOX = [0] * 256
+
+
+def _initialise_sbox() -> None:
+    # Build the S-box from the multiplicative inverse in GF(2^8)
+    # followed by the affine transformation, per FIPS 197 §5.1.1.
+    p = q = 1
+    _SBOX[0] = 0x63
+    while True:
+        # p := p * 3 in GF(2^8)
+        p ^= (p << 1) ^ (0x1B if p & 0x80 else 0)
+        p &= 0xFF
+        # q := q / 3 (multiply by inverse of 3, via repeated doubling)
+        q ^= q << 1
+        q ^= q << 2
+        q ^= q << 4
+        q &= 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        transformed = (
+            q
+            ^ ((q << 1) | (q >> 7))
+            ^ ((q << 2) | (q >> 6))
+            ^ ((q << 3) | (q >> 5))
+            ^ ((q << 4) | (q >> 4))
+        ) & 0xFF
+        _SBOX[p] = transformed ^ 0x63
+        if p == 1:
+            break
+
+
+_initialise_sbox()
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+# T-tables: combined SubBytes + MixColumns per FIPS 197 §5.1.3 (the
+# standard software optimisation used by embedded AES implementations).
+_T0: List[int] = []
+for x in range(256):
+    s = _SBOX[x]
+    s2 = _xtime(s)
+    s3 = s2 ^ s
+    _T0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+def _rotr32(value: int, bits: int) -> int:
+    return ((value >> bits) | (value << (32 - bits))) & 0xFFFFFFFF
+
+
+_T1 = [_rotr32(t, 8) for t in _T0]
+_T2 = [_rotr32(t, 16) for t in _T0]
+_T3 = [_rotr32(t, 24) for t in _T0]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+class AES128:
+    """AES with a 128-bit key; 10 rounds.
+
+    >>> cipher = AES128(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[int]:
+        words = [int.from_bytes(key[i : i + 4], "big") for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = words[i - 1]
+            if i % 4 == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // 4 - 1] << 24
+            words.append(words[i - 4] ^ temp)
+        return words
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+
+        for round_index in range(1, 10):
+            base = 4 * round_index
+            t0 = (
+                _T0[(s0 >> 24) & 0xFF]
+                ^ _T1[(s1 >> 16) & 0xFF]
+                ^ _T2[(s2 >> 8) & 0xFF]
+                ^ _T3[s3 & 0xFF]
+                ^ rk[base]
+            )
+            t1 = (
+                _T0[(s1 >> 24) & 0xFF]
+                ^ _T1[(s2 >> 16) & 0xFF]
+                ^ _T2[(s3 >> 8) & 0xFF]
+                ^ _T3[s0 & 0xFF]
+                ^ rk[base + 1]
+            )
+            t2 = (
+                _T0[(s2 >> 24) & 0xFF]
+                ^ _T1[(s3 >> 16) & 0xFF]
+                ^ _T2[(s0 >> 8) & 0xFF]
+                ^ _T3[s1 & 0xFF]
+                ^ rk[base + 2]
+            )
+            t3 = (
+                _T0[(s3 >> 24) & 0xFF]
+                ^ _T1[(s0 >> 16) & 0xFF]
+                ^ _T2[(s1 >> 8) & 0xFF]
+                ^ _T3[s2 & 0xFF]
+                ^ rk[base + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+
+        # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        def final(a: int, b: int, c: int, d: int, key: int) -> int:
+            return (
+                (_SBOX[(a >> 24) & 0xFF] << 24)
+                | (_SBOX[(b >> 16) & 0xFF] << 16)
+                | (_SBOX[(c >> 8) & 0xFF] << 8)
+                | _SBOX[d & 0xFF]
+            ) ^ key
+
+        out0 = final(s0, s1, s2, s3, rk[40])
+        out1 = final(s1, s2, s3, s0, rk[41])
+        out2 = final(s2, s3, s0, s1, rk[42])
+        out3 = final(s3, s0, s1, s2, rk[43])
+        return b"".join(s.to_bytes(4, "big") for s in (out0, out1, out2, out3))

@@ -1,0 +1,146 @@
+"""AES-CCM authenticated encryption (RFC 3610 / NIST SP 800-38C).
+
+CCM combines CTR-mode encryption with a CBC-MAC over the nonce,
+associated data, and plaintext. Both cipher suites the paper measures
+are instances with different parameters:
+
+* ``AES_128_CCM_8``     — DTLSv1.2 suite (RFC 6655): 12-byte nonce, 8-byte tag.
+* ``AES_CCM_16_64_128`` — OSCORE/COSE default (RFC 8152): 13-byte nonce,
+  8-byte tag.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from .aes import AES128
+
+
+class AEADError(Exception):
+    """Raised when authenticated decryption fails."""
+
+
+class AESCCM:
+    """AES-128 in CCM mode with configurable nonce and tag length.
+
+    Parameters
+    ----------
+    key:
+        16-byte AES key.
+    tag_length:
+        MAC length in bytes (even, 4..16).
+    nonce_length:
+        Nonce length in bytes (7..13); the CTR counter occupies the
+        remaining ``15 - nonce_length`` bytes.
+    """
+
+    def __init__(self, key: bytes, tag_length: int = 8, nonce_length: int = 13):
+        if tag_length % 2 or not 4 <= tag_length <= 16:
+            raise ValueError("tag_length must be an even value in 4..16")
+        if not 7 <= nonce_length <= 13:
+            raise ValueError("nonce_length must be in 7..13")
+        self._aes = AES128(key)
+        self.tag_length = tag_length
+        self.nonce_length = nonce_length
+        self._length_field = 15 - nonce_length
+
+    # -- internals -------------------------------------------------------
+
+    def _check_nonce(self, nonce: bytes) -> None:
+        if len(nonce) != self.nonce_length:
+            raise ValueError(
+                f"nonce must be {self.nonce_length} bytes, got {len(nonce)}"
+            )
+
+    def _ctr_block(self, nonce: bytes, counter: int) -> bytes:
+        block = (
+            bytes([self._length_field - 1])
+            + nonce
+            + counter.to_bytes(self._length_field, "big")
+        )
+        return self._aes.encrypt_block(block)
+
+    def _ctr_crypt(self, nonce: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        for index in range(0, len(data), 16):
+            keystream = self._ctr_block(nonce, index // 16 + 1)
+            chunk = data[index : index + 16]
+            out += bytes(a ^ b for a, b in zip(chunk, keystream))
+        return bytes(out)
+
+    def _cbc_mac(self, nonce: bytes, aad: bytes, plaintext: bytes) -> bytes:
+        flags = 0
+        if aad:
+            flags |= 0x40
+        flags |= ((self.tag_length - 2) // 2) << 3
+        flags |= self._length_field - 1
+        if len(plaintext) >= 1 << (8 * self._length_field):
+            raise ValueError("plaintext too long for nonce length")
+        b0 = (
+            bytes([flags])
+            + nonce
+            + len(plaintext).to_bytes(self._length_field, "big")
+        )
+
+        blocks = bytearray(b0)
+        if aad:
+            if len(aad) < 0xFF00:
+                blocks += len(aad).to_bytes(2, "big")
+            else:
+                blocks += b"\xff\xfe" + len(aad).to_bytes(4, "big")
+            blocks += aad
+            if len(blocks) % 16:
+                blocks += bytes(16 - len(blocks) % 16)
+        blocks += plaintext
+        if len(blocks) % 16:
+            blocks += bytes(16 - len(blocks) % 16)
+
+        mac = bytes(16)
+        for index in range(0, len(blocks), 16):
+            mac = self._aes.encrypt_block(
+                bytes(a ^ b for a, b in zip(mac, blocks[index : index + 16]))
+            )
+        # Encrypt the MAC with counter block 0.
+        keystream = self._ctr_block(nonce, 0)
+        return bytes(a ^ b for a, b in zip(mac, keystream))[: self.tag_length]
+
+    # -- public API ------------------------------------------------------
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Return ciphertext || tag."""
+        self._check_nonce(nonce)
+        tag = self._cbc_mac(nonce, aad, plaintext)
+        return self._ctr_crypt(nonce, plaintext) + tag
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and return the plaintext.
+
+        Raises
+        ------
+        AEADError
+            If the ciphertext is too short or the tag does not verify.
+        """
+        self._check_nonce(nonce)
+        if len(ciphertext) < self.tag_length:
+            raise AEADError("ciphertext shorter than authentication tag")
+        body, tag = ciphertext[: -self.tag_length], ciphertext[-self.tag_length :]
+        plaintext = self._ctr_crypt(nonce, body)
+        expected = self._cbc_mac(nonce, aad, plaintext)
+        if not hmac.compare_digest(tag, expected):
+            raise AEADError("CCM tag verification failed")
+        return plaintext
+
+    @property
+    def overhead(self) -> int:
+        """Bytes added to every protected payload (the tag)."""
+        return self.tag_length
+
+
+def AES_128_CCM_8(key: bytes) -> AESCCM:
+    """The TLS_PSK_WITH_AES_128_CCM_8 AEAD (RFC 6655): N=12, M=8."""
+    return AESCCM(key, tag_length=8, nonce_length=12)
+
+
+def AES_CCM_16_64_128(key: bytes) -> AESCCM:
+    """The COSE AES-CCM-16-64-128 AEAD (RFC 8152 §10.2): N=13, M=8."""
+    return AESCCM(key, tag_length=8, nonce_length=13)

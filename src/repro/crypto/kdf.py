@@ -1,0 +1,48 @@
+"""Key derivation: HKDF-SHA256 (RFC 5869) and the TLS 1.2 PRF (RFC 5246).
+
+OSCORE derives its sender/recipient keys and common IV with HKDF
+(RFC 8613 §3.2); DTLSv1.2 derives the key block from the premaster
+secret with the SHA-256 PRF (RFC 5246 §5, unchanged by RFC 6347).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC-SHA256(salt, IKM)."""
+    if not salt:
+        salt = bytes(hashlib.sha256().digest_size)
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand to *length* bytes."""
+    if length > 255 * 32:
+        raise ValueError("HKDF-Expand length too large")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf_sha256(salt: bytes, ikm: bytes, info: bytes, length: int) -> bytes:
+    """Full HKDF: extract then expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def tls12_prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """TLS 1.2 PRF with P_SHA256 (RFC 5246 §5)."""
+    full_seed = label + seed
+    output = b""
+    a_value = full_seed
+    while len(output) < length:
+        a_value = hmac.new(secret, a_value, hashlib.sha256).digest()
+        output += hmac.new(secret, a_value + full_seed, hashlib.sha256).digest()
+    return output[:length]

@@ -1,0 +1,28 @@
+"""Synthetic DNS trace generation calibrated to Section 3.
+
+The paper's empirical corpus (YourThings, IoTFinder, MonIoTr captures
+and IXP sFlow samples) is not redistributable; these generators emit
+synthetic name sets and query streams whose *statistics* match the
+published Table 3 (name lengths), Table 4 (record types), and Figure 1
+(length distributions), so the evaluation pipeline runs on data with
+the same shape.
+"""
+
+from .generator import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    QueryRecord,
+    generate_names,
+    generate_queries,
+)
+from .stats import name_length_stats, record_type_shares
+
+__all__ = [
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "QueryRecord",
+    "generate_names",
+    "generate_queries",
+    "name_length_stats",
+    "record_type_shares",
+]

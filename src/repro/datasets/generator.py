@@ -1,0 +1,177 @@
+"""Synthetic IoT / IXP DNS datasets (Section 3).
+
+Name lengths are drawn from a two-component mixture fitted to the
+paper's Table 3 / Figure 1: a main log-normal-ish hump around the
+cloud/CDN name lengths (median 23-25 chars) plus, for the mDNS-bearing
+IoT datasets, a long tail of service-discovery names (reverse DNS,
+UUID-labelled local devices) reaching the low 80s. Record types follow
+the Table 4 shares.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dns.enums import RecordType
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Length-mixture and record-type parameters for one data source."""
+
+    name: str
+    unique_names: int
+    #: (mu, sigma) of the dominant log-normal length component.
+    body_mu: float
+    body_sigma: float
+    #: Weight and (low, high) of the uniform long-name (mDNS) tail.
+    tail_weight: float
+    tail_range: Tuple[int, int]
+    min_length: int
+    max_length: int
+    #: Record-type shares (Table 4), must sum to ≈ 1.
+    record_shares: Dict[int, float]
+
+
+_IOT_WITH_MDNS_SHARES = {
+    int(RecordType.A): 0.536,
+    int(RecordType.AAAA): 0.164,
+    int(RecordType.ANY): 0.082,
+    int(RecordType.PTR): 0.196,
+    int(RecordType.SRV): 0.010,
+    int(RecordType.TXT): 0.012,
+}
+
+_IOT_WITHOUT_MDNS_SHARES = {
+    int(RecordType.A): 0.758,
+    int(RecordType.AAAA): 0.235,
+    int(RecordType.PTR): 0.003,
+    int(RecordType.TXT): 0.001,
+    int(RecordType.SOA): 0.003,   # "Other"
+}
+
+_IXP_SHARES = {
+    int(RecordType.A): 0.645,
+    int(RecordType.AAAA): 0.176,
+    int(RecordType.ANY): 0.017,
+    int(RecordType.HTTPS): 0.091,
+    int(RecordType.NS): 0.007,
+    int(RecordType.PTR): 0.018,
+    int(RecordType.SRV): 0.004,
+    int(RecordType.TXT): 0.007,
+    int(RecordType.SOA): 0.035,   # "Other"
+}
+
+#: Profiles calibrated to Table 3 (μ/σ/quartiles per data source).
+DATASET_PROFILES: Dict[str, DatasetProfile] = {
+    "yourthings": DatasetProfile(
+        "YourThings", 1293, body_mu=3.16, body_sigma=0.33,
+        tail_weight=0.04, tail_range=(45, 83), min_length=2, max_length=83,
+        record_shares=_IOT_WITH_MDNS_SHARES,
+    ),
+    "iotfinder": DatasetProfile(
+        "IoTFinder", 1097, body_mu=3.22, body_sigma=0.34,
+        tail_weight=0.05, tail_range=(45, 82), min_length=7, max_length=82,
+        record_shares=_IOT_WITH_MDNS_SHARES,
+    ),
+    "moniotr": DatasetProfile(
+        "MonIoTr", 695, body_mu=3.16, body_sigma=0.38,
+        tail_weight=0.08, tail_range=(45, 83), min_length=9, max_length=83,
+        record_shares=_IOT_WITH_MDNS_SHARES,
+    ),
+    "ixp": DatasetProfile(
+        "IXP", 5000, body_mu=3.20, body_sigma=0.40,
+        tail_weight=0.01, tail_range=(45, 68), min_length=1, max_length=68,
+        record_shares=_IXP_SHARES,
+    ),
+}
+
+_LABEL_ALPHABET = string.ascii_lowercase + string.digits
+_COMMON_TLDS = ("com", "net", "org", "io")
+_CLOUD_INFIXES = ("amazonaws", "akamaiedge", "cloudfront", "azurewebsites")
+
+
+def _sample_length(profile: DatasetProfile, rng: random.Random) -> int:
+    if rng.random() < profile.tail_weight:
+        length = rng.randint(*profile.tail_range)
+    else:
+        length = round(rng.lognormvariate(profile.body_mu, profile.body_sigma))
+    return max(profile.min_length, min(profile.max_length, length))
+
+
+def _name_of_length(length: int, rng: random.Random) -> str:
+    """A plausible domain name of exactly *length* characters."""
+    if length <= 4:
+        return "".join(rng.choice(_LABEL_ALPHABET) for _ in range(length))
+    tld = rng.choice(_COMMON_TLDS)
+    remaining = length - len(tld) - 1  # minus the final dot separator
+    labels: List[str] = []
+    # Long names get a cloud-style infix label when it fits.
+    if remaining > 30 and rng.random() < 0.5:
+        infix = rng.choice(_CLOUD_INFIXES)
+        if remaining - len(infix) - 1 >= 2:
+            labels.append(infix)
+            remaining -= len(infix) + 1
+    while remaining > 0:
+        chunk = min(remaining, rng.randint(3, 14))
+        if remaining - chunk == 1:  # avoid a dangling 0-length label
+            chunk += 1
+            chunk = min(chunk, remaining)
+        labels.append(
+            "".join(rng.choice(_LABEL_ALPHABET) for _ in range(chunk))
+        )
+        remaining -= chunk + 1
+    rng.shuffle(labels)
+    return ".".join(labels + [tld])
+
+
+def generate_names(
+    profile: DatasetProfile, rng: random.Random, count: int | None = None
+) -> List[str]:
+    """*count* unique names drawn from *profile* (default: its size)."""
+    count = count if count is not None else profile.unique_names
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        name = _name_of_length(_sample_length(profile, rng), rng)
+        if name in seen:
+            continue
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One synthetic captured query."""
+
+    name: str
+    rtype: int
+    is_mdns: bool
+
+
+def generate_queries(
+    profile: DatasetProfile,
+    rng: random.Random,
+    count: int,
+    names: Sequence[str] | None = None,
+) -> List[QueryRecord]:
+    """*count* queries over the profile's names and record-type mix."""
+    if names is None:
+        names = generate_names(profile, rng)
+    types, weights = zip(*profile.record_shares.items())
+    mdns_types = {int(RecordType.PTR), int(RecordType.SRV), int(RecordType.ANY)}
+    queries = []
+    for _ in range(count):
+        rtype = rng.choices(types, weights=weights)[0]
+        queries.append(
+            QueryRecord(
+                name=rng.choice(names),
+                rtype=rtype,
+                is_mdns=rtype in mdns_types and profile.name != "IXP",
+            )
+        )
+    return queries

@@ -1,0 +1,38 @@
+"""Statistics over generated datasets (the Table 3 / Table 4 pipeline)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.metrics import summary_stats
+
+from .generator import QueryRecord
+
+
+def name_length_stats(names: Sequence[str]) -> Dict[str, float]:
+    """Table 3 row for a set of names: length statistics in characters."""
+    return summary_stats([float(len(name)) for name in names])
+
+
+def record_type_shares(queries: Iterable[QueryRecord]) -> Dict[int, float]:
+    """Table 4 row: fraction of queries per record type."""
+    counts: Dict[int, int] = {}
+    total = 0
+    for query in queries:
+        counts[query.rtype] = counts.get(query.rtype, 0) + 1
+        total += 1
+    if total == 0:
+        raise ValueError("no queries")
+    return {rtype: count / total for rtype, count in counts.items()}
+
+
+def length_histogram(
+    names: Sequence[str], bin_width: int = 1, max_length: int = 90
+) -> List[float]:
+    """Normalised histogram of name lengths (the Figure 1 densities)."""
+    bins = [0] * (max_length // bin_width + 1)
+    for name in names:
+        index = min(len(name) // bin_width, len(bins) - 1)
+        bins[index] += 1
+    total = len(names)
+    return [count / total for count in bins]

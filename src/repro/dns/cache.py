@@ -1,0 +1,96 @@
+"""TTL-aware DNS cache, as deployed on clients and the recursive resolver.
+
+Mirrors RIOT's ``CONFIG_DNS_CACHE_SIZE`` bounded cache (Table 6 sets it
+to 8 on clients): fixed capacity with least-recently-used eviction, and
+TTL aging on lookup so returned records carry the *remaining* TTL, the
+behaviour that makes the paper's DoH-like ETags unstable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .message import Message, Question
+
+
+@dataclass
+class CacheEntry:
+    """A cached response together with its insertion time and lifetime."""
+
+    response: Message
+    inserted_at: float
+    ttl: int
+
+    def expires_at(self) -> float:
+        return self.inserted_at + self.ttl
+
+    def is_fresh(self, now: float) -> bool:
+        return now < self.expires_at()
+
+    def aged_response(self, now: float) -> Message:
+        """The response with TTLs decremented by the elapsed cache time."""
+        elapsed = int(now - self.inserted_at)
+        return self.response.adjust_ttls(-elapsed)
+
+
+class DNSCache:
+    """A bounded DNS response cache keyed by (name, type, class).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is
+        evicted when full (RIOT uses a similarly bounded table).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, int, int], CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def store(self, question: Question, response: Message, now: float) -> None:
+        """Insert *response* for *question*; zero-TTL responses are not cached."""
+        ttl = response.min_ttl()
+        if ttl is None or ttl <= 0:
+            return
+        key = question.cache_key()
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = CacheEntry(response, now, ttl)
+
+    def lookup(self, question: Question, now: float) -> Optional[Message]:
+        """Return the aged cached response, or ``None`` on miss/expiry."""
+        key = question.cache_key()
+        entry = self._entries.get(key)
+        if entry is None or not entry.is_fresh(now):
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.aged_response(now)
+
+    def expire(self, now: float) -> int:
+        """Drop all stale entries; returns the number removed."""
+        stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,67 @@
+"""DNS protocol constants (RFC 1035 and successors)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecordType(enum.IntEnum):
+    """DNS resource record types seen in the paper's datasets (Table 4)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    OPT = 41
+    HTTPS = 65
+    ANY = 255
+
+    @classmethod
+    def from_value(cls, value: int) -> "RecordType | int":
+        """Return the enum member, or the raw value for unknown types."""
+        try:
+            return cls(value)
+        except ValueError:
+            return value
+
+
+class DNSClass(enum.IntEnum):
+    """DNS classes; IN is the only one the paper's traffic uses."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+
+class Opcode(enum.IntEnum):
+    """DNS header opcodes."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """DNS response codes."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+#: Maximum length of a full domain name in presentation format.
+MAX_NAME_LENGTH = 255
+#: Maximum length of a single label.
+MAX_LABEL_LENGTH = 63

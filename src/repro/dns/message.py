@@ -1,0 +1,248 @@
+"""DNS message codec (RFC 1035 §4) with compression on encode.
+
+The paper's DoC design (Section 4.2) requires two message-level
+manipulations, both provided here:
+
+* ``Message.with_id(0)`` — zeroing the transaction ID for deterministic
+  CoAP cache keys,
+* ``Message.with_ttls(ttl)`` / ``Message.adjust_ttls(delta)`` — the
+  EOL-TTLs rewrite and the client-side TTL restore from Max-Age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from .enums import DNSClass, Opcode, Rcode, RecordType
+from .name import decode_name, encode_name
+from .rdata import decode_rdata
+
+
+class MessageError(ValueError):
+    """Raised on malformed DNS messages."""
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The 16 header flag bits following the transaction ID."""
+
+    qr: bool = False
+    opcode: int = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = True
+    ra: bool = False
+    ad: bool = False
+    cd: bool = False
+    rcode: int = Rcode.NOERROR
+
+    def encode(self) -> int:
+        value = 0
+        value |= int(self.qr) << 15
+        value |= (self.opcode & 0xF) << 11
+        value |= int(self.aa) << 10
+        value |= int(self.tc) << 9
+        value |= int(self.rd) << 8
+        value |= int(self.ra) << 7
+        value |= int(self.ad) << 5
+        value |= int(self.cd) << 4
+        value |= self.rcode & 0xF
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "Flags":
+        return cls(
+            qr=bool(value & 0x8000),
+            opcode=(value >> 11) & 0xF,
+            aa=bool(value & 0x0400),
+            tc=bool(value & 0x0200),
+            rd=bool(value & 0x0100),
+            ra=bool(value & 0x0080),
+            ad=bool(value & 0x0020),
+            cd=bool(value & 0x0010),
+            rcode=value & 0xF,
+        )
+
+
+@dataclass(frozen=True)
+class Question:
+    """An entry of the question section."""
+
+    name: str
+    rtype: int = RecordType.AAAA
+    rclass: int = DNSClass.IN
+
+    def encode(self, compress: Dict[str, int] | None, offset: int) -> bytes:
+        out = bytearray(encode_name(self.name, compress, offset))
+        out += int(self.rtype).to_bytes(2, "big")
+        out += int(self.rclass).to_bytes(2, "big")
+        return bytes(out)
+
+    def cache_key(self) -> Tuple[str, int, int]:
+        """Key identifying this question for DNS caches."""
+        return (self.name.lower(), int(self.rtype), int(self.rclass))
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A resource record of the answer/authority/additional sections."""
+
+    name: str
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: object
+
+    def encode(self, compress: Dict[str, int] | None, offset: int) -> bytes:
+        out = bytearray(encode_name(self.name, compress, offset))
+        out += int(self.rtype).to_bytes(2, "big")
+        out += int(self.rclass).to_bytes(2, "big")
+        out += (self.ttl & 0xFFFFFFFF).to_bytes(4, "big")
+        rdata = self.rdata.encode(compress, offset + len(out) + 2)
+        out += len(rdata).to_bytes(2, "big")
+        out += rdata
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A complete DNS message."""
+
+    id: int = 0
+    flags: Flags = field(default_factory=Flags)
+    questions: Tuple[Question, ...] = ()
+    answers: Tuple[ResourceRecord, ...] = ()
+    authorities: Tuple[ResourceRecord, ...] = ()
+    additionals: Tuple[ResourceRecord, ...] = ()
+
+    # -- construction helpers -------------------------------------------
+
+    def with_id(self, new_id: int) -> "Message":
+        """Return a copy with the transaction ID replaced.
+
+        DoC zeroes the ID (Section 4.2) so that equal queries serialise
+        to equal bytes and hit the same CoAP cache entry.
+        """
+        return replace(self, id=new_id & 0xFFFF)
+
+    def with_ttls(self, ttl: int) -> "Message":
+        """Return a copy with every record's TTL set to *ttl*.
+
+        With ``ttl=0`` this is the server-side EOL-TTLs rewrite.
+        """
+        return self._map_ttl(lambda _old: ttl)
+
+    def adjust_ttls(self, delta: int) -> "Message":
+        """Return a copy with *delta* added to every TTL (floored at 0).
+
+        Used by clients to restore TTLs from the CoAP Max-Age option and
+        by DNS caches to age records.
+        """
+        return self._map_ttl(lambda old: max(0, old + delta))
+
+    def _map_ttl(self, fn) -> "Message":
+        def map_section(records: Tuple[ResourceRecord, ...]):
+            return tuple(
+                replace(r, ttl=fn(r.ttl)) if r.rtype != RecordType.OPT else r
+                for r in records
+            )
+
+        return replace(
+            self,
+            answers=map_section(self.answers),
+            authorities=map_section(self.authorities),
+            additionals=map_section(self.additionals),
+        )
+
+    def all_records(self) -> Tuple[ResourceRecord, ...]:
+        """All records across answer, authority, and additional sections."""
+        return self.answers + self.authorities + self.additionals
+
+    def min_ttl(self) -> Optional[int]:
+        """Minimum TTL over all non-OPT records, or ``None`` if empty."""
+        ttls = [r.ttl for r in self.all_records() if r.rtype != RecordType.OPT]
+        return min(ttls) if ttls else None
+
+    # -- wire format -----------------------------------------------------
+
+    def encode(self, compress: bool = True) -> bytes:
+        """Serialise to DNS wire format.
+
+        Name compression is on by default, matching common resolver
+        behaviour and the sizes reported in the paper.
+        """
+        table: Dict[str, int] | None = {} if compress else None
+        out = bytearray()
+        out += (self.id & 0xFFFF).to_bytes(2, "big")
+        out += self.flags.encode().to_bytes(2, "big")
+        for count in (
+            len(self.questions),
+            len(self.answers),
+            len(self.authorities),
+            len(self.additionals),
+        ):
+            if count > 0xFFFF:
+                raise MessageError("section count exceeds 16 bits")
+            out += count.to_bytes(2, "big")
+        for question in self.questions:
+            out += question.encode(table, len(out))
+        for record in self.answers + self.authorities + self.additionals:
+            out += record.encode(table, len(out))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        """Parse a wire-format DNS message."""
+        if len(data) < 12:
+            raise MessageError("message shorter than header")
+        msg_id = int.from_bytes(data[0:2], "big")
+        flags = Flags.decode(int.from_bytes(data[2:4], "big"))
+        counts = [int.from_bytes(data[4 + 2 * i : 6 + 2 * i], "big") for i in range(4)]
+        offset = 12
+
+        questions: List[Question] = []
+        for _ in range(counts[0]):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise MessageError("truncated question")
+            rtype = int.from_bytes(data[offset : offset + 2], "big")
+            rclass = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            offset += 4
+            questions.append(
+                Question(name, RecordType.from_value(rtype), rclass)
+            )
+
+        sections: List[List[ResourceRecord]] = [[], [], []]
+        for section_index, count in enumerate(counts[1:]):
+            for _ in range(count):
+                record, offset = cls._decode_record(data, offset)
+                sections[section_index].append(record)
+
+        return cls(
+            id=msg_id,
+            flags=flags,
+            questions=tuple(questions),
+            answers=tuple(sections[0]),
+            authorities=tuple(sections[1]),
+            additionals=tuple(sections[2]),
+        )
+
+    @staticmethod
+    def _decode_record(data: bytes, offset: int) -> Tuple[ResourceRecord, int]:
+        name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise MessageError("truncated resource record")
+        rtype = int.from_bytes(data[offset : offset + 2], "big")
+        rclass = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        ttl = int.from_bytes(data[offset + 4 : offset + 8], "big")
+        rdlength = int.from_bytes(data[offset + 8 : offset + 10], "big")
+        offset += 10
+        if offset + rdlength > len(data):
+            raise MessageError("truncated rdata")
+        rdata = decode_rdata(rtype, data, offset, rdlength)
+        offset += rdlength
+        record = ResourceRecord(
+            name, RecordType.from_value(rtype), rclass, ttl, rdata
+        )
+        return record, offset

@@ -1,0 +1,118 @@
+"""Domain-name encoding and decoding with RFC 1035 compression pointers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .enums import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+
+
+class NameError_(ValueError):
+    """Raised for malformed domain names or name encodings.
+
+    Named with a trailing underscore to avoid clashing with the built-in
+    :class:`NameError`.
+    """
+
+
+def split_name(name: str) -> List[str]:
+    """Split a presentation-format name into labels, validating lengths.
+
+    The root name is represented by ``""`` or ``"."`` and yields an empty
+    label list.
+    """
+    name = name.rstrip(".")
+    if not name:
+        return []
+    if len(name) > MAX_NAME_LENGTH:
+        raise NameError_(f"name exceeds {MAX_NAME_LENGTH} characters: {name!r}")
+    labels = name.split(".")
+    for label in labels:
+        if not label:
+            raise NameError_(f"empty label in {name!r}")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise NameError_(f"label exceeds {MAX_LABEL_LENGTH} chars: {label!r}")
+    return labels
+
+
+def encode_name(
+    name: str,
+    compress: Dict[str, int] | None = None,
+    offset: int = 0,
+) -> bytes:
+    """Encode *name* in DNS wire format.
+
+    Parameters
+    ----------
+    name:
+        Presentation-format domain name (trailing dot optional).
+    compress:
+        Optional mutable mapping of already-emitted suffixes to their
+        offsets in the enclosing message. When given, compression
+        pointers are emitted for known suffixes and new suffixes are
+        registered at ``offset`` + their position within this encoding.
+    offset:
+        Wire offset at which this encoding will be placed (used only to
+        register suffixes in *compress*).
+    """
+    labels = split_name(name)
+    out = bytearray()
+    for index in range(len(labels)):
+        suffix = ".".join(labels[index:]).lower()
+        if compress is not None and suffix in compress:
+            pointer = compress[suffix]
+            out += bytes([0xC0 | (pointer >> 8), pointer & 0xFF])
+            return bytes(out)
+        if compress is not None:
+            position = offset + len(out)
+            # Pointers only reach 14 bits; skip registration beyond that.
+            if position < 0x4000:
+                compress[suffix] = position
+        label = labels[index].encode("ascii")
+        out += bytes([len(label)]) + label
+    out += b"\x00"
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a wire-format name from *data* starting at *offset*.
+
+    Returns the presentation-format name (without trailing dot, ``""``
+    for the root) and the offset just past the name's first encoding
+    (i.e. past the pointer if the name was compressed).
+    """
+    labels: List[str] = []
+    jumps = 0
+    end_offset = -1
+    position = offset
+    while True:
+        if position >= len(data):
+            raise NameError_("truncated name")
+        length = data[position]
+        if length & 0xC0 == 0xC0:
+            if position + 1 >= len(data):
+                raise NameError_("truncated compression pointer")
+            target = ((length & 0x3F) << 8) | data[position + 1]
+            if end_offset < 0:
+                end_offset = position + 2
+            if target >= position:
+                raise NameError_("forward compression pointer")
+            position = target
+            jumps += 1
+            if jumps > 128:
+                raise NameError_("compression pointer loop")
+            continue
+        if length & 0xC0:
+            raise NameError_(f"reserved label type 0x{length:02x}")
+        position += 1
+        if length == 0:
+            break
+        if position + length > len(data):
+            raise NameError_("truncated label")
+        labels.append(data[position : position + length].decode("ascii", "replace"))
+        position += length
+        if sum(len(l) + 1 for l in labels) > MAX_NAME_LENGTH:
+            raise NameError_("decoded name too long")
+    if end_offset < 0:
+        end_offset = position
+    return ".".join(labels), end_offset

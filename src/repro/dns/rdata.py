@@ -1,0 +1,301 @@
+"""Rdata codecs for the record types used throughout the paper.
+
+Each rdata class provides:
+
+* ``encode(compress, offset)`` — wire bytes; name-bearing types take part
+  in message compression when a compression map is supplied;
+* ``decode(data, offset, rdlength)`` — classmethod parsing from a full
+  message (so compression pointers can be followed).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .enums import RecordType
+from .name import decode_name, encode_name
+
+
+class RdataError(ValueError):
+    """Raised for malformed rdata."""
+
+
+@dataclass(frozen=True)
+class AData:
+    """IPv4 address rdata (``A``)."""
+
+    address: str
+
+    TYPE = RecordType.A
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        return ipaddress.IPv4Address(self.address).packed
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "AData":
+        if rdlength != 4:
+            raise RdataError(f"A rdata must be 4 bytes, got {rdlength}")
+        return cls(str(ipaddress.IPv4Address(data[offset : offset + 4])))
+
+
+@dataclass(frozen=True)
+class AAAAData:
+    """IPv6 address rdata (``AAAA``)."""
+
+    address: str
+
+    TYPE = RecordType.AAAA
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        return ipaddress.IPv6Address(self.address).packed
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "AAAAData":
+        if rdlength != 16:
+            raise RdataError(f"AAAA rdata must be 16 bytes, got {rdlength}")
+        return cls(str(ipaddress.IPv6Address(data[offset : offset + 16])))
+
+
+@dataclass(frozen=True)
+class _SingleName:
+    """Base for rdata consisting of a single (compressible) name."""
+
+    target: str
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        return encode_name(self.target, compress, offset)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int):
+        name, _ = decode_name(data, offset)
+        return cls(name)
+
+
+@dataclass(frozen=True)
+class NSData(_SingleName):
+    """Name server rdata (``NS``)."""
+
+    TYPE = RecordType.NS
+
+
+@dataclass(frozen=True)
+class CNAMEData(_SingleName):
+    """Canonical name rdata (``CNAME``)."""
+
+    TYPE = RecordType.CNAME
+
+
+@dataclass(frozen=True)
+class PTRData(_SingleName):
+    """Pointer rdata (``PTR``), prominent in the mDNS/DNS-SD datasets."""
+
+    TYPE = RecordType.PTR
+
+
+@dataclass(frozen=True)
+class SOAData:
+    """Start-of-authority rdata (``SOA``)."""
+
+    mname: str
+    rname: str
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+
+    TYPE = RecordType.SOA
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        out = bytearray(encode_name(self.mname, compress, offset))
+        out += encode_name(self.rname, compress, offset + len(out))
+        for value in (self.serial, self.refresh, self.retry, self.expire, self.minimum):
+            out += value.to_bytes(4, "big")
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "SOAData":
+        mname, offset = decode_name(data, offset)
+        rname, offset = decode_name(data, offset)
+        if offset + 20 > len(data):
+            raise RdataError("truncated SOA rdata")
+        fields = [
+            int.from_bytes(data[offset + i * 4 : offset + (i + 1) * 4], "big")
+            for i in range(5)
+        ]
+        return cls(mname, rname, *fields)
+
+
+@dataclass(frozen=True)
+class TXTData:
+    """Text rdata (``TXT``): one or more character strings."""
+
+    strings: Tuple[bytes, ...]
+
+    TYPE = RecordType.TXT
+
+    def __post_init__(self) -> None:
+        for chunk in self.strings:
+            if len(chunk) > 255:
+                raise RdataError("TXT character string exceeds 255 bytes")
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        out = bytearray()
+        for chunk in self.strings:
+            out += bytes([len(chunk)]) + chunk
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "TXTData":
+        end = offset + rdlength
+        strings: List[bytes] = []
+        while offset < end:
+            length = data[offset]
+            offset += 1
+            if offset + length > end:
+                raise RdataError("truncated TXT character string")
+            strings.append(bytes(data[offset : offset + length]))
+            offset += length
+        return cls(tuple(strings))
+
+
+@dataclass(frozen=True)
+class SRVData:
+    """Service locator rdata (``SRV``, RFC 2782), used by DNS-SD."""
+
+    priority: int
+    weight: int
+    port: int
+    target: str
+
+    TYPE = RecordType.SRV
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        out = bytearray()
+        out += self.priority.to_bytes(2, "big")
+        out += self.weight.to_bytes(2, "big")
+        out += self.port.to_bytes(2, "big")
+        # RFC 2782: the target must not be compressed.
+        out += encode_name(self.target, None, 0)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "SRVData":
+        if rdlength < 7:
+            raise RdataError("truncated SRV rdata")
+        priority = int.from_bytes(data[offset : offset + 2], "big")
+        weight = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        port = int.from_bytes(data[offset + 4 : offset + 6], "big")
+        target, _ = decode_name(data, offset + 6)
+        return cls(priority, weight, port, target)
+
+
+@dataclass(frozen=True)
+class HTTPSData:
+    """Service-binding rdata (``HTTPS``, RFC 9460), seen at the IXP.
+
+    SvcParams are kept as raw key/value pairs; the paper only needs the
+    record to exist and have a realistic size.
+    """
+
+    priority: int
+    target: str
+    params: Tuple[Tuple[int, bytes], ...] = field(default_factory=tuple)
+
+    TYPE = RecordType.HTTPS
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        out = bytearray(self.priority.to_bytes(2, "big"))
+        out += encode_name(self.target, None, 0)
+        for key, value in sorted(self.params):
+            out += key.to_bytes(2, "big")
+            out += len(value).to_bytes(2, "big")
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "HTTPSData":
+        end = offset + rdlength
+        priority = int.from_bytes(data[offset : offset + 2], "big")
+        target, offset = decode_name(data, offset + 2)
+        params: List[Tuple[int, bytes]] = []
+        while offset < end:
+            if offset + 4 > end:
+                raise RdataError("truncated SvcParam")
+            key = int.from_bytes(data[offset : offset + 2], "big")
+            length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            offset += 4
+            if offset + length > end:
+                raise RdataError("truncated SvcParam value")
+            params.append((key, bytes(data[offset : offset + length])))
+            offset += length
+        return cls(priority, target, tuple(params))
+
+
+@dataclass(frozen=True)
+class OPTData:
+    """EDNS(0) pseudo-record rdata (``OPT``, RFC 6891)."""
+
+    options: Tuple[Tuple[int, bytes], ...] = field(default_factory=tuple)
+
+    TYPE = RecordType.OPT
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        out = bytearray()
+        for code, value in self.options:
+            out += code.to_bytes(2, "big")
+            out += len(value).to_bytes(2, "big")
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "OPTData":
+        end = offset + rdlength
+        options: List[Tuple[int, bytes]] = []
+        while offset < end:
+            if offset + 4 > end:
+                raise RdataError("truncated EDNS option")
+            code = int.from_bytes(data[offset : offset + 2], "big")
+            length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            offset += 4
+            if offset + length > end:
+                raise RdataError("truncated EDNS option value")
+            options.append((code, bytes(data[offset : offset + length])))
+            offset += length
+        return cls(tuple(options))
+
+
+@dataclass(frozen=True)
+class RawData:
+    """Opaque rdata for record types without a dedicated codec."""
+
+    data: bytes
+
+    def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
+        return self.data
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int, rdlength: int) -> "RawData":
+        return cls(bytes(data[offset : offset + rdlength]))
+
+
+_CODECS = {
+    RecordType.A: AData,
+    RecordType.AAAA: AAAAData,
+    RecordType.NS: NSData,
+    RecordType.CNAME: CNAMEData,
+    RecordType.PTR: PTRData,
+    RecordType.SOA: SOAData,
+    RecordType.TXT: TXTData,
+    RecordType.SRV: SRVData,
+    RecordType.HTTPS: HTTPSData,
+    RecordType.OPT: OPTData,
+}
+
+
+def decode_rdata(rtype: int, data: bytes, offset: int, rdlength: int):
+    """Decode rdata of *rtype*, falling back to :class:`RawData`."""
+    codec = _CODECS.get(rtype, RawData)
+    return codec.decode(data, offset, rdlength)

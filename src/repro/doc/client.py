@@ -1,0 +1,303 @@
+"""The DoC client: resolve names over CoAP (Section 4).
+
+Supports the full design space the paper evaluates:
+
+* methods FETCH (preferred), GET (base64url in the URI), POST;
+* plain CoAP, CoAP over DTLS (pass a DTLS adapter as the socket), and
+  OSCORE object security (pass an ``oscore_context``);
+* an optional client-side CoAP cache with ETag revalidation and an
+  optional client-side DNS cache (the caching levels of Section 6.1);
+* TTL restoration from Max-Age per the configured caching scheme;
+* block-wise transfer with a fixed block size (Appendix D);
+* the OSCORE Echo round-trip on first contact with a guarded server;
+* optionally the compressed CBOR format of Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.coap.cache import CoapCache
+from repro.coap.codes import Code
+from repro.coap.endpoint import CoapClient
+from repro.coap.message import CoapMessage
+from repro.coap.options import ContentFormat, OptionNumber
+from repro.coap.reliability import ReliabilityParams
+from repro.coap.uri import UriTemplate, base64url_encode
+from repro.dns import DNSCache, Message, Question, RecordType, make_query
+from repro.dns.resolver import ResolutionResult, StubResolver
+from repro.oscore import (
+    OscoreError,
+    SecurityContext,
+    protect_request,
+    unprotect_response,
+)
+from repro.oscore.cacheable import protect_cacheable_request
+from repro.sim.core import Simulator
+
+from . import cbor_format
+from .caching import CachingScheme, restore_ttls
+
+DEFAULT_TEMPLATE = "/dns{?dns}"
+
+
+class DocError(Exception):
+    """Raised for DoC protocol failures."""
+
+
+@dataclass
+class DocResult:
+    """Outcome of one DoC resolution."""
+
+    question: Question
+    addresses: List[str]
+    response: Message
+    resolution_time: float
+    from_cache: bool = False
+
+
+class DocClient:
+    """A DNS-over-CoAP stub resolver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket,
+        server: Tuple[str, int],
+        method: Code = Code.FETCH,
+        scheme: CachingScheme = CachingScheme.EOL_TTLS,
+        content_format: ContentFormat = ContentFormat.DNS_MESSAGE,
+        coap_cache: Optional[CoapCache] = None,
+        dns_cache: Optional[DNSCache] = None,
+        block_size: Optional[int] = None,
+        oscore_context: Optional[SecurityContext] = None,
+        cacheable_oscore: bool = False,
+        verify_max_age: bool = False,
+        shuffle_records: bool = False,
+        uri_template: str = DEFAULT_TEMPLATE,
+        params: ReliabilityParams = ReliabilityParams(),
+    ) -> None:
+        if method not in (Code.FETCH, Code.GET, Code.POST):
+            raise DocError(f"unsupported DoC method {method!r}")
+        if method == Code.GET and oscore_context is not None:
+            # Matches the paper's implementation: "for OSCORE we use only
+            # FETCH since our implementation does not support GET due to
+            # its complexity" (Section 5.1).
+            raise DocError("GET is not supported with OSCORE")
+        self.sim = sim
+        self.server = server
+        self.method = method
+        self.scheme = scheme
+        self.content_format = content_format
+        self.oscore_context = oscore_context
+        self.cacheable_oscore = cacheable_oscore
+        self.verify_max_age = verify_max_age
+        self.shuffle_records = shuffle_records
+        if cacheable_oscore and oscore_context is None:
+            raise DocError("cacheable_oscore requires an OSCORE context")
+        self.template = UriTemplate(uri_template)
+        self.stub = StubResolver(dns_cache)
+        self.coap = CoapClient(
+            sim, socket, params=params, cache=coap_cache, block_size=block_size
+        )
+        self.resolutions_started = 0
+        self.resolutions_completed = 0
+        self.resolutions_failed = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def resolve(
+        self,
+        name: str,
+        rtype: int = RecordType.AAAA,
+        on_result: Callable[[Optional[DocResult], Optional[Exception]], None] = lambda *_: None,
+    ) -> None:
+        """Resolve *name*; ``on_result(result, error)`` fires exactly once."""
+        self.resolutions_started += 1
+        question = Question(name, rtype)
+        started = self.sim.now
+
+        cached = self.stub.cached_response(question, self.sim.now)
+        if cached is not None:
+            result = self._build_result(question, cached, started, from_cache=True)
+            self.resolutions_completed += 1
+            self.sim.schedule(0.0, on_result, result, None)
+            return
+
+        request = self._build_request(question)
+        self._send(request, question, started, on_result, echo_retry_left=1)
+
+    # -- request construction --------------------------------------------------------
+
+    def _encode_query(self, question: Question) -> bytes:
+        if self.content_format == ContentFormat.DNS_CBOR:
+            return cbor_format.encode_query(question)
+        # DNS ID 0 for a deterministic cache key (Section 4.2).
+        return make_query(question.name, question.rtype, txid=0).encode()
+
+    def _build_request(self, question: Question) -> CoapMessage:
+        if self.method == Code.GET:
+            wire = self._encode_query(question)
+            segments, queries = self.template.split_expanded(
+                dns=base64url_encode(wire)
+            )
+            message = CoapMessage.request(Code.GET)
+            for segment in segments:
+                message = message.with_option(
+                    OptionNumber.URI_PATH, segment.encode()
+                )
+            for query_item in queries:
+                message = message.with_option(
+                    OptionNumber.URI_QUERY, query_item.encode()
+                )
+            return message
+
+        payload = self._encode_query(question)
+        message = CoapMessage.request(self.method, payload=payload)
+        for segment in self.template.template.partition("{")[0].strip("/").split("/"):
+            if segment:
+                message = message.with_option(
+                    OptionNumber.URI_PATH, segment.encode()
+                )
+        message = message.with_uint_option(
+            OptionNumber.CONTENT_FORMAT, int(self.content_format)
+        )
+        message = message.with_uint_option(
+            OptionNumber.ACCEPT, int(self.content_format)
+        )
+        return message
+
+    # -- exchange ------------------------------------------------------------------
+
+    def _send(
+        self,
+        request: CoapMessage,
+        question: Question,
+        started: float,
+        on_result,
+        echo_retry_left: int,
+        echo_value: Optional[bytes] = None,
+    ) -> None:
+        binding = None
+        outgoing = request
+        if echo_value is not None:
+            outgoing = outgoing.with_option(OptionNumber.ECHO, echo_value)
+        if self.oscore_context is not None:
+            if self.cacheable_oscore:
+                outgoing, binding = protect_cacheable_request(
+                    self.oscore_context, outgoing
+                )
+            else:
+                outgoing, binding = protect_request(
+                    self.oscore_context, outgoing
+                )
+
+        def on_response(coap_response: Optional[CoapMessage], error) -> None:
+            if error is not None:
+                self.resolutions_failed += 1
+                on_result(None, error)
+                return
+            assert coap_response is not None
+            outer_max_age = coap_response.max_age
+            if binding is not None:
+                try:
+                    coap_response = unprotect_response(
+                        self.oscore_context, coap_response, binding
+                    )
+                except OscoreError as exc:
+                    self.resolutions_failed += 1
+                    on_result(None, exc)
+                    return
+                # 4.01 + Echo: repeat the request with the Echo value.
+                if coap_response.code == Code.UNAUTHORIZED and echo_retry_left > 0:
+                    challenge = coap_response.option(OptionNumber.ECHO)
+                    if challenge is not None:
+                        self._send(
+                            request, question, started, on_result,
+                            echo_retry_left - 1, echo_value=challenge,
+                        )
+                        return
+            if not coap_response.code.is_success:
+                self.resolutions_failed += 1
+                on_result(
+                    None,
+                    DocError(f"DoC error response {coap_response.code.dotted}"),
+                )
+                return
+            max_age = coap_response.max_age
+            if max_age is None:
+                max_age = outer_max_age
+            elif self.cacheable_oscore and outer_max_age is not None:
+                # Cacheable OSCORE: proxies legitimately age the outer
+                # Max-Age; the inner one is the (protected) original.
+                # Never trust the outer value to *extend* lifetimes.
+                max_age = min(outer_max_age, max_age)
+            if self.verify_max_age and binding is not None:
+                from .integrity import MaxAgeIntegrityError, check_max_age_consistency
+
+                inner_max_age = coap_response.max_age
+                try:
+                    if self.scheme is CachingScheme.EOL_TTLS:
+                        max_age = check_max_age_consistency(
+                            self.scheme, outer_max_age, inner_max_age
+                        ) if outer_max_age is not None else inner_max_age
+                    else:
+                        decoded = self._decode_response(
+                            coap_response.payload, question, None
+                        )
+                        max_age = check_max_age_consistency(
+                            self.scheme, outer_max_age or inner_max_age,
+                            inner_max_age, decoded,
+                        )
+                except MaxAgeIntegrityError as exc:
+                    self.resolutions_failed += 1
+                    on_result(None, exc)
+                    return
+            try:
+                dns_response = self._decode_response(
+                    coap_response.payload, question, max_age
+                )
+            except ValueError as exc:
+                self.resolutions_failed += 1
+                on_result(None, exc)
+                return
+            if self.shuffle_records:
+                from .loadbalance import shuffle_answers
+
+                dns_response = shuffle_answers(dns_response, self.sim.rng)
+            result = self._build_result(question, dns_response, started)
+            self.resolutions_completed += 1
+            on_result(result, None)
+
+        self.coap.request(
+            outgoing, self.server[0], self.server[1], on_response,
+            metadata={"kind": "query", "response_kind": "response"},
+        )
+
+    def _decode_response(
+        self, payload: bytes, question: Question, max_age: Optional[int]
+    ) -> Message:
+        if self.content_format == ContentFormat.DNS_CBOR:
+            response = cbor_format.decode_response(payload, question)
+        else:
+            response = Message.decode(payload)
+        return restore_ttls(response, max_age, self.scheme)
+
+    def _build_result(
+        self,
+        question: Question,
+        response: Message,
+        started: float,
+        from_cache: bool = False,
+    ) -> DocResult:
+        resolution: ResolutionResult = self.stub.handle_response(
+            question, response, self.sim.now
+        )
+        return DocResult(
+            question=question,
+            addresses=resolution.addresses,
+            response=response,
+            resolution_time=self.sim.now - started,
+            from_cache=from_cache,
+        )

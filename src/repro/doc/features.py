@@ -1,0 +1,73 @@
+"""Feature registries behind the paper's Table 1 and Table 5.
+
+These are not mere literals: the method properties of Table 5 are
+asserted against the actual CoAP implementation in the test suite
+(e.g. POST really is uncacheable in :mod:`repro.coap.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.coap.codes import BODY_METHODS, CACHEABLE_METHODS, Code
+
+
+@dataclass(frozen=True)
+class TransportFeatures:
+    """One row group of Table 1 (a DNS transport's feature vector)."""
+
+    name: str
+    message_segmentation: bool
+    message_authentication: bool
+    message_encryption: bool
+    format_multiplexing: bool
+    shares_protocol_with_application: bool
+    constrained_iot_suitable: bool
+    secure_enroute_caching: bool
+
+
+#: Table 1, column by column. The three CoAP-based columns are the
+#: paper's contribution.
+TABLE1: List[TransportFeatures] = [
+    TransportFeatures("UDP", False, True, False, False, False, True, False),
+    TransportFeatures("TCP", True, True, False, False, False, False, False),
+    TransportFeatures("DTLS", False, True, True, False, False, True, False),
+    TransportFeatures("TLS", True, True, True, False, False, False, False),
+    TransportFeatures("QUIC", True, True, True, False, False, False, False),
+    TransportFeatures("HTTPS", True, True, True, True, True, False, False),
+    TransportFeatures("CoAP", True, True, False, True, True, True, False),
+    TransportFeatures("CoAPS", True, True, True, True, True, True, False),
+    TransportFeatures("OSCORE", True, True, True, True, True, True, True),
+]
+
+
+@dataclass(frozen=True)
+class MethodFeatures:
+    """One column of Table 5 (DoC request-method properties)."""
+
+    method: Code
+    cacheable: bool
+    body_carried: bool
+    blockwise_query: bool
+
+
+def method_features(method: Code) -> MethodFeatures:
+    """Derive the Table 5 feature row for *method* from the CoAP stack.
+
+    GET carries the query in the URI (no body → no Block1); POST has a
+    body but is not cacheable; FETCH has both properties.
+    """
+    body = method in BODY_METHODS
+    return MethodFeatures(
+        method=method,
+        cacheable=method in CACHEABLE_METHODS,
+        body_carried=body,
+        blockwise_query=body,
+    )
+
+
+TABLE5: Dict[str, MethodFeatures] = {
+    code.name: method_features(code)
+    for code in (Code.GET, Code.POST, Code.FETCH)
+}

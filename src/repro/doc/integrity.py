@@ -1,0 +1,92 @@
+"""TTL/Max-Age integrity protection (Section 7, "How to protect the
+integrity of the DNS TTLs?").
+
+The CoAP Max-Age option is rewritten by (potentially untrusted)
+intermediaries, so a malicious proxy could *extend* record lifetimes by
+inflating it. The paper proposes:
+
+* **EOL TTLs** — the server additionally includes a second Max-Age
+  value protected by OSCORE (here: the inner, encrypted Max-Age
+  option); the client compares the unprotected outer value against the
+  protected one and discards responses whose outer value exceeds it.
+* **DoH-like** — the payload still carries the original TTLs, which
+  bound the legitimate Max-Age; no extra option is needed.
+
+Either way, an attacker can still *shorten* lifetimes (a pure
+availability degradation the paper accepts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.message import Message
+
+from .caching import CachingScheme
+
+
+class MaxAgeIntegrityError(Exception):
+    """Raised when the unprotected Max-Age fails the consistency check."""
+
+
+def check_max_age_consistency(
+    scheme: CachingScheme,
+    outer_max_age: Optional[int],
+    inner_max_age: Optional[int] = None,
+    response: Optional[Message] = None,
+) -> int:
+    """Validate the unprotected Max-Age and return the value to trust.
+
+    Parameters
+    ----------
+    scheme:
+        The caching scheme in use.
+    outer_max_age:
+        The Max-Age as seen on the (unprotected) outer message, after
+        any en-route aging.
+    inner_max_age:
+        The OSCORE-protected Max-Age (EOL TTLs mitigation).
+    response:
+        The decoded DNS response (DoH-like mitigation: its TTLs bound
+        the legitimate value).
+
+    Returns
+    -------
+    int
+        The Max-Age to apply when restoring TTLs.
+
+    Raises
+    ------
+    MaxAgeIntegrityError
+        If the outer value would *extend* record lifetimes beyond what
+        the protected information allows.
+    """
+    if outer_max_age is None:
+        # Nothing unprotected to distrust; use the protected value.
+        if inner_max_age is not None:
+            return inner_max_age
+        raise MaxAgeIntegrityError("no Max-Age available")
+
+    if scheme is CachingScheme.EOL_TTLS:
+        if inner_max_age is None:
+            raise MaxAgeIntegrityError(
+                "EOL TTLs requires a protected Max-Age for the check"
+            )
+        if outer_max_age > inner_max_age:
+            raise MaxAgeIntegrityError(
+                f"outer Max-Age {outer_max_age} exceeds protected "
+                f"{inner_max_age} — lifetime extension attack"
+            )
+        return outer_max_age
+
+    # DoH-like: the protected payload carries the original TTLs.
+    if response is None:
+        raise MaxAgeIntegrityError(
+            "DoH-like check requires the decoded response"
+        )
+    min_ttl = response.min_ttl()
+    if min_ttl is not None and outer_max_age > min_ttl:
+        raise MaxAgeIntegrityError(
+            f"outer Max-Age {outer_max_age} exceeds original TTL {min_ttl}"
+        )
+    return outer_max_age

@@ -1,0 +1,54 @@
+"""DNS load balancing vs. cache revalidation (Section 7, "How to
+support DNS load balancing and cache re-validation?").
+
+Resolvers rotate resource records for load balancing, which changes the
+binary representation and therefore the naïve content-hash ETag. The
+paper's remedy: **sort incoming records at the DoC server** (stable
+representation → stable ETag) and **randomise records at the DoC
+client** (restoring the load-balancing effect locally).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Tuple
+
+from repro.dns.message import Message, ResourceRecord
+
+
+def _record_sort_key(record: ResourceRecord) -> Tuple:
+    return (
+        record.name.lower(),
+        int(record.rtype),
+        int(record.rclass),
+        record.rdata.encode(None, 0),
+    )
+
+
+def sort_answers(response: Message) -> Message:
+    """Canonically order the answer section (DoC server side).
+
+    TTLs are intentionally not part of the sort key so the ordering is
+    stable under TTL churn, composing with the EOL-TTLs scheme.
+    """
+    return replace(
+        response, answers=tuple(sorted(response.answers, key=_record_sort_key))
+    )
+
+
+def shuffle_answers(response: Message, rng: random.Random) -> Message:
+    """Randomise the answer order (DoC client side).
+
+    Applied after TTL restoration, this re-introduces the rotation the
+    resolver would have performed, so applications that pick the first
+    address still spread load.
+    """
+    answers = list(response.answers)
+    rng.shuffle(answers)
+    return replace(response, answers=tuple(answers))
+
+
+def stable_representation(response: Message) -> bytes:
+    """The bytes an ETag should be computed over: sorted answers."""
+    return sort_answers(response).encode()

@@ -1,0 +1,224 @@
+"""The DoC server: DNS over CoAP resource endpoint (Section 4).
+
+Maps CoAP requests to DNS resolution:
+
+* FETCH/POST carry the DNS query (wire format or CBOR, per
+  Content-Format) in the request body;
+* GET carries it base64url-encoded in the ``dns`` URI query variable;
+* responses carry the DNS response with Max-Age set to the minimum
+  record TTL, an ETag over the payload, and — under the EOL-TTLs
+  scheme — all TTLs rewritten to 0;
+* a request bearing a still-valid ETag is answered with 2.03 Valid
+  (cache revalidation), encoding the fresh TTL in Max-Age only.
+
+With an OSCORE context the server answers protected requests
+end-to-end, including the Echo round that initialises replay windows
+(Figure 6 "session setup").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.coap.codes import Code
+from repro.coap.endpoint import CoapServer
+from repro.coap.message import CoapMessage
+from repro.coap.options import ContentFormat, OptionNumber
+from repro.coap.reliability import ReliabilityParams
+from repro.coap.uri import base64url_decode
+from repro.dns import Message, Question, RecursiveResolver
+from repro.oscore import (
+    OscoreError,
+    SecurityContext,
+    protect_response,
+    unprotect_request,
+)
+from repro.oscore.cacheable import (
+    protect_cacheable_response,
+    unprotect_deterministic_request,
+)
+from repro.sim.core import Simulator
+
+from . import cbor_format
+from .caching import CachingScheme, prepare_response
+
+DOC_RESOURCE = "/dns"
+
+
+class DocServer:
+    """A DNS-over-CoAP server bound to a CoAP server endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket,
+        resolver: RecursiveResolver,
+        scheme: CachingScheme = CachingScheme.EOL_TTLS,
+        resource: str = DOC_RESOURCE,
+        oscore_context: Optional[SecurityContext] = None,
+        deterministic_context: Optional[SecurityContext] = None,
+        params: ReliabilityParams = ReliabilityParams(),
+        upstream_delay: float = 0.0,
+        sort_records: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.resolver = resolver
+        self.scheme = scheme
+        self.oscore_context = oscore_context
+        self.deterministic_context = deterministic_context
+        self.upstream_delay = upstream_delay
+        self.sort_records = sort_records
+        self.coap = CoapServer(sim, socket, params)
+        self.coap.add_resource(resource, self._handle_plain)
+        if oscore_context is not None or deterministic_context is not None:
+            self.coap.default_handler = self._handle_oscore
+        #: kids that have completed the Echo exchange.
+        self._echo_done: Dict[bytes, bool] = {}
+        self._echo_values: Dict[bytes, bytes] = {}
+        self.queries_handled = 0
+        self.validations_sent = 0
+
+    # -- plain CoAP -------------------------------------------------------------
+
+    def _handle_plain(self, request: CoapMessage, respond, metadata: dict) -> None:
+        response = self._process(request)
+        metadata["response_kind"] = "response"
+        if self.upstream_delay > 0:
+            self.sim.schedule(self.upstream_delay, respond, response)
+        else:
+            respond(response)
+
+    # -- OSCORE -----------------------------------------------------------------
+
+    def _handle_oscore(self, outer: CoapMessage, respond, metadata: dict) -> None:
+        # Cacheable OSCORE (deterministic) requests arrive with an
+        # outer FETCH; regular OSCORE requests with an outer POST.
+        if outer.code == Code.FETCH and self.deterministic_context is not None:
+            self._handle_deterministic(outer, respond, metadata)
+            return
+        context = self.oscore_context
+        if context is None:
+            respond(outer.make_response(Code.BAD_REQUEST))
+            return
+        try:
+            inner, binding = unprotect_request(context, outer)
+        except OscoreError:
+            respond(outer.make_response(Code.BAD_REQUEST))
+            return
+
+        if context.echo_required and not self._echo_done.get(binding.kid):
+            echo_value = inner.option(OptionNumber.ECHO)
+            expected = self._echo_values.get(binding.kid)
+            if echo_value is not None and echo_value == expected:
+                self._echo_done[binding.kid] = True
+            else:
+                challenge = bytes(
+                    self.sim.rng.randrange(256) for _ in range(8)
+                )
+                self._echo_values[binding.kid] = challenge
+                reject = inner.make_response(Code.UNAUTHORIZED).with_option(
+                    OptionNumber.ECHO, challenge
+                )
+                respond(protect_response(context, reject, binding))
+                return
+
+        inner_response = self._process(inner)
+        protected = protect_response(context, inner_response, binding)
+        metadata["response_kind"] = "response"
+        if self.upstream_delay > 0:
+            self.sim.schedule(self.upstream_delay, respond, protected)
+        else:
+            respond(protected)
+
+    def _handle_deterministic(
+        self, outer: CoapMessage, respond, metadata: dict
+    ) -> None:
+        """Serve a cacheable-OSCORE request (no Echo: deterministic
+        requests carry no replay window to initialise)."""
+        context = self.deterministic_context
+        assert context is not None
+        try:
+            inner, binding = unprotect_deterministic_request(context, outer)
+        except OscoreError:
+            respond(outer.make_response(Code.BAD_REQUEST))
+            return
+        inner_response = self._process(inner)
+        protected = protect_cacheable_response(
+            context, inner_response, binding,
+            outer_max_age=inner_response.max_age,
+        )
+        metadata["response_kind"] = "response"
+        if self.upstream_delay > 0:
+            self.sim.schedule(self.upstream_delay, respond, protected)
+        else:
+            respond(protected)
+
+    # -- common processing ---------------------------------------------------------
+
+    def _extract_query(self, request: CoapMessage) -> Tuple[Message, int]:
+        """Returns (dns_query, response_content_format)."""
+        if request.code == Code.GET:
+            for query_item in request.uri_queries:
+                key, _, value = query_item.partition("=")
+                if key == "dns":
+                    wire = base64url_decode(value)
+                    return Message.decode(wire), int(ContentFormat.DNS_MESSAGE)
+            raise ValueError("GET without dns query variable")
+        content_format = request.content_format
+        if content_format == ContentFormat.DNS_CBOR:
+            question = cbor_format.decode_query(request.payload)
+            from repro.dns.message import Flags
+
+            query = Message(
+                id=0, flags=Flags(rd=True), questions=(question,)
+            )
+            return query, int(ContentFormat.DNS_CBOR)
+        return Message.decode(request.payload), int(ContentFormat.DNS_MESSAGE)
+
+    def _process(self, request: CoapMessage) -> CoapMessage:
+        if request.code not in (Code.FETCH, Code.GET, Code.POST):
+            return request.make_response(Code.METHOD_NOT_ALLOWED)
+        try:
+            query, response_format = self._extract_query(request)
+        except ValueError:
+            return request.make_response(Code.BAD_REQUEST)
+
+        self.queries_handled += 1
+        dns_response = self.resolver.resolve(query, self.sim.now)
+        if self.sort_records:
+            from .loadbalance import sort_answers
+
+            dns_response = sort_answers(dns_response)
+
+        if response_format == int(ContentFormat.DNS_CBOR):
+            payload = cbor_format.encode_response(dns_response)
+            from .caching import compute_etag
+
+            min_ttl = dns_response.min_ttl()
+            max_age = min_ttl if min_ttl is not None else 0
+            if self.scheme is CachingScheme.EOL_TTLS:
+                payload = cbor_format.encode_response(dns_response.with_ttls(0))
+            etag = compute_etag(payload)
+            prepared_payload, prepared_max_age, prepared_etag = payload, max_age, etag
+        else:
+            prepared = prepare_response(dns_response, self.scheme)
+            prepared_payload = prepared.payload
+            prepared_max_age = prepared.max_age
+            prepared_etag = prepared.etag
+
+        # Cache validation: if the client (or proxy) presented the ETag
+        # of the current representation, confirm with 2.03 Valid.
+        if prepared_etag in request.etags:
+            self.validations_sent += 1
+            return (
+                request.make_response(Code.VALID)
+                .with_option(OptionNumber.ETAG, prepared_etag)
+                .with_uint_option(OptionNumber.MAX_AGE, prepared_max_age)
+            )
+
+        return (
+            request.make_response(Code.CONTENT, payload=prepared_payload)
+            .with_uint_option(OptionNumber.CONTENT_FORMAT, response_format)
+            .with_option(OptionNumber.ETAG, prepared_etag)
+            .with_uint_option(OptionNumber.MAX_AGE, prepared_max_age)
+        )

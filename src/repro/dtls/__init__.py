@@ -1,0 +1,46 @@
+"""DTLS v1.2 substrate (RFC 6347) with TLS_PSK_WITH_AES_128_CCM_8.
+
+The paper evaluates DNS over DTLS (RFC 8094) and CoAP over DTLS
+("CoAPSv1.2") with a pre-shared key and the AES-128-CCM-8 cipher suite
+(RFC 6655), matching TinyDTLS. This package provides:
+
+* the 13-byte record layer with epoch/48-bit sequence numbers and the
+  AEAD nonce/AAD constructions of RFC 6655 §3 / RFC 5246 §6.2.3.3,
+* the PSK handshake: ClientHello → HelloVerifyRequest (stateless
+  cookie) → ClientHello(cookie) → ServerHello/ServerHelloDone →
+  ClientKeyExchange/ChangeCipherSpec/Finished (both directions), with
+  byte-accurate message encodings so handshake frame sizes match
+  Figure 6,
+* key derivation via the TLS 1.2 PRF, and
+* session objects exposing ``protect``/``unprotect`` for application
+  data, with anti-replay.
+"""
+
+from .record import (
+    ContentType,
+    DTLS_1_2,
+    DtlsError,
+    DtlsPlaintext,
+    RecordLayer,
+)
+from .handshake import (
+    HandshakeType,
+    ClientHandshake,
+    ServerHandshake,
+    HandshakeResult,
+)
+from .session import DtlsSession, establish_pair
+
+__all__ = [
+    "ClientHandshake",
+    "ContentType",
+    "DTLS_1_2",
+    "DtlsError",
+    "DtlsPlaintext",
+    "DtlsSession",
+    "HandshakeResult",
+    "HandshakeType",
+    "RecordLayer",
+    "ServerHandshake",
+    "establish_pair",
+]

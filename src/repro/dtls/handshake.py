@@ -1,0 +1,403 @@
+"""DTLSv1.2 PSK handshake (RFC 6347 §4.2, RFC 4279 §2).
+
+Message flow, matching Figure 6's "Session setup" dissection::
+
+    Client                                 Server
+    ClientHello            ------>
+                           <------  HelloVerifyRequest (cookie)
+    ClientHello (cookie)   ------>
+                           <------  ServerHello
+                           <------  ServerHelloDone
+    ClientKeyExchange      ------>
+    ChangeCipherSpec       ------>
+    Finished               ------>
+                           <------  ChangeCipherSpec
+                           <------  Finished
+
+Handshake messages carry the 12-byte DTLS handshake header (type,
+length, message_seq, fragment_offset, fragment_length) and are encoded
+byte-exactly; the Finished verify_data is computed with the real PRF
+over the real transcript, so a tampered flight fails the handshake.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import tls12_prf
+
+from .record import DtlsError
+
+HANDSHAKE_HEADER_LEN = 12
+#: TLS_PSK_WITH_AES_128_CCM_8 (RFC 6655).
+CIPHER_TLS_PSK_WITH_AES_128_CCM_8 = 0xC0A8
+VERIFY_DATA_LEN = 12
+MASTER_SECRET_LEN = 48
+#: Key block: 2×16-byte write keys + 2×4-byte implicit IVs (no MAC keys
+#: for AEAD suites).
+KEY_BLOCK_LEN = 2 * 16 + 2 * 4
+
+
+class HandshakeType(enum.IntEnum):
+    HELLO_REQUEST = 0
+    CLIENT_HELLO = 1
+    SERVER_HELLO = 2
+    HELLO_VERIFY_REQUEST = 3
+    SERVER_HELLO_DONE = 14
+    CLIENT_KEY_EXCHANGE = 16
+    FINISHED = 20
+
+
+@dataclass(frozen=True)
+class HandshakeMessage:
+    """One handshake message (unfragmented; our flights are small)."""
+
+    msg_type: HandshakeType
+    message_seq: int
+    body: bytes
+
+    def encode(self) -> bytes:
+        length = len(self.body)
+        return (
+            bytes([self.msg_type])
+            + length.to_bytes(3, "big")
+            + self.message_seq.to_bytes(2, "big")
+            + (0).to_bytes(3, "big")      # fragment_offset
+            + length.to_bytes(3, "big")   # fragment_length
+            + self.body
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["HandshakeMessage", int]:
+        if len(data) < HANDSHAKE_HEADER_LEN:
+            raise DtlsError("truncated handshake header")
+        msg_type = HandshakeType(data[0])
+        length = int.from_bytes(data[1:4], "big")
+        message_seq = int.from_bytes(data[4:6], "big")
+        fragment_offset = int.from_bytes(data[6:9], "big")
+        fragment_length = int.from_bytes(data[9:12], "big")
+        if fragment_offset != 0 or fragment_length != length:
+            raise DtlsError("fragmented handshake messages unsupported")
+        end = HANDSHAKE_HEADER_LEN + length
+        if end > len(data):
+            raise DtlsError("truncated handshake body")
+        return cls(msg_type, message_seq, bytes(data[12:end])), end
+
+
+def make_premaster_secret(psk: bytes) -> bytes:
+    """RFC 4279 §2: other_secret (zeros) and PSK, both length-prefixed."""
+    zeros = bytes(len(psk))
+    return (
+        len(psk).to_bytes(2, "big") + zeros + len(psk).to_bytes(2, "big") + psk
+    )
+
+
+def derive_master_secret(
+    premaster: bytes, client_random: bytes, server_random: bytes
+) -> bytes:
+    return tls12_prf(
+        premaster, b"master secret", client_random + server_random,
+        MASTER_SECRET_LEN,
+    )
+
+
+@dataclass(frozen=True)
+class SessionKeys:
+    """Directional keys/IVs cut from the key block (RFC 5246 §6.3)."""
+
+    client_write_key: bytes
+    server_write_key: bytes
+    client_write_iv: bytes
+    server_write_iv: bytes
+
+
+def derive_keys(
+    master_secret: bytes, client_random: bytes, server_random: bytes
+) -> SessionKeys:
+    block = tls12_prf(
+        master_secret, b"key expansion", server_random + client_random,
+        KEY_BLOCK_LEN,
+    )
+    return SessionKeys(
+        client_write_key=block[0:16],
+        server_write_key=block[16:32],
+        client_write_iv=block[32:36],
+        server_write_iv=block[36:40],
+    )
+
+
+# -- handshake message bodies --------------------------------------------
+
+
+def encode_client_hello(
+    client_random: bytes, cookie: bytes, session_id: bytes = b""
+) -> bytes:
+    body = bytearray()
+    body += bytes([254, 253])            # client_version = DTLS 1.2
+    body += client_random                # 32 bytes
+    body += bytes([len(session_id)]) + session_id
+    body += bytes([len(cookie)]) + cookie
+    body += (2).to_bytes(2, "big")       # cipher_suites length
+    body += CIPHER_TLS_PSK_WITH_AES_128_CCM_8.to_bytes(2, "big")
+    body += bytes([1, 0])                # compression: null only
+    return bytes(body)
+
+
+def decode_client_hello(body: bytes) -> Tuple[bytes, bytes]:
+    """Returns (client_random, cookie)."""
+    if len(body) < 35:
+        raise DtlsError("truncated ClientHello")
+    client_random = bytes(body[2:34])
+    offset = 34
+    session_id_len = body[offset]
+    offset += 1 + session_id_len
+    cookie_len = body[offset]
+    cookie = bytes(body[offset + 1 : offset + 1 + cookie_len])
+    return client_random, cookie
+
+
+def encode_server_hello(server_random: bytes, session_id: bytes = b"") -> bytes:
+    body = bytearray()
+    body += bytes([254, 253])
+    body += server_random
+    body += bytes([len(session_id)]) + session_id
+    body += CIPHER_TLS_PSK_WITH_AES_128_CCM_8.to_bytes(2, "big")
+    body += bytes([0])                   # null compression
+    return bytes(body)
+
+
+def decode_server_hello(body: bytes) -> bytes:
+    if len(body) < 35:
+        raise DtlsError("truncated ServerHello")
+    return bytes(body[2:34])
+
+
+def encode_hello_verify_request(cookie: bytes) -> bytes:
+    return bytes([254, 253, len(cookie)]) + cookie
+
+
+def decode_hello_verify_request(body: bytes) -> bytes:
+    if len(body) < 3:
+        raise DtlsError("truncated HelloVerifyRequest")
+    cookie_len = body[2]
+    return bytes(body[3 : 3 + cookie_len])
+
+
+def encode_client_key_exchange(psk_identity: bytes) -> bytes:
+    return len(psk_identity).to_bytes(2, "big") + psk_identity
+
+
+def decode_client_key_exchange(body: bytes) -> bytes:
+    if len(body) < 2:
+        raise DtlsError("truncated ClientKeyExchange")
+    length = int.from_bytes(body[0:2], "big")
+    return bytes(body[2 : 2 + length])
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of a completed handshake."""
+
+    keys: SessionKeys
+    master_secret: bytes
+    client_random: bytes
+    server_random: bytes
+    #: Every handshake record flight as (direction, name, bytes) for the
+    #: packet-size analysis of Figure 6.
+    transcript_sizes: List[Tuple[str, str, int]] = field(default_factory=list)
+
+
+class _TranscriptHash:
+    """Running hash of all handshake messages (HVR excluded, RFC 6347 §4.2.6)."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+
+    def update(self, message: HandshakeMessage) -> None:
+        if message.msg_type == HandshakeType.HELLO_VERIFY_REQUEST:
+            return
+        self._hash.update(message.encode())
+
+    def digest(self) -> bytes:
+        return self._hash.copy().digest()
+
+
+class ClientHandshake:
+    """Client side of the PSK handshake, driven message by message."""
+
+    def __init__(
+        self, psk: bytes, psk_identity: bytes, client_random: bytes
+    ) -> None:
+        if len(client_random) != 32:
+            raise ValueError("client_random must be 32 bytes")
+        self._psk = psk
+        self._identity = psk_identity
+        self._random = client_random
+        self._seq = 0
+        self._transcript = _TranscriptHash()
+        self._server_random: Optional[bytes] = None
+        self.result: Optional[HandshakeResult] = None
+
+    def _next(self, msg_type: HandshakeType, body: bytes) -> HandshakeMessage:
+        message = HandshakeMessage(msg_type, self._seq, body)
+        self._seq += 1
+        self._transcript.update(message)
+        return message
+
+    def start(self) -> HandshakeMessage:
+        """Flight 1: ClientHello without cookie."""
+        return self._next(
+            HandshakeType.CLIENT_HELLO, encode_client_hello(self._random, b"")
+        )
+
+    def on_hello_verify(self, message: HandshakeMessage) -> HandshakeMessage:
+        """Flight 3: repeat ClientHello with the cookie.
+
+        Per RFC 6347 §4.2.6 the first ClientHello and the
+        HelloVerifyRequest are not part of the Finished transcript, so
+        the transcript is restarted here.
+        """
+        cookie = decode_hello_verify_request(message.body)
+        self._transcript = _TranscriptHash()
+        return self._next(
+            HandshakeType.CLIENT_HELLO, encode_client_hello(self._random, cookie)
+        )
+
+    def on_server_hello(self, message: HandshakeMessage) -> None:
+        self._transcript.update(message)
+        self._server_random = decode_server_hello(message.body)
+
+    def on_server_hello_done(
+        self, message: HandshakeMessage
+    ) -> Tuple[HandshakeMessage, HandshakeMessage]:
+        """Flight 5: ClientKeyExchange and Finished (CCS is a record)."""
+        # Validate ordering BEFORE touching the transcript: a reordered
+        # ServerHelloDone must not pollute the Finished hash.
+        if self._server_random is None:
+            raise DtlsError("ServerHelloDone before ServerHello")
+        self._transcript.update(message)
+        cke = self._next(
+            HandshakeType.CLIENT_KEY_EXCHANGE,
+            encode_client_key_exchange(self._identity),
+        )
+        premaster = make_premaster_secret(self._psk)
+        master = derive_master_secret(premaster, self._random, self._server_random)
+        keys = derive_keys(master, self._random, self._server_random)
+        verify = tls12_prf(
+            master, b"client finished", self._transcript.digest(), VERIFY_DATA_LEN
+        )
+        finished = self._next(HandshakeType.FINISHED, verify)
+        self.result = HandshakeResult(keys, master, self._random, self._server_random)
+        return cke, finished
+
+    def on_server_finished(self, message: HandshakeMessage) -> None:
+        if self.result is None:
+            raise DtlsError("server Finished before key derivation")
+        expected = tls12_prf(
+            self.result.master_secret,
+            b"server finished",
+            self._transcript.digest(),
+            VERIFY_DATA_LEN,
+        )
+        if not hmac.compare_digest(expected, message.body):
+            raise DtlsError("server Finished verify_data mismatch")
+        self._transcript.update(message)
+
+
+class ServerHandshake:
+    """Server side of the PSK handshake."""
+
+    def __init__(
+        self,
+        psk_store: Dict[bytes, bytes],
+        server_random: bytes,
+        cookie_secret: bytes = b"cookie-secret",
+    ) -> None:
+        if len(server_random) != 32:
+            raise ValueError("server_random must be 32 bytes")
+        self._psk_store = psk_store
+        self._random = server_random
+        self._cookie_secret = cookie_secret
+        self._seq = 0
+        self._transcript = _TranscriptHash()
+        self._client_random: Optional[bytes] = None
+        self._master: Optional[bytes] = None
+        self.result: Optional[HandshakeResult] = None
+
+    def _next(self, msg_type: HandshakeType, body: bytes) -> HandshakeMessage:
+        message = HandshakeMessage(msg_type, self._seq, body)
+        self._seq += 1
+        self._transcript.update(message)
+        return message
+
+    def _cookie_for(self, client_random: bytes) -> bytes:
+        return hmac.new(
+            self._cookie_secret, client_random, hashlib.sha256
+        ).digest()[:16]
+
+    def on_client_hello(self, message: HandshakeMessage):
+        """Returns HelloVerifyRequest, or (ServerHello, ServerHelloDone)."""
+        client_random, cookie = decode_client_hello(message.body)
+        expected = self._cookie_for(client_random)
+        if not cookie:
+            # Stateless: neither this ClientHello nor the HVR enter the
+            # transcript.
+            return self._next(
+                HandshakeType.HELLO_VERIFY_REQUEST,
+                encode_hello_verify_request(expected),
+            )
+        if not hmac.compare_digest(cookie, expected):
+            raise DtlsError("invalid cookie")
+        self._transcript = _TranscriptHash()
+        self._transcript.update(message)
+        self._client_random = client_random
+        hello = self._next(
+            HandshakeType.SERVER_HELLO, encode_server_hello(self._random)
+        )
+        done = self._next(HandshakeType.SERVER_HELLO_DONE, b"")
+        return hello, done
+
+    def on_client_key_exchange(self, message: HandshakeMessage) -> None:
+        self._transcript.update(message)
+        identity = decode_client_key_exchange(message.body)
+        psk = self._psk_store.get(identity)
+        if psk is None:
+            raise DtlsError(f"unknown PSK identity {identity!r}")
+        if self._client_random is None:
+            raise DtlsError("ClientKeyExchange before ClientHello")
+        premaster = make_premaster_secret(psk)
+        self._master = derive_master_secret(
+            premaster, self._client_random, self._random
+        )
+
+    def pending_keys(self) -> Optional[SessionKeys]:
+        """Keys derivable after ClientKeyExchange (for the CCS switch)."""
+        if self._master is None or self._client_random is None:
+            return None
+        return derive_keys(self._master, self._client_random, self._random)
+
+    def on_client_finished(self, message: HandshakeMessage) -> HandshakeMessage:
+        """Verify the client Finished; returns the server Finished."""
+        if self._master is None or self._client_random is None:
+            raise DtlsError("Finished before ClientKeyExchange")
+        expected = tls12_prf(
+            self._master, b"client finished", self._transcript.digest(),
+            VERIFY_DATA_LEN,
+        )
+        if not hmac.compare_digest(expected, message.body):
+            raise DtlsError("client Finished verify_data mismatch")
+        self._transcript.update(message)
+        verify = tls12_prf(
+            self._master, b"server finished", self._transcript.digest(),
+            VERIFY_DATA_LEN,
+        )
+        finished = self._next(HandshakeType.FINISHED, verify)
+        keys = derive_keys(self._master, self._client_random, self._random)
+        self.result = HandshakeResult(
+            keys, self._master, self._client_random, self._random
+        )
+        return finished

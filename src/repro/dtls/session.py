@@ -1,0 +1,249 @@
+"""DTLS sessions: event-driven endpoints over any datagram transport.
+
+A :class:`DtlsSession` consumes incoming datagrams and produces outgoing
+ones; the caller (a simulated UDP socket, or a test) moves bytes between
+the two sides. Handshake flights that belong together (e.g. ServerHello
++ ServerHelloDone, or ClientKeyExchange + CCS + Finished) are coalesced
+into one datagram each, matching how TinyDTLS packs records and how the
+paper's Figure 6 dissects the session setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .handshake import (
+    ClientHandshake,
+    HandshakeMessage,
+    HandshakeType,
+    ServerHandshake,
+)
+from .record import ContentType, DtlsError, RecordLayer, split_records
+
+
+@dataclass
+class SessionEvents:
+    """What one incoming datagram produced."""
+
+    outgoing: List[Tuple[str, bytes]] = field(default_factory=list)
+    app_data: List[bytes] = field(default_factory=list)
+    established: bool = False
+
+
+class DtlsSession:
+    """One endpoint of a DTLSv1.2 PSK connection.
+
+    Parameters
+    ----------
+    role:
+        ``"client"`` or ``"server"``.
+    psk / psk_identity:
+        The pre-shared key and its identity (client side).
+    psk_store:
+        identity → key mapping (server side).
+    rng:
+        Source for the 32-byte randoms; inject a seeded
+        :class:`random.Random` for determinism.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        psk: bytes = b"",
+        psk_identity: bytes = b"Client_identity",
+        psk_store: Optional[Dict[bytes, bytes]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if role not in ("client", "server"):
+            raise ValueError("role must be 'client' or 'server'")
+        self.role = role
+        self._rng = rng or random.Random()
+        self.records = RecordLayer()
+        self.established = False
+        random_bytes = bytes(self._rng.randrange(256) for _ in range(32))
+        if role == "client":
+            self._client = ClientHandshake(psk, psk_identity, random_bytes)
+            self._server = None
+        else:
+            if psk_store is None:
+                psk_store = {psk_identity: psk}
+            self._server = ServerHandshake(psk_store, random_bytes)
+            self._client = None
+
+    # -- handshake driving ---------------------------------------------------
+
+    def start_handshake(self) -> bytes:
+        """Client only: the flight-1 datagram (ClientHello)."""
+        if self._client is None:
+            raise DtlsError("only clients initiate the handshake")
+        message = self._client.start()
+        return self.records.seal(ContentType.HANDSHAKE, message.encode())
+
+    def _finish(self, result) -> None:
+        keys = result.keys
+        if self.role == "client":
+            self.records.set_write_keys(keys.client_write_key, keys.client_write_iv)
+            self.records.set_read_keys(keys.server_write_key, keys.server_write_iv)
+        else:
+            self.records.set_write_keys(keys.server_write_key, keys.server_write_iv)
+            self.records.set_read_keys(keys.client_write_key, keys.client_write_iv)
+        self.established = True
+
+    def handle_datagram(self, datagram: bytes) -> SessionEvents:
+        """Process one incoming datagram (handshake or application)."""
+        events = SessionEvents()
+        for record in split_records(datagram):
+            plaintext = self.records.open(record)
+            if plaintext.content_type == ContentType.APPLICATION_DATA:
+                events.app_data.append(plaintext.fragment)
+            elif self.established:
+                # Late handshake/CCS duplicates (e.g. a retransmitted
+                # final flight) must not disturb the installed keys.
+                continue
+            elif plaintext.content_type == ContentType.CHANGE_CIPHER_SPEC:
+                self._on_ccs()
+            elif plaintext.content_type == ContentType.HANDSHAKE:
+                offset_data = plaintext.fragment
+                while offset_data:
+                    message, consumed = HandshakeMessage.decode(offset_data)
+                    offset_data = offset_data[consumed:]
+                    self._on_handshake(message, events)
+        events.established = self.established
+        return events
+
+    def _on_ccs(self) -> None:
+        # The peer switches to protected records after its CCS; install
+        # the matching read keys now so its Finished can be decrypted.
+        if self.role == "client":
+            assert self._client is not None
+            if self._client.result is None:
+                raise DtlsError("ChangeCipherSpec before key derivation")
+            keys = self._client.result.keys
+            self.records.set_read_keys(keys.server_write_key, keys.server_write_iv)
+        else:
+            assert self._server is not None
+            keys = self._server.pending_keys()
+            if keys is None:
+                raise DtlsError("ChangeCipherSpec before ClientKeyExchange")
+            self.records.set_read_keys(keys.client_write_key, keys.client_write_iv)
+
+    def _on_handshake(self, message: HandshakeMessage, events: SessionEvents) -> None:
+        if self.role == "server":
+            self._server_handshake(message, events)
+        else:
+            self._client_handshake(message, events)
+
+    def _client_handshake(self, message: HandshakeMessage, events: SessionEvents) -> None:
+        client = self._client
+        assert client is not None
+        if message.msg_type == HandshakeType.HELLO_VERIFY_REQUEST:
+            retry = client.on_hello_verify(message)
+            events.outgoing.append(
+                ("ClientHello[Cookie]",
+                 self.records.seal(ContentType.HANDSHAKE, retry.encode()))
+            )
+        elif message.msg_type == HandshakeType.SERVER_HELLO:
+            client.on_server_hello(message)
+        elif message.msg_type == HandshakeType.SERVER_HELLO_DONE:
+            cke, finished = client.on_server_hello_done(message)
+            datagram = self.records.seal(ContentType.HANDSHAKE, cke.encode())
+            events.outgoing.append(("ClientKeyExchange", datagram))
+            ccs = self.records.seal(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+            events.outgoing.append(("ChangeCipherSpec", ccs))
+            assert client.result is not None
+            keys = client.result.keys
+            self.records.set_write_keys(keys.client_write_key, keys.client_write_iv)
+            fin = self.records.seal(ContentType.HANDSHAKE, finished.encode())
+            events.outgoing.append(("Finished", fin))
+        elif message.msg_type == HandshakeType.FINISHED:
+            # Read keys were already installed when the server's CCS
+            # arrived; verifying the Finished completes the handshake.
+            client.on_server_finished(message)
+            self.established = True
+        else:
+            raise DtlsError(f"unexpected handshake message {message.msg_type!r}")
+
+    def _server_handshake(self, message: HandshakeMessage, events: SessionEvents) -> None:
+        server = self._server
+        assert server is not None
+        if message.msg_type == HandshakeType.CLIENT_HELLO:
+            reply = server.on_client_hello(message)
+            if isinstance(reply, HandshakeMessage):
+                events.outgoing.append(
+                    ("Hello Verify Request",
+                     self.records.seal(ContentType.HANDSHAKE, reply.encode()))
+                )
+            else:
+                hello, done = reply
+                events.outgoing.append(
+                    ("Server Hello",
+                     self.records.seal(ContentType.HANDSHAKE, hello.encode()))
+                )
+                events.outgoing.append(
+                    ("Server Hello Done",
+                     self.records.seal(ContentType.HANDSHAKE, done.encode()))
+                )
+        elif message.msg_type == HandshakeType.CLIENT_KEY_EXCHANGE:
+            server.on_client_key_exchange(message)
+        elif message.msg_type == HandshakeType.FINISHED:
+            # Client write keys must be readable *before* this record is
+            # decrypted — handled by handle_datagram ordering: the CCS
+            # record installed them below in _on_ccs via pending result.
+            finished = server.on_client_finished(message)
+            assert server.result is not None
+            keys = server.result.keys
+            # CCS is the last epoch-0 record; only then switch epochs.
+            ccs = self.records.seal(ContentType.CHANGE_CIPHER_SPEC, b"\x01")
+            events.outgoing.append(("ChangeCipherSpec", ccs))
+            self.records.set_write_keys(keys.server_write_key, keys.server_write_iv)
+            fin = self.records.seal(ContentType.HANDSHAKE, finished.encode())
+            events.outgoing.append(("Finished", fin))
+            self.established = True
+        else:
+            raise DtlsError(f"unexpected handshake message {message.msg_type!r}")
+
+    # -- application data -----------------------------------------------------
+
+    def protect(self, data: bytes) -> bytes:
+        """Wrap application *data* into one protected record."""
+        if not self.established:
+            raise DtlsError("session not established")
+        return self.records.seal(ContentType.APPLICATION_DATA, data)
+
+
+def establish_pair(
+    psk: bytes = b"secretPSK",
+    psk_identity: bytes = b"Client_identity",
+    rng: Optional[random.Random] = None,
+) -> Tuple[DtlsSession, DtlsSession, List[Tuple[str, str, bytes]]]:
+    """Run a full in-memory handshake; returns (client, server, flights).
+
+    ``flights`` is a list of ``(direction, name, datagram)`` covering the
+    entire session setup — the input to the Figure 6 handshake bars.
+    """
+    rng = rng or random.Random(0)
+    client = DtlsSession("client", psk=psk, psk_identity=psk_identity, rng=rng)
+    server = DtlsSession(
+        "server", psk_store={psk_identity: psk}, rng=rng
+    )
+    flights: List[Tuple[str, str, bytes]] = [
+        ("C->S", "Client Hello", client.start_handshake())
+    ]
+    # Alternate delivery until both sides are established.
+    pending: List[Tuple[str, str, bytes]] = list(flights)
+    index = 0
+    while index < len(pending):
+        direction, name, datagram = pending[index]
+        index += 1
+        receiver = server if direction == "C->S" else client
+        back = "S->C" if direction == "C->S" else "C->S"
+        events = receiver.handle_datagram(datagram)
+        for out_name, out_datagram in events.outgoing:
+            item = (back, out_name, out_datagram)
+            pending.append(item)
+            flights.append(item)
+    if not (client.established and server.established):
+        raise DtlsError("handshake did not complete")
+    return client, server, flights

@@ -1,0 +1,45 @@
+"""Shared experiment harness.
+
+* :mod:`repro.experiments.packet_sizes` — byte-exact construction and
+  per-layer dissection of the canonical messages (Figures 6, 14);
+* :mod:`repro.experiments.resolution` — the Figure 2 testbed runs
+  behind Figures 7, 10, 11, 15;
+* :mod:`repro.experiments.metrics` — CDFs, quartiles, histograms.
+"""
+
+from .packet_sizes import (
+    PacketDissection,
+    canonical_messages,
+    dissect_transport,
+    dissect_all,
+    FRAGMENTATION_LIMIT,
+)
+from .metrics import cdf, percentile, quantiles, summary_stats
+from .resolution import (
+    ExperimentConfig,
+    ExperimentResult,
+    pooled_resolution_times,
+    run_repeated,
+    run_resolution_experiment,
+)
+from .timelines import TimelinePoint, event_timeline, offsets_in_windows
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FRAGMENTATION_LIMIT",
+    "PacketDissection",
+    "canonical_messages",
+    "cdf",
+    "dissect_all",
+    "dissect_transport",
+    "percentile",
+    "quantiles",
+    "run_repeated",
+    "pooled_resolution_times",
+    "run_resolution_experiment",
+    "TimelinePoint",
+    "event_timeline",
+    "offsets_in_windows",
+    "summary_stats",
+]

@@ -1,0 +1,363 @@
+"""Byte-exact packet construction and dissection (Figures 6 and 14).
+
+For a name of the empirical median length (24 characters, Section 3)
+this module builds the actual bytes every transport would put on the
+wire for a query and for A/AAAA responses, then dissects each packet
+into the layer segments of Figure 6: 802.15.4+6LoWPAN framing, DTLS,
+CoAP, OSCORE, and DNS.
+
+All sizes come from the real encoders in this repository — the DNS
+wire format, CoAP options, OSCORE COSE objects, DTLS records, IPHC
+compression, and RFC 4944 fragmentation — not from constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.coap.blockwise import Block
+from repro.coap.codes import Code
+from repro.coap.message import CoapMessage
+from repro.coap.options import ContentFormat, OptionNumber
+from repro.coap.uri import base64url_encode
+from repro.dns import Flags, Message, Question, RecordType, ResourceRecord, make_query
+from repro.dns.enums import DNSClass
+from repro.dns.rdata import AData, AAAAData
+from repro.dtls import establish_pair
+from repro.lowpan import LowpanAdaptation
+from repro.lowpan.ieee802154 import FRAME_MAX_PDU
+from repro.net.ipv6 import Ipv6Packet
+from repro.net.udp import UdpDatagram
+from repro.net import global_address
+from repro.oscore import SecurityContext, protect_request, protect_response, unprotect_request
+
+#: The paper's red dashed line: the maximum 802.15.4 PDU.
+FRAGMENTATION_LIMIT = FRAME_MAX_PDU
+
+#: The median name length of the IoT datasets (Table 3).
+MEDIAN_NAME = "name0000.example-iot.org"
+assert len(MEDIAN_NAME) == 24
+
+
+@dataclass(frozen=True)
+class PacketDissection:
+    """One packet's layer breakdown and resulting link-layer frames."""
+
+    transport: str
+    message: str                 # "query" | "response_a" | "response_aaaa" | handshake name
+    dns_bytes: int
+    security_bytes: int          # DTLS record or OSCORE overhead
+    coap_bytes: int
+    udp_payload: int             # total bytes handed to UDP
+    frame_sizes: Tuple[int, ...] # per-frame PDU sizes incl. MAC + FCS
+    fragments: int
+
+    @property
+    def total_link_bytes(self) -> int:
+        return sum(self.frame_sizes)
+
+    @property
+    def fragmented(self) -> bool:
+        return self.fragments > 1
+
+    @property
+    def framing_bytes(self) -> int:
+        """802.15.4 + 6LoWPAN overhead across all fragments."""
+        return self.total_link_bytes - self.udp_payload
+
+
+def canonical_messages(
+    name: str = MEDIAN_NAME,
+) -> Dict[str, Message]:
+    """The three DNS messages of Figure 6 for *name*."""
+    query = make_query(name, RecordType.AAAA, txid=0)
+    base = make_query(name, RecordType.A, txid=0)
+    response_a = Message(
+        id=0,
+        flags=Flags(qr=True, rd=True, ra=True),
+        questions=base.questions,
+        answers=(
+            ResourceRecord(
+                name, RecordType.A, DNSClass.IN, 300, AData("192.0.2.1")
+            ),
+        ),
+    )
+    response_aaaa = Message(
+        id=0,
+        flags=Flags(qr=True, rd=True, ra=True),
+        questions=query.questions,
+        answers=(
+            ResourceRecord(
+                name, RecordType.AAAA, DNSClass.IN, 300, AAAAData("2001:db8::1")
+            ),
+        ),
+    )
+    return {
+        "query": query,
+        "response_a": response_a,
+        "response_aaaa": response_aaaa,
+    }
+
+
+def _frame_sizes_for_udp_payload(payload_length: int) -> Tuple[int, ...]:
+    """Link-layer frames for a UDP payload of *payload_length* bytes.
+
+    Uses the testbed's global (RPL) addressing — fully inline under
+    stateless IPHC, as the paper configures — and real fragmentation.
+    """
+    src, dst = global_address(1), global_address(2)
+    adaptation = LowpanAdaptation(mac=0x0200_0000_0000_1001)
+    datagram = UdpDatagram(5683, 5683, bytes(payload_length))
+    packet = Ipv6Packet(src, dst, datagram.encode(src, dst))
+    return tuple(adaptation.frame_sizes(packet, 0x0200_0000_0000_1002))
+
+
+# -- CoAP message construction ---------------------------------------------------
+
+
+def _doc_request(
+    method: Code, dns_wire: bytes, block_size: Optional[int] = None
+) -> CoapMessage:
+    if method == Code.GET:
+        message = CoapMessage.request(Code.GET, token=b"\x01\x02")
+        message = message.with_option(OptionNumber.URI_PATH, b"dns")
+        message = message.with_option(
+            OptionNumber.URI_QUERY,
+            b"dns=" + base64url_encode(dns_wire).encode(),
+        )
+        return message
+    message = CoapMessage.request(method, token=b"\x01\x02", payload=dns_wire)
+    message = message.with_option(OptionNumber.URI_PATH, b"dns")
+    message = message.with_uint_option(
+        OptionNumber.CONTENT_FORMAT, int(ContentFormat.DNS_MESSAGE)
+    )
+    message = message.with_uint_option(
+        OptionNumber.ACCEPT, int(ContentFormat.DNS_MESSAGE)
+    )
+    if block_size is not None and len(dns_wire) > block_size:
+        block, chunk = Block(0, True, block_size), dns_wire[:block_size]
+        message = CoapMessage(
+            mtype=message.mtype, code=message.code, mid=message.mid,
+            token=message.token,
+            options=message.options + ((int(OptionNumber.BLOCK1), block.encode()),),
+            payload=chunk,
+        )
+    return message
+
+
+def _doc_response(request: CoapMessage, dns_wire: bytes) -> CoapMessage:
+    response = request.make_response(Code.CONTENT, payload=dns_wire)
+    response = response.with_uint_option(
+        OptionNumber.CONTENT_FORMAT, int(ContentFormat.DNS_MESSAGE)
+    )
+    response = response.with_option(OptionNumber.ETAG, b"\x01\x02\x03\x04\x05\x06\x07\x08")
+    response = response.with_uint_option(OptionNumber.MAX_AGE, 300)
+    return response
+
+
+_DTLS_APP_OVERHEAD = 13 + 8 + 8  # record header + explicit nonce + CCM-8 tag
+
+
+def dissect_transport(
+    transport: str,
+    method: Code = Code.FETCH,
+    name: str = MEDIAN_NAME,
+    with_echo: bool = False,
+) -> List[PacketDissection]:
+    """Dissect query/response packets for one transport configuration.
+
+    *transport* is one of ``udp``, ``dtls``, ``coap``, ``coaps``,
+    ``oscore``. For OSCORE, ``with_echo`` adds the Echo option carried
+    during replay-window initialisation (Figure 6's largest request).
+    """
+    messages = canonical_messages(name)
+    dissections: List[PacketDissection] = []
+
+    def add(kind: str, dns_len: int, security: int, coap: int, udp_payload: int):
+        frames = _frame_sizes_for_udp_payload(udp_payload)
+        dissections.append(
+            PacketDissection(
+                transport=transport,
+                message=kind,
+                dns_bytes=dns_len,
+                security_bytes=security,
+                coap_bytes=coap,
+                udp_payload=udp_payload,
+                frame_sizes=frames,
+                fragments=len(frames),
+            )
+        )
+
+    if transport == "udp":
+        for kind, message in messages.items():
+            wire = message.encode()
+            add(kind, len(wire), 0, 0, len(wire))
+    elif transport == "dtls":
+        for kind, message in messages.items():
+            wire = message.encode()
+            add(kind, len(wire), _DTLS_APP_OVERHEAD, 0, len(wire) + _DTLS_APP_OVERHEAD)
+    elif transport in ("coap", "coaps"):
+        security = _DTLS_APP_OVERHEAD if transport == "coaps" else 0
+        query_wire = messages["query"].encode()
+        request = _doc_request(method, query_wire)
+        encoded_request = request.encode()
+        dns_in_request = len(query_wire) if method != Code.GET else len(
+            base64url_encode(query_wire)
+        ) + 4  # "dns=" prefix
+        add(
+            "query", dns_in_request, security,
+            len(encoded_request) - dns_in_request,
+            len(encoded_request) + security,
+        )
+        for kind in ("response_a", "response_aaaa"):
+            wire = messages[kind].encode()
+            response = _doc_response(request, wire)
+            encoded = response.encode()
+            add(kind, len(wire), security, len(encoded) - len(wire), len(encoded) + security)
+    elif transport == "oscore":
+        client, server = SecurityContext.pair(b"master-secret", b"salt")
+        request = _doc_request(Code.FETCH, messages["query"].encode())
+        if with_echo:
+            request = request.with_option(OptionNumber.ECHO, bytes(8))
+        outer_request, binding = protect_request(client, request)
+        encoded_outer = outer_request.encode()
+        inner_encoded = request.encode()
+        query_wire_len = len(messages["query"].encode())
+        add(
+            "query" if not with_echo else "query_echo",
+            query_wire_len,
+            len(encoded_outer) - len(inner_encoded),
+            len(inner_encoded) - query_wire_len,
+            len(encoded_outer),
+        )
+        _, server_binding = unprotect_request(server, outer_request)
+        for kind in ("response_a", "response_aaaa"):
+            wire = messages[kind].encode()
+            response = _doc_response(request, wire)
+            protected = protect_response(server, response, server_binding)
+            encoded = protected.encode()
+            plain_encoded = response.encode()
+            add(
+                kind, len(wire),
+                len(encoded) - len(plain_encoded),
+                len(plain_encoded) - len(wire),
+                len(encoded),
+            )
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+    return dissections
+
+
+def dtls_handshake_dissections(transport: str = "dtls") -> List[PacketDissection]:
+    """Link-layer dissection of every DTLS handshake flight (Figure 6)."""
+    _, _, flights = establish_pair()
+    dissections = []
+    for _direction, flight_name, datagram in flights:
+        frames = _frame_sizes_for_udp_payload(len(datagram))
+        dissections.append(
+            PacketDissection(
+                transport=transport,
+                message=flight_name,
+                dns_bytes=0,
+                security_bytes=len(datagram),
+                coap_bytes=0,
+                udp_payload=len(datagram),
+                frame_sizes=frames,
+                fragments=len(frames),
+            )
+        )
+    return dissections
+
+
+def dissect_all(
+    name: str = MEDIAN_NAME,
+) -> Dict[str, List[PacketDissection]]:
+    """Figure 6's full grid: every transport's query/response packets."""
+    result: Dict[str, List[PacketDissection]] = {
+        "UDP": dissect_transport("udp", name=name),
+        "DTLSv1.2": dtls_handshake_dissections("DTLSv1.2")
+        + dissect_transport("dtls", name=name),
+        "CoAP": dissect_transport("coap", Code.FETCH, name=name),
+        "CoAPSv1.2": dtls_handshake_dissections("CoAPSv1.2")
+        + dissect_transport("coaps", Code.FETCH, name=name),
+        "OSCORE": dissect_transport("oscore", name=name)
+        + dissect_transport("oscore", name=name, with_echo=True)[:1],
+    }
+    return result
+
+
+def dissect_blockwise(
+    block_size: int, name: str = MEDIAN_NAME, transport: str = "coap"
+) -> List[PacketDissection]:
+    """Figure 14: packet sizes under block-wise transfer.
+
+    Builds the actual block messages: the Block1 query blocks (full and
+    last), the 2.31 Continue acknowledgments, and the Block2 response
+    blocks (full and last) for A and AAAA responses.
+    """
+    security = _DTLS_APP_OVERHEAD if transport == "coaps" else 0
+    messages = canonical_messages(name)
+    query_wire = messages["query"].encode()
+    dissections: List[PacketDissection] = []
+
+    def add(kind: str, coap_message: CoapMessage, dns_len: int) -> None:
+        encoded = coap_message.encode()
+        frames = _frame_sizes_for_udp_payload(len(encoded) + security)
+        dissections.append(
+            PacketDissection(
+                transport=f"{transport}-bs{block_size}",
+                message=kind,
+                dns_bytes=dns_len,
+                security_bytes=security,
+                coap_bytes=len(encoded) - dns_len,
+                udp_payload=len(encoded) + security,
+                frame_sizes=frames,
+                fragments=len(frames),
+            )
+        )
+
+    from repro.coap.blockwise import block_for, split_body
+
+    # Query via Block1 (FETCH/POST only; GET cannot block-wise).
+    query_blocks = split_body(query_wire, block_size)
+    if len(query_blocks) > 1:
+        request = _doc_request(Code.FETCH, query_wire, block_size=block_size)
+        add("query [F/P]", request, len(query_blocks[0]))
+        last_number = len(query_blocks) - 1
+        block, chunk = block_for(query_wire, last_number, block_size)
+        from dataclasses import replace
+
+        last = replace(request, payload=chunk).without_option(
+            OptionNumber.BLOCK1
+        ).with_option(OptionNumber.BLOCK1, block.encode())
+        add("query [F/P] (Last)", last, len(chunk))
+        continue_reply = request.make_response(Code.CONTINUE).with_option(
+            OptionNumber.BLOCK1, Block(0, True, block_size).encode()
+        )
+        add("2.31 Continue", continue_reply, 0)
+    else:
+        add("query [F/P]", _doc_request(Code.FETCH, query_wire), len(query_wire))
+    add("query [G]", _doc_request(Code.GET, query_wire), 0)
+
+    request = _doc_request(Code.FETCH, query_wire)
+    for kind, label in (("response_a", "Response (A)"), ("response_aaaa", "Response (AAAA)")):
+        wire = messages[kind].encode()
+        blocks = split_body(wire, block_size)
+        full_response = _doc_response(request, wire)
+        if len(blocks) == 1:
+            add(label, full_response, len(wire))
+            continue
+        from dataclasses import replace
+
+        block, chunk = block_for(wire, 0, block_size)
+        first = replace(full_response, payload=chunk).with_option(
+            OptionNumber.BLOCK2, block.encode()
+        )
+        add(label, first, len(chunk))
+        block, chunk = block_for(wire, len(blocks) - 1, block_size)
+        last = replace(full_response, payload=chunk).with_option(
+            OptionNumber.BLOCK2, block.encode()
+        )
+        add(f"{label[:-1]}, Last)", last, len(chunk))
+    return dissections

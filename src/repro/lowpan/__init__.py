@@ -1,0 +1,34 @@
+"""6LoWPAN adaptation layer over IEEE 802.15.4.
+
+Everything the paper's wireless hops do to an IPv6 packet:
+
+* :mod:`repro.lowpan.ieee802154` — MAC frames, 127-byte PDU limit;
+* :mod:`repro.lowpan.iphc` — IPHC header compression (RFC 6282) with
+  the UDP next-header compression, configured as in the paper
+  (stateless, traffic class / flow label elided);
+* :mod:`repro.lowpan.fragmentation` — FRAG1/FRAGN (RFC 4944 §5.3) with
+  reassembly buffers.
+
+The top-level :class:`LowpanAdaptation` turns an IPv6 packet into the
+list of MAC frames for one hop and reassembles on the far side — the
+red dashed "fragmentation" line of Figure 6 falls out of its
+``max_payload`` arithmetic.
+"""
+
+from .ieee802154 import FRAME_MAX_PDU, MacFrame, mac_header_length
+from .iphc import IphcError, compress, decompress
+from .fragmentation import FragmentationError, Fragmenter, Reassembler
+from .adaptation import LowpanAdaptation
+
+__all__ = [
+    "FRAME_MAX_PDU",
+    "FragmentationError",
+    "Fragmenter",
+    "IphcError",
+    "LowpanAdaptation",
+    "MacFrame",
+    "Reassembler",
+    "compress",
+    "decompress",
+    "mac_header_length",
+]

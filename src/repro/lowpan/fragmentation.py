@@ -1,0 +1,186 @@
+"""6LoWPAN fragmentation (RFC 4944 §5.3).
+
+When the compressed packet exceeds the MAC payload, it is split into a
+FRAG1 fragment (4-byte header, carries the compressed headers) and
+FRAGN fragments (5-byte headers). ``datagram_size`` and the offsets
+count *uncompressed* IPv6 bytes; offsets are in 8-byte units, so
+fragment payloads are sized to multiples of 8.
+
+The paper's Figure 6 represents "each additional fragment with its
+headers above the red marker line"; the per-fragment arithmetic here
+is what produces those fragment counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+FRAG1_HEADER_LEN = 4
+FRAGN_HEADER_LEN = 5
+_FRAG1_DISPATCH = 0b11000
+_FRAGN_DISPATCH = 0b11100
+
+
+def _frag1_extent_headers(frag1_chunk: bytes):
+    """Compressed/uncompressed header lengths of the FRAG1 contents."""
+    from .iphc import header_extents
+
+    return header_extents(frag1_chunk)
+
+
+class FragmentationError(ValueError):
+    """Raised on malformed fragments or failed reassembly."""
+
+
+def _frag1_header(datagram_size: int, tag: int) -> bytes:
+    if datagram_size >= 1 << 11:
+        raise FragmentationError("datagram larger than 2047 bytes")
+    value = (_FRAG1_DISPATCH << 11) | datagram_size
+    return value.to_bytes(2, "big") + tag.to_bytes(2, "big")
+
+
+def _fragn_header(datagram_size: int, tag: int, offset_units: int) -> bytes:
+    value = (_FRAGN_DISPATCH << 11) | datagram_size
+    return value.to_bytes(2, "big") + tag.to_bytes(2, "big") + bytes([offset_units])
+
+
+class Fragmenter:
+    """Splits compressed datagrams into per-hop fragment payloads."""
+
+    def __init__(self, max_frame_payload: int) -> None:
+        self._max_payload = max_frame_payload
+        self._next_tag = 0
+
+    def fragment(
+        self, compressed: bytes, uncompressed_size: int
+    ) -> List[bytes]:
+        """Return the MAC payloads for one datagram (1 entry if no
+        fragmentation is needed).
+
+        Parameters
+        ----------
+        compressed:
+            The IPHC-compressed datagram.
+        uncompressed_size:
+            Size of the original IPv6 packet; fragment offsets are
+            expressed in these uncompressed bytes.
+        """
+        if len(compressed) <= self._max_payload:
+            return [compressed]
+
+        tag = self._next_tag & 0xFFFF
+        self._next_tag += 1
+
+        # The compression saves (uncompressed - compressed) bytes, all
+        # in the first fragment. Offsets count uncompressed bytes.
+        savings = uncompressed_size - len(compressed)
+        fragments: List[bytes] = []
+
+        # FRAG1: fill to a payload whose *uncompressed* extent is a
+        # multiple of 8.
+        frag1_capacity = self._max_payload - FRAG1_HEADER_LEN
+        # Choose c1 (compressed bytes in FRAG1) so c1 + savings ≡ 0 (mod 8).
+        c1 = frag1_capacity - ((frag1_capacity + savings) % 8)
+        fragments.append(
+            _frag1_header(uncompressed_size, tag) + compressed[:c1]
+        )
+        consumed_uncompressed = c1 + savings
+        position = c1
+
+        fragn_capacity = self._max_payload - FRAGN_HEADER_LEN
+        fragn_capacity -= fragn_capacity % 8
+        while position < len(compressed):
+            chunk = compressed[position : position + fragn_capacity]
+            fragments.append(
+                _fragn_header(
+                    uncompressed_size, tag, consumed_uncompressed // 8
+                )
+                + chunk
+            )
+            position += len(chunk)
+            consumed_uncompressed += len(chunk)
+        return fragments
+
+
+@dataclass
+class _PartialDatagram:
+    size: int
+    received: Dict[int, bytes]
+    first_arrival: float
+
+
+class Reassembler:
+    """Per-link-neighbour reassembly buffers with timeout.
+
+    RFC 4944 recommends discarding partial datagrams after 60 s; the
+    timeout is enforced lazily on access.
+    """
+
+    def __init__(self, timeout: float = 60.0) -> None:
+        self._timeout = timeout
+        self._partial: Dict[Tuple[int, int], _PartialDatagram] = {}
+
+    def push(
+        self, sender: int, payload: bytes, now: float
+    ) -> Optional[bytes]:
+        """Feed one MAC payload; returns the complete compressed
+        datagram when reassembly finishes, else ``None``.
+
+        Unfragmented payloads are returned immediately.
+        """
+        if not payload:
+            raise FragmentationError("empty MAC payload")
+        dispatch5 = payload[0] >> 3
+        if dispatch5 == _FRAG1_DISPATCH:
+            header_len, offset_units = FRAG1_HEADER_LEN, 0
+        elif dispatch5 == _FRAGN_DISPATCH:
+            if len(payload) < FRAGN_HEADER_LEN:
+                raise FragmentationError("truncated FRAGN header")
+            header_len, offset_units = FRAGN_HEADER_LEN, payload[4]
+        else:
+            return payload  # not fragmented
+        if len(payload) < header_len:
+            raise FragmentationError("truncated fragment header")
+
+        size = int.from_bytes(payload[0:2], "big") & 0x7FF
+        tag = int.from_bytes(payload[2:4], "big")
+        chunk = payload[header_len:]
+        key = (sender, tag)
+
+        partial = self._partial.get(key)
+        if partial is not None and now - partial.first_arrival > self._timeout:
+            del self._partial[key]
+            partial = None
+        if partial is None:
+            partial = _PartialDatagram(size, {}, now)
+            self._partial[key] = partial
+        partial.received[offset_units] = chunk
+
+        # Completeness: the fragments must tile [0, size) exactly in
+        # uncompressed bytes. The FRAG1 chunk's uncompressed extent is
+        # its length plus the IPHC compression savings, recovered by
+        # parsing the compressed header it carries.
+        if 0 not in partial.received:
+            return None
+        frag1 = partial.received[0]
+        try:
+            compressed_hdr, uncompressed_hdr = _frag1_extent_headers(frag1)
+        except Exception:
+            return None
+        frag1_extent = len(frag1) + (uncompressed_hdr - compressed_hdr)
+        position = frag1_extent
+        for units in sorted(u for u in partial.received if u != 0):
+            if units * 8 != position:
+                return None  # hole: a fragment is still missing
+            position += len(partial.received[units])
+        if position != size:
+            return None
+        ordered = [frag1]
+        for units in sorted(u for u in partial.received if u != 0):
+            ordered.append(partial.received[units])
+        del self._partial[key]
+        return b"".join(ordered)
+
+    def pending(self) -> int:
+        return len(self._partial)

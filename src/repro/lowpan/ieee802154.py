@@ -1,0 +1,76 @@
+"""IEEE 802.15.4 data frames (2015 revision, data frame subset).
+
+The testbed radios use 64-bit extended addresses with PAN-ID
+compression; that yields a 21-byte MAC header plus the 2-byte FCS,
+leaving 104 bytes of the 127-byte PDU for the 6LoWPAN payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Maximum PHY payload (PDU) of IEEE 802.15.4 (Table 2b).
+FRAME_MAX_PDU = 127
+#: Frame check sequence appended to every frame.
+FCS_LEN = 2
+
+_FCF_DATA_PANID_COMPRESSED = 0x8841  # data frame, 16-bit... see below
+
+
+def mac_header_length(extended: bool = True) -> int:
+    """MAC header length: FCF(2) + seq(1) + PAN(2) + dst + src.
+
+    With 64-bit extended addresses and PAN-ID compression this is
+    2 + 1 + 2 + 8 + 8 = 21 bytes.
+    """
+    address_len = 8 if extended else 2
+    return 2 + 1 + 2 + 2 * address_len
+
+
+@dataclass(frozen=True)
+class MacFrame:
+    """A data frame with extended (EUI-64) addressing."""
+
+    src: int  # 64-bit extended address
+    dst: int
+    seq: int
+    payload: bytes
+    pan_id: int = 0x23
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > self.max_payload():
+            raise ValueError(
+                f"payload {len(self.payload)} exceeds {self.max_payload()}"
+            )
+
+    @staticmethod
+    def max_payload() -> int:
+        """Per-frame 6LoWPAN capacity: 127 - header(21) - FCS(2) = 104."""
+        return FRAME_MAX_PDU - mac_header_length() - FCS_LEN
+
+    def encode(self) -> bytes:
+        """Wire format including the FCS placeholder (PDU bytes)."""
+        # FCF: frame type data (0b001), PAN ID compression, dst/src
+        # addressing mode 'extended' (0b11 each), frame version 2006.
+        fcf = 0b001 | (1 << 6) | (0b11 << 10) | (0b01 << 12) | (0b11 << 14)
+        out = bytearray()
+        out += fcf.to_bytes(2, "little")
+        out += bytes([self.seq & 0xFF])
+        out += self.pan_id.to_bytes(2, "little")
+        out += self.dst.to_bytes(8, "little")
+        out += self.src.to_bytes(8, "little")
+        out += self.payload
+        out += b"\x00\x00"  # FCS placeholder (computed by hardware)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MacFrame":
+        header_len = mac_header_length()
+        if len(data) < header_len + FCS_LEN:
+            raise ValueError("frame shorter than MAC header")
+        seq = data[2]
+        pan_id = int.from_bytes(data[3:5], "little")
+        dst = int.from_bytes(data[5:13], "little")
+        src = int.from_bytes(data[13:21], "little")
+        payload = bytes(data[header_len:-FCS_LEN])
+        return cls(src=src, dst=dst, seq=seq, payload=payload, pan_id=pan_id)

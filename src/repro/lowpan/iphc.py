@@ -1,0 +1,332 @@
+"""LOWPAN_IPHC header compression (RFC 6282) with UDP NHC.
+
+Configured as the paper does for comparable RIOT/Linux behaviour
+(Section 5.1): stateless address compression only (no context IDs),
+and traffic class / flow label zeroed so they can be elided.
+
+Compression modes implemented:
+
+* TF: elided when TC and flow label are 0, else 4 bytes inline;
+* NH: UDP next-header compression (LOWPAN_NHC, §4.3) with the 4/8/16
+  bit port compression cases; checksum always inline;
+* HLIM: 1/64/255 compressed into the header, else 1 byte inline;
+* SAM/DAM (stateless): fully elided when the IID is derived from the
+  link-layer address, 16-bit when the IID matches ``::ff:fe00:xxxx``,
+  64-bit for other link-local, full 128-bit otherwise; multicast
+  destinations use the 8/32/48-bit ff00::/8 encodings.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Optional, Tuple
+
+from repro.net.ipv6 import Ipv6Packet, NEXT_HEADER_UDP
+from repro.net.udp import UdpDatagram
+
+_DISPATCH = 0b011
+
+
+class IphcError(ValueError):
+    """Raised when a header cannot be compressed or parsed."""
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    """Bounds check: *count* bytes must be available at *offset*."""
+    if offset + count > len(data):
+        raise IphcError("truncated IPHC input")
+
+
+def _iid_from_mac(mac: int) -> int:
+    """EUI-64 derived IID: the MAC with the U/L bit flipped."""
+    return mac ^ (1 << 57)
+
+
+def _address_parts(address: str) -> Tuple[int, int]:
+    value = int(ipaddress.IPv6Address(address))
+    return value >> 64, value & ((1 << 64) - 1)
+
+
+_LINK_LOCAL_PREFIX = 0xFE80 << 48
+
+
+def _compress_unicast(address: str, mac: int) -> Tuple[int, bytes]:
+    """Return (mode, inline_bytes) for a stateless unicast address."""
+    prefix, iid = _address_parts(address)
+    if prefix == _LINK_LOCAL_PREFIX:
+        if iid == _iid_from_mac(mac):
+            return 3, b""
+        if iid >> 16 == 0x000000FFFE00:
+            return 2, (iid & 0xFFFF).to_bytes(2, "big")
+        return 1, iid.to_bytes(8, "big")
+    return 0, ipaddress.IPv6Address(address).packed
+
+
+def _decompress_unicast(mode: int, data: bytes, offset: int, mac: int) -> Tuple[str, int]:
+    if mode == 0:
+        _need(data, offset, 16)
+        packed = data[offset : offset + 16]
+        return str(ipaddress.IPv6Address(packed)), offset + 16
+    if mode == 1:
+        _need(data, offset, 8)
+        iid = int.from_bytes(data[offset : offset + 8], "big")
+        offset += 8
+    elif mode == 2:
+        _need(data, offset, 2)
+        low = int.from_bytes(data[offset : offset + 2], "big")
+        iid = (0x000000FFFE00 << 16) | low
+        offset += 2
+    else:
+        iid = _iid_from_mac(mac)
+    value = (_LINK_LOCAL_PREFIX << 64) | iid
+    return str(ipaddress.IPv6Address(value)), offset
+
+
+def _compress_multicast(address: str) -> Tuple[int, bytes]:
+    value = int(ipaddress.IPv6Address(address))
+    if value >> 120 != 0xFF:
+        raise IphcError("not a multicast address")
+    scope = (value >> 112) & 0xFF
+    group = value & ((1 << 112) - 1)
+    if group < 0x100 and scope == 0x02:
+        # ff02::00XX
+        return 3, bytes([group])
+    if group >> 32 == 0:
+        return 2, bytes([scope]) + (group & 0xFFFFFFFF).to_bytes(4, "big")
+    if group >> 40 == 0:
+        return 1, bytes([scope]) + (group & 0xFFFFFFFFFF).to_bytes(5, "big")
+    return 0, ipaddress.IPv6Address(address).packed
+
+
+def _decompress_multicast(mode: int, data: bytes, offset: int) -> Tuple[str, int]:
+    if mode == 0:
+        _need(data, offset, 16)
+        packed = data[offset : offset + 16]
+        return str(ipaddress.IPv6Address(packed)), offset + 16
+    if mode == 3:
+        _need(data, offset, 1)
+        value = (0xFF02 << 112) | data[offset]
+        return str(ipaddress.IPv6Address(value)), offset + 1
+    if mode == 2:
+        _need(data, offset, 5)
+        scope = data[offset]
+        group = int.from_bytes(data[offset + 1 : offset + 5], "big")
+        value = (0xFF << 120) | (scope << 112) | group
+        return str(ipaddress.IPv6Address(value)), offset + 5
+    _need(data, offset, 6)
+    scope = data[offset]
+    group = int.from_bytes(data[offset + 1 : offset + 6], "big")
+    value = (0xFF << 120) | (scope << 112) | group
+    return str(ipaddress.IPv6Address(value)), offset + 6
+
+
+def _compress_udp(datagram_bytes: bytes) -> bytes:
+    """LOWPAN_NHC for UDP: ports per §4.3.3, checksum inline."""
+    src_port = int.from_bytes(datagram_bytes[0:2], "big")
+    dst_port = int.from_bytes(datagram_bytes[2:4], "big")
+    checksum = datagram_bytes[6:8]
+    payload = datagram_bytes[8:]
+    if src_port >> 4 == 0xF0B and dst_port >> 4 == 0xF0B:
+        head = bytes(
+            [0b11110011, ((src_port & 0xF) << 4) | (dst_port & 0xF)]
+        )
+    elif dst_port >> 8 == 0xF0:
+        head = (
+            bytes([0b11110001])
+            + src_port.to_bytes(2, "big")
+            + bytes([dst_port & 0xFF])
+        )
+    elif src_port >> 8 == 0xF0:
+        head = (
+            bytes([0b11110010, src_port & 0xFF])
+            + dst_port.to_bytes(2, "big")
+        )
+    else:
+        head = (
+            bytes([0b11110000])
+            + src_port.to_bytes(2, "big")
+            + dst_port.to_bytes(2, "big")
+        )
+    return head + checksum + payload
+
+
+def _decompress_udp(data: bytes, offset: int) -> Tuple[UdpDatagram, bytes]:
+    _need(data, offset, 1)
+    head = data[offset]
+    if head >> 3 != 0b11110:
+        raise IphcError("not a UDP NHC header")
+    if head & 0x04:
+        raise IphcError("elided UDP checksum unsupported")
+    ports_mode = head & 0x03
+    offset += 1
+    if ports_mode == 0b11:
+        _need(data, offset, 1)
+        byte = data[offset]
+        src_port = 0xF0B0 | (byte >> 4)
+        dst_port = 0xF0B0 | (byte & 0xF)
+        offset += 1
+    elif ports_mode == 0b01:
+        _need(data, offset, 3)
+        src_port = int.from_bytes(data[offset : offset + 2], "big")
+        dst_port = 0xF000 | data[offset + 2]
+        offset += 3
+    elif ports_mode == 0b10:
+        _need(data, offset, 3)
+        src_port = 0xF000 | data[offset]
+        dst_port = int.from_bytes(data[offset + 1 : offset + 3], "big")
+        offset += 3
+    else:
+        _need(data, offset, 4)
+        src_port = int.from_bytes(data[offset : offset + 2], "big")
+        dst_port = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        offset += 4
+    _need(data, offset, 2)
+    checksum = data[offset : offset + 2]
+    offset += 2
+    payload = bytes(data[offset:])
+    datagram = UdpDatagram(src_port, dst_port, payload)
+    return datagram, checksum
+
+
+def compress(packet: Ipv6Packet, src_mac: int, dst_mac: int) -> bytes:
+    """Compress *packet* into IPHC form for one 802.15.4 hop."""
+    tf_elided = packet.traffic_class == 0 and packet.flow_label == 0
+    udp_nhc = packet.next_header == NEXT_HEADER_UDP
+
+    hlim_map = {1: 0b01, 64: 0b10, 255: 0b11}
+    hlim_mode = hlim_map.get(packet.hop_limit, 0b00)
+
+    dst_is_multicast = ipaddress.IPv6Address(packet.dst).is_multicast
+    sam, src_inline = _compress_unicast(packet.src, src_mac)
+    if dst_is_multicast:
+        dam, dst_inline = _compress_multicast(packet.dst)
+    else:
+        dam, dst_inline = _compress_unicast(packet.dst, dst_mac)
+
+    byte1 = (
+        (_DISPATCH << 5)
+        | ((0b11 if tf_elided else 0b00) << 3)
+        | ((1 if udp_nhc else 0) << 2)
+        | hlim_mode
+    )
+    byte2 = (sam << 4) | (int(dst_is_multicast) << 3) | dam
+
+    out = bytearray([byte1, byte2])
+    if not tf_elided:
+        out += (
+            (packet.traffic_class << 20 | packet.flow_label)
+        ).to_bytes(4, "big")  # ECN/DSCP + flow label inline (TF=00)
+    if not udp_nhc:
+        out.append(packet.next_header)
+    if hlim_mode == 0b00:
+        out.append(packet.hop_limit)
+    out += src_inline
+    out += dst_inline
+    if udp_nhc:
+        out += _compress_udp(packet.payload)
+    else:
+        out += packet.payload
+    return bytes(out)
+
+
+def header_extents(data: bytes) -> Tuple[int, int]:
+    """Compressed vs. uncompressed header lengths of an IPHC datagram.
+
+    Parses only the header fields (no payload needed), which lets the
+    reassembler compute how many *uncompressed* bytes the FRAG1
+    fragment covers: ``len(frag1_chunk) + (uncompressed - compressed)``.
+    """
+    if len(data) < 2 or data[0] >> 5 != _DISPATCH:
+        raise IphcError("not an IPHC header")
+    byte1, byte2 = data[0], data[1]
+    tf_mode = (byte1 >> 3) & 0b11
+    udp_nhc = bool(byte1 & 0b100)
+    hlim_mode = byte1 & 0b11
+    sam = (byte2 >> 4) & 0b11
+    multicast = bool(byte2 & 0b1000)
+    dam = byte2 & 0b11
+
+    offset = 2
+    if tf_mode == 0b00:
+        offset += 4
+    if not udp_nhc:
+        offset += 1
+    if hlim_mode == 0b00:
+        offset += 1
+    unicast_lengths = {0: 16, 1: 8, 2: 2, 3: 0}
+    offset += unicast_lengths[sam]
+    if multicast:
+        multicast_lengths = {0: 16, 1: 6, 2: 5, 3: 1}
+        offset += multicast_lengths[dam]
+    else:
+        offset += unicast_lengths[dam]
+    uncompressed = 40
+    if udp_nhc:
+        _need(data, offset, 1)
+        head = data[offset]
+        ports_mode = head & 0x03
+        offset += 1 + {0b00: 4, 0b01: 3, 0b10: 3, 0b11: 1}[ports_mode]
+        offset += 2  # checksum inline
+        uncompressed += 8
+    return offset, uncompressed
+
+
+def decompress(data: bytes, src_mac: int, dst_mac: int) -> Ipv6Packet:
+    """Inverse of :func:`compress` for one hop."""
+    if len(data) < 2 or data[0] >> 5 != _DISPATCH:
+        raise IphcError("not an IPHC header")
+    byte1, byte2 = data[0], data[1]
+    tf_mode = (byte1 >> 3) & 0b11
+    udp_nhc = bool(byte1 & 0b100)
+    hlim_mode = byte1 & 0b11
+    sam = (byte2 >> 4) & 0b11
+    multicast = bool(byte2 & 0b1000)
+    dam = byte2 & 0b11
+    if byte2 & 0x80 or byte2 & 0x40 or byte2 & 0x04:
+        raise IphcError("context-based compression unsupported")
+
+    offset = 2
+    traffic_class = flow_label = 0
+    if tf_mode == 0b00:
+        _need(data, offset, 4)
+        combined = int.from_bytes(data[offset : offset + 4], "big")
+        traffic_class = (combined >> 20) & 0xFF
+        flow_label = combined & 0xFFFFF
+        offset += 4
+    elif tf_mode != 0b11:
+        raise IphcError(f"TF mode {tf_mode} unsupported")
+
+    next_header = NEXT_HEADER_UDP
+    if not udp_nhc:
+        _need(data, offset, 1)
+        next_header = data[offset]
+        offset += 1
+
+    hlim_values = {0b01: 1, 0b10: 64, 0b11: 255}
+    if hlim_mode == 0b00:
+        _need(data, offset, 1)
+        hop_limit = data[offset]
+        offset += 1
+    else:
+        hop_limit = hlim_values[hlim_mode]
+
+    src, offset = _decompress_unicast(sam, data, offset, src_mac)
+    if multicast:
+        dst, offset = _decompress_multicast(dam, data, offset)
+    else:
+        dst, offset = _decompress_unicast(dam, data, offset, dst_mac)
+
+    if udp_nhc:
+        datagram, _checksum = _decompress_udp(data, offset)
+        payload = datagram.encode(src, dst)
+    else:
+        payload = bytes(data[offset:])
+    return Ipv6Packet(
+        src=src,
+        dst=dst,
+        payload=payload,
+        next_header=next_header,
+        hop_limit=hop_limit,
+        traffic_class=traffic_class,
+        flow_label=flow_label,
+    )

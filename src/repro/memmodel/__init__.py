@@ -1,0 +1,43 @@
+"""Build-size model for constrained firmware images (Fig. 5 / Fig. 8).
+
+The paper measures ``.text``/``.data`` (ROM) and ``.data``/``.bss``
+(RAM) of RIOT firmware built with GCC for a Cortex-M3. We cannot run
+that toolchain here, so we model firmware as a composition of modules
+with per-module ROM/RAM costs calibrated to the paper's reported
+numbers (Section 5.2 and 5.5):
+
+* DTLS adds ≈ 24 kB ROM and ≈ 1.5 kB RAM; OSCORE adds ≈ 11 kB ROM —
+  "the DTLS part expects more than double the memory space of the
+  OSCORE part";
+* GET support adds ≈ 2 kB ROM (≈ 1 kB of it the URI-Template
+  processor) and 173 B RAM;
+* the DoC DNS part is ≈ 4 kB, "significantly larger than the other DNS
+  transport implementations";
+* Quant (QUIC+TLS, client only) "uses nearly double the ROM as any of
+  the common IoT transports", with ≈ 20 kB of proposed savings.
+
+The *relative* statements above are the claims the benchmarks verify;
+the absolute values are anchors taken from the figures.
+"""
+
+from .modules import MODULES, Module, module
+from .builds import (
+    BuildSize,
+    FIG5_TRANSPORTS,
+    FIG8_TRANSPORTS,
+    build_size,
+    fig5_builds,
+    fig8_builds,
+)
+
+__all__ = [
+    "BuildSize",
+    "FIG5_TRANSPORTS",
+    "FIG8_TRANSPORTS",
+    "MODULES",
+    "Module",
+    "build_size",
+    "fig5_builds",
+    "fig8_builds",
+    "module",
+]

@@ -1,0 +1,106 @@
+"""Composing firmware builds from modules (Fig. 5 and Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .modules import MODULES, Module
+
+#: Fig. 5 build compositions. Every build includes the requester
+#: application and, per the paper's premise, the standard CoAP example
+#: app (and therefore the CoAP library).
+FIG5_TRANSPORTS: Dict[str, Tuple[str, ...]] = {
+    "UDP": (
+        "app_requester", "app_coap_example", "gcoap", "sock_udp", "dns_udp",
+    ),
+    "DTLSv1.2": (
+        "app_requester", "app_coap_example", "gcoap", "sock_udp",
+        "sock_dtls", "tinydtls", "dns_dtls",
+    ),
+    "CoAP": (
+        "app_requester", "app_coap_example", "gcoap", "sock_udp", "dns_doc",
+    ),
+    "CoAPSv1.2": (
+        "app_requester", "app_coap_example", "gcoap", "sock_udp",
+        "sock_dtls", "tinydtls", "dns_doc",
+    ),
+    "OSCORE": (
+        "app_requester", "app_coap_example", "gcoap", "sock_udp",
+        "liboscore", "dns_doc",
+    ),
+}
+
+#: Fig. 8 compositions: UDP layer and sock intentionally omitted for
+#: comparability with Quant; crypto split out as its own category.
+FIG8_TRANSPORTS: Dict[str, Tuple[str, ...]] = {
+    "UDP": ("app_requester", "dns_udp"),
+    "DTLSv1.2": ("app_requester", "tinydtls", "dns_dtls"),
+    "CoAP": ("app_requester", "gcoap", "dns_doc"),
+    "CoAPSv1.2": ("app_requester", "gcoap", "tinydtls", "dns_doc"),
+    "OSCORE": ("app_requester", "gcoap", "liboscore", "dns_doc"),
+    "QUIC": ("app_requester", "quant_quic", "quant_tls"),
+}
+
+
+@dataclass(frozen=True)
+class BuildSize:
+    """Total and per-category ROM/RAM of one firmware build."""
+
+    name: str
+    rom: int
+    ram: int
+    rom_by_category: Dict[str, int]
+    ram_by_category: Dict[str, int]
+
+    @property
+    def rom_kbytes(self) -> float:
+        return self.rom / 1000.0
+
+    @property
+    def ram_kbytes(self) -> float:
+        return self.ram / 1000.0
+
+
+def build_size(
+    name: str, module_names: Tuple[str, ...], with_get: bool = False
+) -> BuildSize:
+    """Sum the sizes of *module_names* (optionally plus GET support)."""
+    names: List[str] = list(module_names)
+    if with_get:
+        names.append("dns_doc_get")
+    rom_by_category: Dict[str, int] = {}
+    ram_by_category: Dict[str, int] = {}
+    for module_name in names:
+        mod: Module = MODULES[module_name]
+        rom_by_category[mod.category] = (
+            rom_by_category.get(mod.category, 0) + mod.rom
+        )
+        ram_by_category[mod.category] = (
+            ram_by_category.get(mod.category, 0) + mod.ram
+        )
+    return BuildSize(
+        name=name,
+        rom=sum(rom_by_category.values()),
+        ram=sum(ram_by_category.values()),
+        rom_by_category=rom_by_category,
+        ram_by_category=ram_by_category,
+    )
+
+
+def fig5_builds(with_get: bool = False) -> Dict[str, BuildSize]:
+    """The five Fig. 5 builds; ``with_get`` adds GET support to the
+    CoAP-based ones (the hatched "GET overhead" segments)."""
+    builds = {}
+    for name, modules in FIG5_TRANSPORTS.items():
+        get = with_get and name in ("CoAP", "CoAPSv1.2")
+        builds[name] = build_size(name, modules, with_get=get)
+    return builds
+
+
+def fig8_builds() -> Dict[str, BuildSize]:
+    """The six Fig. 8 builds (UDP/sock omitted, crypto split out)."""
+    return {
+        name: build_size(name, modules)
+        for name, modules in FIG8_TRANSPORTS.items()
+    }

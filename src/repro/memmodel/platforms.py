@@ -1,0 +1,66 @@
+"""Constrained platform and link-technology constants (Table 2).
+
+Table 2a: the RFC 7228 device classes DoC targets. Table 2b: the
+link-layer characteristics that drive the fragmentation analysis. Both
+are used by benchmarks to check that the reproduced builds and packets
+actually fit the constraints the paper claims to satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """An RFC 7228 constrained-device class (Table 2a)."""
+
+    name: str
+    ram_bytes: int
+    rom_bytes: int
+
+    def fits(self, rom: int, ram: int) -> bool:
+        """Whether a firmware image fits this class's budgets."""
+        return rom <= self.rom_bytes and ram <= self.ram_bytes
+
+
+#: Table 2a. Class 0 is "well below" 10/100 kB; we encode the bounds.
+DEVICE_CLASSES: Dict[str, DeviceClass] = {
+    "class0": DeviceClass("Class 0", ram_bytes=4_000, rom_bytes=48_000),
+    "class1": DeviceClass("Class 1", ram_bytes=10_000, rom_bytes=100_000),
+    "class2": DeviceClass("Class 2", ram_bytes=50_000, rom_bytes=250_000),
+}
+
+#: The paper's evaluation platform (STM32F103RE, Section 5.1).
+EVALUATION_PLATFORM = DeviceClass(
+    "IoT-LAB M3 (Cortex-M3)", ram_bytes=64_000, rom_bytes=512_000
+)
+
+
+@dataclass(frozen=True)
+class LinkTechnology:
+    """A constrained link technology (Table 2b)."""
+
+    name: str
+    data_rate_kbps: Tuple[float, float]
+    frame_size_bytes: Tuple[int, int]
+
+    @property
+    def min_frame(self) -> int:
+        return self.frame_size_bytes[0]
+
+    def name_fraction(self, name_length: int) -> float:
+        """Fraction of the smallest frame a name of this length uses —
+        the Section 3 observation (24 chars = 18.9% of 802.15.4,
+        40.7% of LoRaWAN's 59-byte PDU)."""
+        return name_length / self.min_frame
+
+
+#: Table 2b.
+LINK_TECHNOLOGIES: Dict[str, LinkTechnology] = {
+    "ieee802154": LinkTechnology("IEEE 802.15.4", (124, 162), (127, 127)),
+    "ble": LinkTechnology("BLE", (125, 2000), (1280, 1280)),
+    "lorawan": LinkTechnology("LoRaWAN", (0.3, 5), (59, 250)),
+    "nbiot": LinkTechnology("NB-IoT", (30, 60), (1600, 1600)),
+}

@@ -1,0 +1,111 @@
+"""IPv6 header encoding (RFC 8200) and address helpers."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+IPV6_HEADER_LEN = 40
+NEXT_HEADER_UDP = 17
+DEFAULT_HOP_LIMIT = 64
+
+
+def link_local(iid: int) -> str:
+    """A link-local address ``fe80::/64`` with the given 64-bit IID."""
+    if not 0 <= iid < 1 << 64:
+        raise ValueError("interface ID must fit in 64 bits")
+    address = (0xFE80 << 112) | iid
+    return str(ipaddress.IPv6Address(address))
+
+def is_link_local(address: str) -> bool:
+    return ipaddress.IPv6Address(address).is_link_local
+
+
+def global_address(iid: int, prefix: int = 0x2001_0DB8_0000_0000) -> str:
+    """A global unicast address ``2001:db8::/64`` with the given IID.
+
+    Global addresses cannot be elided by stateless IPHC (the paper
+    deactivates context-based compression, Section 5.1), so they travel
+    fully inline — 16 bytes each — which is what pushes several packet
+    types of Figure 6 over the fragmentation limit.
+    """
+    if not 0 <= iid < 1 << 64:
+        raise ValueError("interface ID must fit in 64 bits")
+    return str(ipaddress.IPv6Address((prefix << 64) | iid))
+
+
+def interface_id(address: str) -> int:
+    """The low 64 bits of *address*."""
+    return int(ipaddress.IPv6Address(address)) & ((1 << 64) - 1)
+
+
+@dataclass(frozen=True)
+class Ipv6Packet:
+    """An IPv6 packet carrying a UDP payload.
+
+    ``payload`` is the complete next-header payload (e.g. the encoded
+    UDP datagram). Traffic class and flow label default to 0, matching
+    the paper's setup so IPHC elides them.
+    """
+
+    src: str
+    dst: str
+    payload: bytes
+    next_header: int = NEXT_HEADER_UDP
+    hop_limit: int = DEFAULT_HOP_LIMIT
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    def encode(self) -> bytes:
+        """Uncompressed wire format (40-byte header + payload)."""
+        if len(self.payload) > 0xFFFF:
+            raise ValueError("payload too long for IPv6 length field")
+        first = (6 << 28) | (self.traffic_class << 20) | self.flow_label
+        header = (
+            first.to_bytes(4, "big")
+            + len(self.payload).to_bytes(2, "big")
+            + bytes([self.next_header, self.hop_limit])
+            + ipaddress.IPv6Address(self.src).packed
+            + ipaddress.IPv6Address(self.dst).packed
+        )
+        return header + self.payload
+
+    @property
+    def total_length(self) -> int:
+        return IPV6_HEADER_LEN + len(self.payload)
+
+    def hop_decremented(self) -> "Ipv6Packet":
+        """The packet after one routing hop."""
+        if self.hop_limit <= 1:
+            raise ValueError("hop limit exhausted")
+        return Ipv6Packet(
+            self.src,
+            self.dst,
+            self.payload,
+            self.next_header,
+            self.hop_limit - 1,
+            self.traffic_class,
+            self.flow_label,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ipv6Packet":
+        if len(data) < IPV6_HEADER_LEN:
+            raise ValueError("truncated IPv6 header")
+        first = int.from_bytes(data[0:4], "big")
+        version = first >> 28
+        if version != 6:
+            raise ValueError(f"not an IPv6 packet (version {version})")
+        length = int.from_bytes(data[4:6], "big")
+        packet = cls(
+            src=str(ipaddress.IPv6Address(data[8:24])),
+            dst=str(ipaddress.IPv6Address(data[24:40])),
+            payload=bytes(data[40 : 40 + length]),
+            next_header=data[6],
+            hop_limit=data[7],
+            traffic_class=(first >> 20) & 0xFF,
+            flow_label=first & 0xFFFFF,
+        )
+        if len(packet.payload) != length:
+            raise ValueError("truncated IPv6 payload")
+        return packet

@@ -1,0 +1,78 @@
+"""UDP datagram encoding (RFC 768) with the IPv6 pseudo-header checksum."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+UDP_HEADER_LEN = 8
+
+
+def _ones_complement_sum(data: bytes) -> int:
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def udp_checksum(src: str, dst: str, datagram: bytes) -> int:
+    """RFC 8200 §8.1 checksum over pseudo-header and UDP datagram."""
+    pseudo = (
+        ipaddress.IPv6Address(src).packed
+        + ipaddress.IPv6Address(dst).packed
+        + len(datagram).to_bytes(4, "big")
+        + b"\x00\x00\x00\x11"
+    )
+    total = _ones_complement_sum(pseudo + datagram)
+    checksum = (~total) & 0xFFFF
+    return checksum or 0xFFFF  # 0 is transmitted as all-ones
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram; checksum is computed on encode."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port {port} out of range")
+
+    @property
+    def length(self) -> int:
+        return UDP_HEADER_LEN + len(self.payload)
+
+    def encode(self, src_addr: str, dst_addr: str) -> bytes:
+        header_no_checksum = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.length.to_bytes(2, "big")
+            + b"\x00\x00"
+        )
+        checksum = udp_checksum(
+            src_addr, dst_addr, header_no_checksum + self.payload
+        )
+        return (
+            header_no_checksum[:6]
+            + checksum.to_bytes(2, "big")
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        length = int.from_bytes(data[4:6], "big")
+        if length < UDP_HEADER_LEN or length > len(data):
+            raise ValueError("invalid UDP length")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            payload=bytes(data[UDP_HEADER_LEN:length]),
+        )

@@ -1,0 +1,77 @@
+"""The OSCORE option value codec (RFC 8613 §6.1).
+
+Layout: one flag byte, then the Partial IV (0-5 bytes, length in the
+low 3 flag bits), optionally a kid-context (length-prefixed, flag bit
+4), optionally the kid (remaining bytes, flag bit 3). An all-defaults
+value encodes as the empty string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .context import OscoreError
+
+
+@dataclass(frozen=True)
+class OscoreOptionValue:
+    """Decoded contents of the OSCORE option."""
+
+    partial_iv: bytes = b""
+    kid: Optional[bytes] = None
+    kid_context: Optional[bytes] = None
+
+    def encode(self) -> bytes:
+        if len(self.partial_iv) > 5:
+            raise OscoreError("Partial IV longer than 5 bytes")
+        flags = len(self.partial_iv)
+        out = bytearray()
+        if self.kid_context is not None:
+            flags |= 0x10
+        if self.kid is not None:
+            flags |= 0x08
+        if flags == 0:
+            return b""
+        out.append(flags)
+        out += self.partial_iv
+        if self.kid_context is not None:
+            if len(self.kid_context) > 255:
+                raise OscoreError("kid context too long")
+            out.append(len(self.kid_context))
+            out += self.kid_context
+        if self.kid is not None:
+            out += self.kid
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "OscoreOptionValue":
+        if not data:
+            return cls()
+        flags = data[0]
+        if flags & 0xE0:
+            raise OscoreError("reserved OSCORE option flag bits set")
+        piv_length = flags & 0x07
+        if piv_length > 5:
+            raise OscoreError("invalid Partial IV length")
+        offset = 1
+        if offset + piv_length > len(data):
+            raise OscoreError("truncated Partial IV")
+        partial_iv = bytes(data[offset : offset + piv_length])
+        offset += piv_length
+        kid_context: Optional[bytes] = None
+        if flags & 0x10:
+            if offset >= len(data):
+                raise OscoreError("truncated kid context length")
+            ctx_length = data[offset]
+            offset += 1
+            if offset + ctx_length > len(data):
+                raise OscoreError("truncated kid context")
+            kid_context = bytes(data[offset : offset + ctx_length])
+            offset += ctx_length
+        kid: Optional[bytes] = None
+        if flags & 0x08:
+            kid = bytes(data[offset:])
+        elif offset != len(data):
+            raise OscoreError("trailing bytes without kid flag")
+        return cls(partial_iv=partial_iv, kid=kid, kid_context=kid_context)

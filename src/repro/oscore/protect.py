@@ -1,0 +1,244 @@
+"""OSCORE message protection and verification (RFC 8613 §8).
+
+The transformation:
+
+* **inner (plaintext)** — the real code, the Class-E options, and the
+  payload, serialised as ``code || options || 0xFF payload``;
+* **outer** — a new CoAP message exposing only Class-U options (proxy
+  routing options, and the OSCORE option itself); its code is POST for
+  requests and 2.04 Changed for responses, hiding the real semantics;
+* **COSE_Encrypt0** — the inner bytes encrypted with AES-CCM under the
+  RFC 8613 §5.4 AAD; the raw ciphertext is the outer payload.
+
+Responses reuse the request's nonce (no Partial IV on the wire) unless
+``use_new_piv`` is set — the size difference is visible in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cborlib import dumps
+from repro.coap.codes import Code
+from repro.crypto import AEADError
+from repro.coap.message import CoapMessage, MessageType
+from repro.coap.options import OptionNumber, decode_options, encode_options
+
+from .context import (
+    AES_CCM_16_64_128_ALG,
+    OscoreError,
+    SecurityContext,
+    decode_partial_iv,
+    encode_partial_iv,
+)
+from .option import OscoreOptionValue
+
+#: Options processed by proxies, therefore visible on the outer message
+#: (Class U, RFC 8613 §4.1.2).
+_CLASS_U = frozenset(
+    {
+        OptionNumber.URI_HOST,
+        OptionNumber.URI_PORT,
+        OptionNumber.PROXY_URI,
+        OptionNumber.PROXY_SCHEME,
+    }
+)
+
+
+@dataclass(frozen=True)
+class RequestBinding:
+    """The (kid, Partial IV) pair binding a response to its request."""
+
+    kid: bytes
+    partial_iv: bytes
+
+
+def _split_options(message: CoapMessage) -> Tuple[list, list]:
+    """Partition options into (outer/Class-U, inner/Class-E)."""
+    outer, inner = [], []
+    for number, value in message.options:
+        if number in _CLASS_U:
+            outer.append((number, value))
+        else:
+            inner.append((number, value))
+    return outer, inner
+
+
+def _plaintext(code: Code, inner_options: list, payload: bytes) -> bytes:
+    out = bytearray([int(code)])
+    out += encode_options(inner_options)
+    if payload:
+        out += b"\xff" + payload
+    return bytes(out)
+
+
+def _parse_plaintext(data: bytes) -> Tuple[Code, tuple, bytes]:
+    if not data:
+        raise OscoreError("empty OSCORE plaintext")
+    try:
+        code = Code(data[0])
+    except ValueError as exc:
+        raise OscoreError(f"invalid inner code 0x{data[0]:02x}") from exc
+    options, payload_offset = decode_options(data, 1)
+    return code, tuple(options), bytes(data[payload_offset:])
+
+
+def _external_aad(request_kid: bytes, request_piv: bytes) -> bytes:
+    """RFC 8613 §5.4 external_aad (I options empty, single algorithm)."""
+    external = dumps(
+        [1, [AES_CCM_16_64_128_ALG], request_kid, request_piv, b""]
+    )
+    return dumps(["Encrypt0", b"", external])
+
+
+def protect_request(
+    context: SecurityContext, request: CoapMessage,
+    outer_code: Code = Code.POST,
+) -> Tuple[CoapMessage, RequestBinding]:
+    """Encrypt *request*; returns the outer message and the binding
+    needed to verify/produce the matching response.
+
+    ``outer_code`` is POST per RFC 8613 §4.1.3.5; cacheable OSCORE uses
+    FETCH so proxies may cache the protected exchange.
+    """
+    if not request.code.is_request:
+        raise OscoreError("protect_request needs a request")
+    sequence = context.next_sequence()
+    partial_iv = encode_partial_iv(sequence)
+    outer_options, inner_options = _split_options(request)
+
+    plaintext = _plaintext(request.code, inner_options, request.payload)
+    nonce = context.nonce(context.sender_id, partial_iv)
+    aad = _external_aad(context.sender_id, partial_iv)
+    ciphertext = context.sender_aead().encrypt(nonce, plaintext, aad)
+
+    option_value = OscoreOptionValue(
+        partial_iv=partial_iv, kid=context.sender_id,
+        kid_context=context.context_id,
+    )
+    outer = CoapMessage(
+        mtype=request.mtype,
+        code=outer_code,
+        mid=request.mid,
+        token=request.token,
+        options=tuple(outer_options)
+        + ((OptionNumber.OSCORE, option_value.encode()),),
+        payload=ciphertext,
+    )
+    return outer, RequestBinding(context.sender_id, partial_iv)
+
+
+def unprotect_request(
+    context: SecurityContext, outer: CoapMessage, enforce_replay: bool = True
+) -> Tuple[CoapMessage, RequestBinding]:
+    """Verify and decrypt an incoming protected request."""
+    option_data = outer.option(OptionNumber.OSCORE)
+    if option_data is None:
+        raise OscoreError("missing OSCORE option")
+    value = OscoreOptionValue.decode(option_data)
+    if value.kid is None:
+        raise OscoreError("request without kid")
+    if value.kid != context.recipient_id:
+        raise OscoreError(
+            f"unknown kid {value.kid!r} (expected {context.recipient_id!r})"
+        )
+    sequence = decode_partial_iv(value.partial_iv)
+    if enforce_replay and not context.replay_window.check(sequence):
+        raise OscoreError(f"replayed Partial IV {sequence}")
+
+    nonce = context.nonce(value.kid, value.partial_iv)
+    aad = _external_aad(value.kid, value.partial_iv)
+    try:
+        plaintext = context.recipient_aead().decrypt(nonce, outer.payload, aad)
+    except AEADError as exc:
+        raise OscoreError("request authentication failed") from exc
+    if enforce_replay:
+        context.replay_window.accept(sequence)
+
+    code, inner_options, payload = _parse_plaintext(plaintext)
+    if not code.is_request:
+        raise OscoreError("inner message is not a request")
+    outer_options = tuple(
+        (n, v) for n, v in outer.options if n in _CLASS_U
+    )
+    request = CoapMessage(
+        mtype=outer.mtype,
+        code=code,
+        mid=outer.mid,
+        token=outer.token,
+        options=outer_options + inner_options,
+        payload=payload,
+    )
+    return request, RequestBinding(value.kid, value.partial_iv)
+
+
+def protect_response(
+    context: SecurityContext,
+    response: CoapMessage,
+    binding: RequestBinding,
+    use_new_piv: bool = False,
+    outer_code: Code = Code.CHANGED,
+    outer_options: Tuple[Tuple[int, bytes], ...] = (),
+) -> CoapMessage:
+    """Encrypt *response* bound to the request identified by *binding*.
+
+    By default the request's nonce is reused (no Partial IV on the
+    wire); ``use_new_piv`` switches to a fresh sender sequence number,
+    required e.g. for multiple responses to one request.
+    """
+    if not response.code.is_response:
+        raise OscoreError("protect_response needs a response")
+    outer_class_u, inner_options = _split_options(response)
+    plaintext = _plaintext(response.code, inner_options, response.payload)
+    aad = _external_aad(binding.kid, binding.partial_iv)
+
+    if use_new_piv:
+        partial_iv = encode_partial_iv(context.next_sequence())
+        nonce = context.nonce(context.sender_id, partial_iv)
+        option_value = OscoreOptionValue(partial_iv=partial_iv)
+    else:
+        nonce = context.nonce(binding.kid, binding.partial_iv)
+        option_value = OscoreOptionValue()
+
+    ciphertext = context.sender_aead().encrypt(nonce, plaintext, aad)
+    return CoapMessage(
+        mtype=response.mtype,
+        code=outer_code,
+        mid=response.mid,
+        token=response.token,
+        options=tuple(outer_class_u) + tuple(outer_options)
+        + ((OptionNumber.OSCORE, option_value.encode()),),
+        payload=ciphertext,
+    )
+
+
+def unprotect_response(
+    context: SecurityContext, outer: CoapMessage, binding: RequestBinding
+) -> CoapMessage:
+    """Verify and decrypt a protected response for our request."""
+    option_data = outer.option(OptionNumber.OSCORE)
+    if option_data is None:
+        raise OscoreError("missing OSCORE option")
+    value = OscoreOptionValue.decode(option_data)
+    aad = _external_aad(binding.kid, binding.partial_iv)
+    if value.partial_iv:
+        nonce = context.nonce(context.recipient_id, value.partial_iv)
+    else:
+        nonce = context.nonce(binding.kid, binding.partial_iv)
+    try:
+        plaintext = context.recipient_aead().decrypt(nonce, outer.payload, aad)
+    except AEADError as exc:
+        raise OscoreError("response authentication failed") from exc
+    code, inner_options, payload = _parse_plaintext(plaintext)
+    if not code.is_response:
+        raise OscoreError("inner message is not a response")
+    outer_options = tuple((n, v) for n, v in outer.options if n in _CLASS_U)
+    return CoapMessage(
+        mtype=outer.mtype,
+        code=code,
+        mid=outer.mid,
+        token=outer.token,
+        options=outer_options + inner_options,
+        payload=payload,
+    )

@@ -1,0 +1,26 @@
+"""Numerical DNS-over-QUIC comparison (Section 5.5, Figure 9).
+
+The paper's Figure 9 is itself a numerical evaluation: for QUIC header
+sizes spanning the best and worst cases of 0-RTT and 1-RTT packets, it
+computes the link-layer bytes a DoQ exchange would need relative to
+DTLSv1.2, CoAPSv1.2, and OSCORE. This package reproduces that
+arithmetic using the real link-layer framing from :mod:`repro.lowpan`.
+"""
+
+from .model import (
+    HEADER_RANGE_0RTT,
+    HEADER_RANGE_1RTT,
+    link_layer_bytes,
+    quic_packet_size,
+    quic_penalty,
+    penalty_series,
+)
+
+__all__ = [
+    "HEADER_RANGE_0RTT",
+    "HEADER_RANGE_1RTT",
+    "link_layer_bytes",
+    "penalty_series",
+    "quic_packet_size",
+    "quic_penalty",
+]

@@ -1,0 +1,108 @@
+"""QUIC packet-size arithmetic (Figure 9).
+
+QUIC header sizes vary with handshake type and field widths; the paper
+sweeps the 0-RTT range (40-88 bytes, long header with connection IDs
+and token) and the 1-RTT range (24-64 bytes, short header). A DoQ
+packet is header + DNS message + 16-byte AEAD tag; the penalty is its
+link-layer footprint relative to the DTLS/CoAPS/OSCORE packets built by
+:mod:`repro.experiments.packet_sizes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.packet_sizes import (
+    MEDIAN_NAME,
+    _frame_sizes_for_udp_payload,
+    dissect_transport,
+)
+
+#: TLS 1.3 AEAD tag appended to every protected QUIC packet.
+QUIC_AEAD_TAG = 16
+#: Figure 9a/9b x-axis ranges.
+HEADER_RANGE_0RTT = (40, 88)
+HEADER_RANGE_1RTT = (24, 64)
+
+_BASELINES = ("DTLSv1.2", "CoAPSv1.2", "OSCORE")
+_MESSAGES = ("query", "response_a", "response_aaaa")
+
+
+def quic_packet_size(header_size: int, dns_length: int) -> int:
+    """UDP payload of a protected QUIC packet carrying a DNS message.
+
+    DoQ (RFC 9250) prefixes each message with a 2-byte length on the
+    stream, and the stream frame costs are folded into the swept header
+    size, as in the paper's best/worst-case analysis.
+    """
+    return header_size + 2 + dns_length + QUIC_AEAD_TAG
+
+
+def link_layer_bytes(udp_payload: int) -> int:
+    """Total 802.15.4 frame bytes for a UDP payload of this size."""
+    return sum(_frame_sizes_for_udp_payload(udp_payload))
+
+
+def _baseline_link_bytes(name: str = MEDIAN_NAME) -> Dict[str, Dict[str, int]]:
+    mapping = {
+        "DTLSv1.2": dissect_transport("dtls", name=name),
+        "CoAPSv1.2": dissect_transport("coaps", name=name),
+        "OSCORE": dissect_transport("oscore", name=name),
+    }
+    out: Dict[str, Dict[str, int]] = {}
+    for transport, dissections in mapping.items():
+        out[transport] = {
+            d.message: d.total_link_bytes for d in dissections
+        }
+    return out
+
+
+def quic_penalty(
+    header_size: int,
+    baseline: str,
+    message: str,
+    name: str = MEDIAN_NAME,
+) -> float:
+    """Percentage of link-layer data DoQ needs relative to *baseline*.
+
+    100% means parity; >100% means DNS over QUIC costs more.
+    """
+    if baseline not in _BASELINES:
+        raise ValueError(f"baseline must be one of {_BASELINES}")
+    if message not in _MESSAGES:
+        raise ValueError(f"message must be one of {_MESSAGES}")
+    baselines = _baseline_link_bytes(name)
+    dns_lengths = {
+        d.message: d.dns_bytes for d in dissect_transport("udp", name=name)
+    }
+    quic_udp = quic_packet_size(header_size, dns_lengths[message])
+    quic_bytes = link_layer_bytes(quic_udp)
+    return 100.0 * quic_bytes / baselines[baseline][message]
+
+
+def penalty_series(
+    mode: str,
+    baseline: str,
+    message: str,
+    step: int = 8,
+    name: str = MEDIAN_NAME,
+) -> List[Tuple[int, float]]:
+    """The Figure 9 series: (header size, penalty %) across the sweep.
+
+    *mode* is ``"0rtt"`` or ``"1rtt"``.
+    """
+    low, high = HEADER_RANGE_0RTT if mode == "0rtt" else HEADER_RANGE_1RTT
+    return [
+        (header, quic_penalty(header, baseline, message, name))
+        for header in range(low, high + 1, step)
+    ]
+
+
+def aaaa_fragments_worst_case(name: str = MEDIAN_NAME) -> int:
+    """Fragments of an AAAA response with the largest 0-RTT header
+    (the paper: 3 fragments)."""
+    dns_lengths = {
+        d.message: d.dns_bytes for d in dissect_transport("udp", name=name)
+    }
+    payload = quic_packet_size(HEADER_RANGE_0RTT[1], dns_lengths["response_aaaa"])
+    return len(_frame_sizes_for_udp_payload(payload))

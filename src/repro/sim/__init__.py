@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's FIT IoT-LAB testbed: a deterministic event loop
+(:mod:`repro.sim.core`), a shared-medium radio model with airtime,
+loss, and link-layer retransmissions (:mod:`repro.sim.medium`), a
+frame sniffer standing in for the testbed's ``sniffer_aggregator``
+(:mod:`repro.sim.trace`), and a Poisson workload generator
+(:mod:`repro.sim.workload`).
+"""
+
+from .core import Event, Simulator
+from .medium import RadioLink, RadioMedium
+from .trace import FrameRecord, Sniffer
+from .workload import poisson_arrival_times
+
+__all__ = [
+    "Event",
+    "FrameRecord",
+    "RadioLink",
+    "RadioMedium",
+    "Simulator",
+    "Sniffer",
+    "poisson_arrival_times",
+]

@@ -1,0 +1,89 @@
+"""Deterministic discrete-event loop.
+
+A minimal scheduler in the style of SimPy's core but callback-based:
+events are ``(time, sequence, callback)`` triples on a heap; equal
+times fire in scheduling order, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide RNG (`self.rng`); all stochastic
+        behaviour (loss, back-off jitter, Poisson arrivals) must draw
+        from it so runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 1) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self.rng = random.Random(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Run ``callback(*args)`` after *delay* seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(self._now + delay, callback, args)
+        heapq.heappush(self._heap, (event.time, next(self._sequence), event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute simulated *time*."""
+        return self.schedule(max(0.0, time - self._now), callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Process events until the heap is empty or *until* is reached."""
+        processed = 0
+        while self._heap:
+            time, _, event = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            self._now = time
+            if event.cancelled:
+                continue
+            event.callback(*event.args)
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events — likely a loop"
+                )
+        if until is not None:
+            self._now = until
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled events."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)

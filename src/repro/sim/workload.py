@@ -1,0 +1,29 @@
+"""Workload generation: the paper's Poisson query process.
+
+Section 5.1: "The query rate is Poisson-distributed with λ = 5
+queries/s" across the clients, for 50 names per run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def poisson_arrival_times(
+    rng: random.Random, rate: float, count: int, start: float = 0.0
+) -> List[float]:
+    """*count* arrival times of a Poisson process with *rate* events/s.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    times = []
+    current = start
+    for _ in range(count):
+        current += rng.expovariate(rate)
+        times.append(current)
+    return times

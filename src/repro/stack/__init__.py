@@ -1,0 +1,19 @@
+"""Per-node network stacks and topology construction.
+
+A :class:`Node` owns a 6LoWPAN interface on the shared radio medium
+(or a wired attachment for the border-router/host link), an IPv6
+forwarding table (the static stand-in for the paper's RPL routes), and
+a UDP socket table. :class:`Network` wires nodes into topologies such
+as the paper's Figure 2.
+"""
+
+from .node import Node, UdpSocket
+from .network import Network, build_figure2_topology, Figure2Topology
+
+__all__ = [
+    "Figure2Topology",
+    "Network",
+    "Node",
+    "UdpSocket",
+    "build_figure2_topology",
+]

@@ -1,0 +1,146 @@
+"""Topology construction, including the paper's Figure 2 deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.ipv6 import global_address
+from repro.sim.core import Simulator
+from repro.sim.medium import RadioMedium
+from repro.sim.trace import Sniffer
+
+from .node import Node
+
+
+class Network:
+    """A simulation network: one radio medium plus wired attachments."""
+
+    def __init__(self, sim: Simulator, l2_retries: int = 3) -> None:
+        self.sim = sim
+        self.medium = RadioMedium(sim, l2_retries=l2_retries)
+        self.sniffer = Sniffer(self.medium)
+        self.nodes: Dict[str, Node] = {}
+        self._next_iid = 1
+
+    def add_node(self, name: str, wireless: bool = True) -> Node:
+        """Create a node; wireless nodes attach to the shared medium."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        iid = self._next_iid
+        self._next_iid += 1
+        node = Node(
+            name=name,
+            sim=self.sim,
+            address=global_address(iid),
+            mac=0x0200_0000_0000_1000 | iid,
+            medium=self.medium if wireless else None,
+        )
+        node._neighbour_names = {}
+        self.nodes[name] = node
+        return node
+
+    def connect_radio(self, a: str, b: str, loss: float = 0.0) -> None:
+        """Radio adjacency with symmetric per-frame loss probability."""
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        self.medium.connect(a, b, loss)
+        node_a.add_radio_neighbour(node_b.address, node_b.mac)
+        node_b.add_radio_neighbour(node_a.address, node_a.mac)
+        node_a._neighbour_names[node_b.address] = b
+        node_b._neighbour_names[node_a.address] = a
+
+    def connect_wired(self, a: str, b: str, latency: float = 0.001) -> None:
+        """Lossless wired link (the BR's TCP-tunneled UART + Ethernet)."""
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        node_a.add_wired_neighbour(node_b.address, node_b, latency)
+        node_b.add_wired_neighbour(node_a.address, node_a, latency)
+
+    def set_route(self, node: str, dst: str, via: str) -> None:
+        self.nodes[node].set_route(self.nodes[dst].address, self.nodes[via].address)
+
+    def set_default_route(self, node: str, via: str) -> None:
+        self.nodes[node].default_route = self.nodes[via].address
+
+
+@dataclass
+class Figure2Topology:
+    """The paper's deployment: C1, C2 → P (forwarder) → BR → S (resolver)."""
+
+    network: Network
+    clients: List[Node]
+    forwarder: Node
+    border_router: Node
+    resolver_host: Node
+
+    @property
+    def sniffer(self) -> Sniffer:
+        return self.network.sniffer
+
+    def client_proxy_frames(self) -> int:
+        """Frames on the 2-hop-distance links (clients ↔ forwarder)."""
+        return sum(
+            self.sniffer.frame_count(client.name, self.forwarder.name)
+            for client in self.clients
+        )
+
+    def proxy_sink_frames(self) -> int:
+        """Frames on the 1-hop-distance bottleneck (forwarder ↔ BR)."""
+        return self.sniffer.frame_count(
+            self.forwarder.name, self.border_router.name
+        )
+
+    def client_proxy_bytes(self) -> int:
+        return sum(
+            self.sniffer.bytes_on_link(client.name, self.forwarder.name)
+            for client in self.clients
+        )
+
+    def proxy_sink_bytes(self) -> int:
+        return self.sniffer.bytes_on_link(
+            self.forwarder.name, self.border_router.name
+        )
+
+
+def build_figure2_topology(
+    sim: Simulator,
+    clients: int = 2,
+    loss: float = 0.0,
+    l2_retries: int = 3,
+) -> Figure2Topology:
+    """Construct the two-wireless-hop topology of Figure 2.
+
+    Clients reach the resolver host via the forwarder (radio hop), the
+    border router (radio hop), and a wired BR↔host link. Static routes
+    model the converged RPL DODAG of the testbed.
+    """
+    network = Network(sim, l2_retries=l2_retries)
+    client_nodes = [
+        network.add_node(f"c{i + 1}") for i in range(clients)
+    ]
+    forwarder = network.add_node("forwarder")
+    border_router = network.add_node("br")
+    host = network.add_node("host", wireless=False)
+
+    for client in client_nodes:
+        network.connect_radio(client.name, "forwarder", loss=loss)
+    network.connect_radio("forwarder", "br", loss=loss)
+    network.connect_wired("br", "host")
+
+    # Upward default routes; downward host routes per client.
+    for client in client_nodes:
+        network.set_default_route(client.name, "forwarder")
+    network.set_default_route("forwarder", "br")
+    network.set_default_route("br", "host")
+    network.set_default_route("host", "br")
+    for client in client_nodes:
+        network.set_route("br", client.name, "forwarder")
+        network.set_route("host", client.name, "br")
+        network.set_route("forwarder", client.name, client.name)
+
+    return Figure2Topology(
+        network=network,
+        clients=client_nodes,
+        forwarder=forwarder,
+        border_router=border_router,
+        resolver_host=host,
+    )

@@ -1,0 +1,220 @@
+"""A simulated IPv6/6LoWPAN node with UDP sockets and static routing."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import ipaddress
+
+from repro.lowpan import LowpanAdaptation, MacFrame
+
+#: IEEE 802.15.4 broadcast address (16-bit 0xFFFF, widened here).
+BROADCAST_MAC = 0xFFFF
+from repro.net.ipv6 import Ipv6Packet
+from repro.net.udp import UdpDatagram
+from repro.sim.core import Simulator
+from repro.sim.medium import RadioMedium
+
+
+class StackError(Exception):
+    """Raised on stack misconfiguration (no route, port in use, ...)."""
+
+
+class UdpSocket:
+    """A bound UDP port on a node.
+
+    Attributes
+    ----------
+    on_datagram:
+        Callback ``(src_addr, src_port, payload, metadata)`` invoked for
+        every datagram delivered to this port.
+    """
+
+    def __init__(self, node: "Node", port: int) -> None:
+        self.node = node
+        self.port = port
+        self.on_datagram: Optional[Callable[[str, int, bytes, dict], None]] = None
+
+    def sendto(
+        self,
+        payload: bytes,
+        dst_addr: str,
+        dst_port: int,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        """Send *payload* to ``dst_addr:dst_port``.
+
+        *metadata* is carried with the resulting frames for the sniffer
+        (e.g. ``{"kind": "query"}``).
+        """
+        datagram = UdpDatagram(self.port, dst_port, payload)
+        packet = Ipv6Packet(
+            self.node.address,
+            dst_addr,
+            datagram.encode(self.node.address, dst_addr),
+        )
+        self.node.send_packet(packet, dict(metadata or {}))
+
+    def close(self) -> None:
+        self.node._sockets.pop(self.port, None)
+
+
+class Node:
+    """One network node: radio or wired attachment, routing, UDP."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        address: str,
+        mac: int,
+        medium: Optional[RadioMedium] = None,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.address = address
+        self.mac = mac
+        self.medium = medium
+        self.lowpan = LowpanAdaptation(mac)
+        self._sockets: Dict[int, UdpSocket] = {}
+        #: dst address -> next hop address (static RPL stand-in).
+        self.routes: Dict[str, str] = {}
+        self.default_route: Optional[str] = None
+        #: neighbour address -> (is_wireless, mac or peer node)
+        self._neighbours: Dict[str, Tuple[bool, object]] = {}
+        self._ephemeral_port = 49152
+        #: Multicast groups this node has joined (ff02::/16 link scope).
+        self.multicast_groups: set = set()
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        if medium is not None:
+            medium.register(name, self._receive_frame)
+
+    # -- configuration ---------------------------------------------------
+
+    def add_radio_neighbour(self, address: str, mac: int) -> None:
+        self._neighbours[address] = (True, mac)
+
+    def add_wired_neighbour(self, address: str, peer: "Node", latency: float) -> None:
+        self._neighbours[address] = (False, (peer, latency))
+
+    def set_route(self, dst_addr: str, next_hop_addr: str) -> None:
+        self.routes[dst_addr] = next_hop_addr
+
+    def join_group(self, group_addr: str) -> None:
+        """Subscribe to a link-local multicast group."""
+        if not ipaddress.IPv6Address(group_addr).is_multicast:
+            raise StackError(f"{group_addr} is not a multicast address")
+        self.multicast_groups.add(
+            str(ipaddress.IPv6Address(group_addr))
+        )
+
+    def bind(self, port: int = 0) -> UdpSocket:
+        """Bind a UDP socket; port 0 picks an ephemeral port."""
+        if port == 0:
+            while self._ephemeral_port in self._sockets:
+                self._ephemeral_port += 1
+            port = self._ephemeral_port
+            self._ephemeral_port += 1
+        if port in self._sockets:
+            raise StackError(f"port {port} already bound on {self.name}")
+        socket = UdpSocket(self, port)
+        self._sockets[port] = socket
+        return socket
+
+    # -- sending / forwarding ----------------------------------------------
+
+    def _next_hop(self, dst_addr: str) -> str:
+        if dst_addr in self._neighbours:
+            return dst_addr
+        next_hop = self.routes.get(dst_addr, self.default_route)
+        if next_hop is None:
+            raise StackError(f"{self.name}: no route to {dst_addr}")
+        return next_hop
+
+    def send_packet(self, packet: Ipv6Packet, metadata: dict) -> None:
+        """Route *packet* out of this node (also used when forwarding)."""
+        if packet.dst == self.address:
+            self._deliver(packet, metadata)
+            return
+        if ipaddress.IPv6Address(packet.dst).is_multicast:
+            self._send_multicast(packet, metadata)
+            return
+        next_hop = self._next_hop(packet.dst)
+        wireless, info = self._neighbours[next_hop]
+        if wireless:
+            if self.medium is None:
+                raise StackError(f"{self.name} has no radio")
+            next_mac = info
+            frames = self.lowpan.packet_to_frames(packet, next_mac)
+            neighbour_name = self._neighbour_name(next_hop)
+            for frame in frames:
+                self.medium.transmit(
+                    self.name, neighbour_name, frame.encode(), dict(metadata)
+                )
+        else:
+            peer, latency = info
+            self.sim.schedule(latency, peer._receive_packet, packet, dict(metadata))
+
+    def _send_multicast(self, packet: Ipv6Packet, metadata: dict) -> None:
+        """Broadcast a link-scope multicast packet to all neighbours."""
+        if self.medium is None:
+            raise StackError(f"{self.name} has no radio for multicast")
+        frames = self.lowpan.packet_to_frames(packet, BROADCAST_MAC)
+        for frame in frames:
+            self.medium.broadcast(self.name, frame.encode(), dict(metadata))
+        # Loopback: members on this node also receive the packet.
+        if str(packet.dst) in self.multicast_groups:
+            self._deliver(packet, metadata)
+
+    def _neighbour_name(self, address: str) -> str:
+        # Radio interfaces are registered under node names; the network
+        # object fills this mapping in.
+        name = self._neighbour_names.get(address)
+        if name is None:
+            raise StackError(f"{self.name}: unknown neighbour {address}")
+        return name
+
+    _neighbour_names: Dict[str, str]
+
+    # -- receiving ------------------------------------------------------------
+
+    def _receive_frame(self, src_name: str, frame_bytes: bytes, metadata: dict) -> None:
+        frame = MacFrame.decode(frame_bytes)
+        if frame.dst != self.mac and frame.dst != BROADCAST_MAC:
+            return  # not for us (promiscuous frames ignored)
+        packet = self.lowpan.frame_to_packet(frame, self.sim.now)
+        if packet is None:
+            return  # awaiting more fragments
+        self._receive_packet(packet, metadata)
+
+    def _receive_packet(self, packet: Ipv6Packet, metadata: dict) -> None:
+        if packet.dst == self.address:
+            self._deliver(packet, metadata)
+            return
+        if ipaddress.IPv6Address(packet.dst).is_multicast:
+            # Link-scope multicast is never forwarded; deliver only to
+            # joined groups.
+            if str(packet.dst) in self.multicast_groups:
+                self._deliver(packet, metadata)
+            return
+        # Forward.
+        if packet.hop_limit <= 1:
+            self.packets_dropped += 1
+            return
+        self.packets_forwarded += 1
+        self.send_packet(packet.hop_decremented(), metadata)
+
+    def _deliver(self, packet: Ipv6Packet, metadata: dict) -> None:
+        try:
+            datagram = UdpDatagram.decode(packet.payload)
+        except ValueError:
+            self.packets_dropped += 1
+            return
+        socket = self._sockets.get(datagram.dst_port)
+        if socket is None or socket.on_datagram is None:
+            self.packets_dropped += 1
+            return
+        self.packets_delivered += 1
+        socket.on_datagram(packet.src, datagram.src_port, datagram.payload, metadata)

@@ -1,0 +1,20 @@
+"""DNS transport baselines and secure-socket adapters.
+
+The paper compares DoC against DNS over UDP and DNS over DTLS
+(Section 5). Both baselines live here, together with the DTLS socket
+adapter that also underpins CoAPS (CoAP over DTLS).
+"""
+
+from .dtls_adapter import DtlsClientAdapter, DtlsServerAdapter, preestablish
+from .dns_over_udp import DnsOverUdpClient, DnsOverUdpServer
+from .dns_over_dtls import DnsOverDtlsClient, DnsOverDtlsServer
+
+__all__ = [
+    "DnsOverDtlsClient",
+    "DnsOverDtlsServer",
+    "DnsOverUdpClient",
+    "DnsOverUdpServer",
+    "DtlsClientAdapter",
+    "DtlsServerAdapter",
+    "preestablish",
+]

@@ -1,0 +1,57 @@
+"""DNS over DTLS (RFC 8094): the encrypted datagram baseline.
+
+Identical DNS logic to :mod:`repro.transports.dns_over_udp`, but the
+socket is a DTLS adapter — exactly how the paper's DoDTLS client reuses
+the generic DNS message interface over ``sock_dtls`` (Appendix B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.coap.reliability import ReliabilityParams
+from repro.dns import DNSCache, RecursiveResolver
+from repro.sim.core import Simulator
+
+from .dtls_adapter import DtlsClientAdapter, DtlsServerAdapter
+from .dns_over_udp import DnsOverUdpClient, DnsOverUdpServer
+
+DNS_OVER_DTLS_PORT = 853
+
+
+class DnsOverDtlsClient(DnsOverUdpClient):
+    """A stub resolver whose datagrams travel through a DTLS session."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        udp_socket,
+        server: Tuple[str, int],
+        psk: bytes = b"secretPSK",
+        psk_identity: bytes = b"Client_identity",
+        params: ReliabilityParams = ReliabilityParams(),
+        dns_cache: Optional[DNSCache] = None,
+    ) -> None:
+        self.adapter = DtlsClientAdapter(
+            sim, udp_socket, server, psk=psk, psk_identity=psk_identity
+        )
+        super().__init__(
+            sim, self.adapter, server, params=params, dns_cache=dns_cache
+        )
+
+
+class DnsOverDtlsServer(DnsOverUdpServer):
+    """The recursive resolver behind a DTLS server adapter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        udp_socket,
+        resolver: RecursiveResolver,
+        psk_store: Optional[Dict[bytes, bytes]] = None,
+        response_delay: float = 0.0,
+    ) -> None:
+        self.adapter = DtlsServerAdapter(sim, udp_socket, psk_store=psk_store)
+        super().__init__(
+            sim, self.adapter, resolver, response_delay=response_delay
+        )

@@ -1,0 +1,235 @@
+"""Socket-shaped adapters that tunnel datagrams through DTLS sessions.
+
+Both adapters expose the same interface as :class:`repro.stack.node.UdpSocket`
+(``sendto`` + ``on_datagram``), so CoAP endpoints and DNS clients stack
+on top of them unchanged — mirroring RIOT's ``sock_dtls`` wrapping
+``sock_udp`` (Appendix B, Figure 13).
+
+The paper pre-initialises DTLS sessions before measurements
+(Section 5.1); :func:`preestablish` performs that out-of-band handshake
+in zero simulated time. A full in-network handshake is also supported
+for the session-setup packet analysis of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.dtls import DtlsError, DtlsSession
+from repro.dtls.session import establish_pair
+from repro.sim.core import Simulator
+
+
+#: RFC 6347 §4.2.4: initial retransmission timer 1 s, doubling up to a
+#: 60 s ceiling; a bounded retry count keeps simulations terminating.
+HANDSHAKE_TIMEOUT = 1.0
+HANDSHAKE_TIMEOUT_CEILING = 60.0
+HANDSHAKE_MAX_RETRIES = 10
+
+
+class DtlsClientAdapter:
+    """Client-side DTLS: one session to a fixed server endpoint.
+
+    Handshake flights are retransmitted with the RFC 6347 §4.2.4 timer
+    (1 s initial, doubling) so lossy links cannot stall the session —
+    the paper's Section 2.2 point that "long duty-cycles in lossy
+    networks conflict with the handshake requirements of DTLS" is
+    exactly this retransmission traffic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket,
+        server: Tuple[str, int],
+        psk: bytes = b"secretPSK",
+        psk_identity: bytes = b"Client_identity",
+    ) -> None:
+        self.sim = sim
+        self.socket = socket
+        self.server = server
+        self.session: Optional[DtlsSession] = None
+        self._psk = psk
+        self._identity = psk_identity
+        self.on_datagram: Optional[Callable[[str, int, bytes, dict], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self._send_queue = []
+        self._last_flight: list = []
+        self._flight_retries = 0
+        self._flight_timer = None
+        self._seen_handshake_datagrams: set = set()
+        self.handshake_retransmissions = 0
+        socket.on_datagram = self._receive
+
+    def handshake(self) -> None:
+        """Start an in-network handshake (flights travel the topology)."""
+        self.session = DtlsSession(
+            "client", psk=self._psk, psk_identity=self._identity, rng=self.sim.rng
+        )
+        first = self.session.start_handshake()
+        self._send_flight([first])
+
+    def _send_flight(self, datagrams: list) -> None:
+        self._last_flight = list(datagrams)
+        self._flight_retries = 0
+        for datagram in datagrams:
+            self.socket.sendto(
+                datagram, self.server[0], self.server[1],
+                {"kind": "dtls-handshake"},
+            )
+        self._arm_flight_timer(HANDSHAKE_TIMEOUT)
+
+    def _arm_flight_timer(self, timeout: float) -> None:
+        if self._flight_timer is not None:
+            self._flight_timer.cancel()
+        self._flight_timer = self.sim.schedule(
+            timeout, self._on_flight_timeout, timeout
+        )
+
+    def _on_flight_timeout(self, timeout: float) -> None:
+        if self.session is None or self.session.established:
+            return
+        if self._flight_retries >= HANDSHAKE_MAX_RETRIES:
+            return  # abandoned; a fresh handshake() can restart
+        self._flight_retries += 1
+        self.handshake_retransmissions += 1
+        for datagram in self._last_flight:
+            self.socket.sendto(
+                datagram, self.server[0], self.server[1],
+                {"kind": "dtls-handshake", "retransmission": True},
+            )
+        self._arm_flight_timer(min(timeout * 2, HANDSHAKE_TIMEOUT_CEILING))
+
+    def adopt_session(self, session: DtlsSession) -> None:
+        """Install a pre-established session (the paper's setup)."""
+        self.session = session
+
+    def sendto(self, payload: bytes, dst_addr: str, dst_port: int, metadata=None) -> None:
+        if self.session is None or not self.session.established:
+            self._send_queue.append((payload, dst_addr, dst_port, metadata))
+            if self.session is None:
+                self.handshake()
+            return
+        record = self.session.protect(payload)
+        self.socket.sendto(record, dst_addr, dst_port, dict(metadata or {}))
+
+    def _receive(self, src_addr: str, src_port: int, data: bytes, metadata: dict) -> None:
+        if self.session is None:
+            return
+        in_handshake = not self.session.established
+        if in_handshake:
+            # Duplicate server flights (triggered by our own handshake
+            # retransmissions) must not be reprocessed: they would
+            # advance the transcript twice and break Finished.
+            key = bytes(data)
+            if key in self._seen_handshake_datagrams:
+                return
+        try:
+            events = self.session.handle_datagram(data)
+        except DtlsError:
+            # Out-of-order flight (e.g. ServerHelloDone overtaking a
+            # lost ServerHello): drop it; the retransmission timer will
+            # bring the full flight around again.
+            return
+        if in_handshake:
+            self._seen_handshake_datagrams.add(key)
+        if events.outgoing:
+            flight = [datagram for _name, datagram in events.outgoing]
+            self._send_flight(flight)
+        if self.session.established:
+            if self._flight_timer is not None:
+                self._flight_timer.cancel()
+                self._flight_timer = None
+            if self._send_queue:
+                queued, self._send_queue = self._send_queue, []
+                for payload, dst_addr, dst_port, md in queued:
+                    self.sendto(payload, dst_addr, dst_port, md)
+                if self.on_established is not None:
+                    self.on_established()
+        for app in events.app_data:
+            if self.on_datagram is not None:
+                self.on_datagram(src_addr, src_port, app, metadata)
+
+
+class DtlsServerAdapter:
+    """Server-side DTLS: one session per client endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket,
+        psk_store: Optional[Dict[bytes, bytes]] = None,
+    ) -> None:
+        self.sim = sim
+        self.socket = socket
+        self._psk_store = psk_store or {b"Client_identity": b"secretPSK"}
+        self._sessions: Dict[Tuple[str, int], DtlsSession] = {}
+        #: peer -> {incoming datagram bytes: outgoing reply datagrams};
+        #: duplicates (client retransmissions) replay the cached reply
+        #: instead of re-driving the handshake state machine.
+        self._handshake_replies: Dict[Tuple[str, int], Dict[bytes, list]] = {}
+        self.on_datagram: Optional[Callable[[str, int, bytes, dict], None]] = None
+        socket.on_datagram = self._receive
+
+    def adopt_session(self, peer: Tuple[str, int], session: DtlsSession) -> None:
+        self._sessions[peer] = session
+
+    def sendto(self, payload: bytes, dst_addr: str, dst_port: int, metadata=None) -> None:
+        session = self._sessions.get((dst_addr, dst_port))
+        if session is None or not session.established:
+            raise RuntimeError(f"no DTLS session with {dst_addr}:{dst_port}")
+        record = session.protect(payload)
+        self.socket.sendto(record, dst_addr, dst_port, dict(metadata or {}))
+
+    def _receive(self, src_addr: str, src_port: int, data: bytes, metadata: dict) -> None:
+        peer = (src_addr, src_port)
+        session = self._sessions.get(peer)
+        if session is None:
+            session = DtlsSession(
+                "server", psk_store=self._psk_store, rng=self.sim.rng
+            )
+            self._sessions[peer] = session
+        replies = self._handshake_replies.setdefault(peer, {})
+        key = bytes(data)
+        if key in replies:
+            # A client handshake retransmission (possibly arriving
+            # after we completed): replay our reply flight without
+            # touching the state machine.
+            for datagram in replies[key]:
+                self.socket.sendto(
+                    datagram, src_addr, src_port,
+                    {"kind": "dtls-handshake", "retransmission": True},
+                )
+            return
+        try:
+            events = session.handle_datagram(data)
+        except DtlsError:
+            # Out-of-order flight (e.g. CCS overtaking a lost
+            # ClientKeyExchange): drop; the client retransmits.
+            return
+        if not session.established or events.outgoing:
+            replies[key] = [datagram for _name, datagram in events.outgoing]
+        for name, datagram in events.outgoing:
+            self.socket.sendto(
+                datagram, src_addr, src_port,
+                {"kind": "dtls-handshake", "handshake": name},
+            )
+        for app in events.app_data:
+            if self.on_datagram is not None:
+                self.on_datagram(src_addr, src_port, app, metadata)
+
+
+def preestablish(
+    client_adapter: DtlsClientAdapter,
+    server_adapter: DtlsServerAdapter,
+    client_endpoint: Tuple[str, int],
+    psk: bytes = b"secretPSK",
+    psk_identity: bytes = b"Client_identity",
+) -> None:
+    """Create a matching session pair out-of-band (zero network traffic),
+    replicating the paper's pre-initialised DTLS sessions."""
+    client_session, server_session, _flights = establish_pair(
+        psk=psk, psk_identity=psk_identity, rng=client_adapter.sim.rng
+    )
+    client_adapter.adopt_session(client_session)
+    server_adapter.adopt_session(client_endpoint, server_session)

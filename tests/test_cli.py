@@ -1,0 +1,51 @@
+"""CLI smoke tests: every subcommand runs and prints sensible output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_dissect(capsys):
+    assert main(["dissect", "--transport", "oscore"]) == 0
+    out = capsys.readouterr().out
+    assert "response_aaaa" in out
+    assert "FRAGMENTED" in out
+
+
+def test_dissect_get_method(capsys):
+    assert main(["dissect", "--transport", "coap", "--method", "get"]) == 0
+    assert "query" in capsys.readouterr().out
+
+
+def test_resolve(capsys):
+    assert main(["resolve", "--names", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ms") == 2
+    assert "FAILED" not in out
+
+
+def test_experiment(capsys):
+    assert main([
+        "experiment", "--transport", "udp", "--queries", "10",
+        "--loss", "0.05",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "success rate:     100.00%" in out
+    assert "median" in out
+
+
+def test_memory(capsys):
+    assert main(["memory"]) == 0
+    out = capsys.readouterr().out
+    assert "OSCORE" in out and "QUIC" in out
+
+
+def test_compress(capsys):
+    assert main(["compress", "--name", "name0000.example-iot.org"]) == 0
+    out = capsys.readouterr().out
+    assert "wire  70 B" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

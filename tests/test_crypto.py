@@ -1,0 +1,202 @@
+"""Crypto tests: official vectors plus property-based round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    AEADError,
+    AES128,
+    AESCCM,
+    AES_128_CCM_8,
+    AES_CCM_16_64_128,
+    hkdf_expand,
+    hkdf_extract,
+    hkdf_sha256,
+    tls12_prf,
+)
+
+
+class TestAes:
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert (
+            AES128(key).encrypt_block(plaintext).hex()
+            == "69c4e0d86a7b0430d8cdb78070b4c55a"
+        )
+
+    def test_zero_vector(self):
+        assert (
+            AES128(bytes(16)).encrypt_block(bytes(16)).hex()
+            == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+        )
+
+    def test_nist_ecb_vector(self):
+        # NIST SP 800-38A F.1.1 ECB-AES128 block #1
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        block = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert (
+            AES128(key).encrypt_block(block).hex()
+            == "3ad77bb40d7a3660a89ecaf32466ef97"
+        )
+
+    def test_key_length_validation(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(15))
+
+    def test_block_length_validation(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(bytes(15))
+
+    def test_deterministic(self):
+        cipher = AES128(b"0123456789abcdef")
+        assert cipher.encrypt_block(bytes(16)) == cipher.encrypt_block(bytes(16))
+
+
+# RFC 3610 packet vectors (key, nonce, total packet with 8-byte header,
+# expected ciphertext) for M=8, L=2.
+_RFC3610_KEY = bytes.fromhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
+_RFC3610_VECTORS = [
+    (
+        "00000003020100A0A1A2A3A4A5",
+        "0001020304050607",
+        "08090A0B0C0D0E0F101112131415161718191A1B1C1D1E",
+        "588C979A61C663D2F066D0C2C0F989806D5F6B61DAC38417E8D12CFDF926E0",
+    ),
+    (
+        "00000004030201A0A1A2A3A4A5",
+        "0001020304050607",
+        "08090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F",
+        "72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916",
+    ),
+    (
+        "00000005040302A0A1A2A3A4A5",
+        "0001020304050607",
+        "08090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F20",
+        "51B1E5F44A197D1DA46B0F8E2D282AE871E838BB64DA8596574ADAA76FBD9FB0C5",
+    ),
+]
+
+
+class TestCcm:
+    @pytest.mark.parametrize("nonce_hex,aad_hex,pt_hex,ct_hex", _RFC3610_VECTORS)
+    def test_rfc3610_vectors(self, nonce_hex, aad_hex, pt_hex, ct_hex):
+        ccm = AESCCM(_RFC3610_KEY, tag_length=8, nonce_length=13)
+        nonce = bytes.fromhex(nonce_hex)
+        aad = bytes.fromhex(aad_hex)
+        plaintext = bytes.fromhex(pt_hex)
+        ciphertext = ccm.encrypt(nonce, plaintext, aad)
+        assert ciphertext.hex().upper() == ct_hex
+        assert ccm.decrypt(nonce, ciphertext, aad) == plaintext
+
+    def test_tamper_detection_ciphertext(self):
+        ccm = AES_CCM_16_64_128(bytes(16))
+        nonce = bytes(13)
+        ct = bytearray(ccm.encrypt(nonce, b"hello", b"aad"))
+        ct[0] ^= 1
+        with pytest.raises(AEADError):
+            ccm.decrypt(nonce, bytes(ct), b"aad")
+
+    def test_tamper_detection_aad(self):
+        ccm = AES_CCM_16_64_128(bytes(16))
+        nonce = bytes(13)
+        ct = ccm.encrypt(nonce, b"hello", b"aad")
+        with pytest.raises(AEADError):
+            ccm.decrypt(nonce, ct, b"AAD")
+
+    def test_wrong_nonce_fails(self):
+        ccm = AES_CCM_16_64_128(bytes(16))
+        ct = ccm.encrypt(bytes(13), b"hello")
+        with pytest.raises(AEADError):
+            ccm.decrypt(b"\x01" + bytes(12), ct)
+
+    def test_short_ciphertext_rejected(self):
+        ccm = AES_CCM_16_64_128(bytes(16))
+        with pytest.raises(AEADError):
+            ccm.decrypt(bytes(13), b"\x00" * 7)
+
+    def test_dtls_suite_parameters(self):
+        ccm = AES_128_CCM_8(bytes(16))
+        assert ccm.nonce_length == 12
+        assert ccm.tag_length == 8
+        assert ccm.overhead == 8
+
+    def test_oscore_suite_parameters(self):
+        ccm = AES_CCM_16_64_128(bytes(16))
+        assert ccm.nonce_length == 13
+        assert ccm.tag_length == 8
+
+    def test_nonce_length_validated(self):
+        ccm = AES_128_CCM_8(bytes(16))
+        with pytest.raises(ValueError):
+            ccm.encrypt(bytes(13), b"x")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AESCCM(bytes(16), tag_length=7)
+        with pytest.raises(ValueError):
+            AESCCM(bytes(16), nonce_length=6)
+
+    def test_empty_plaintext(self):
+        ccm = AES_CCM_16_64_128(bytes(16))
+        ct = ccm.encrypt(bytes(13), b"", b"only-aad")
+        assert len(ct) == 8
+        assert ccm.decrypt(bytes(13), ct, b"only-aad") == b""
+
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.binary(min_size=13, max_size=13),
+        st.binary(max_size=128),
+        st.binary(max_size=64),
+    )
+    def test_round_trip_property(self, key, nonce, plaintext, aad):
+        ccm = AES_CCM_16_64_128(key)
+        assert ccm.decrypt(nonce, ccm.encrypt(nonce, plaintext, aad), aad) == plaintext
+
+
+class TestKdf:
+    def test_rfc5869_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf_sha256(salt, ikm, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf_sha256(b"", ikm, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_extract_empty_salt_uses_zero_key(self):
+        assert hkdf_extract(b"", b"ikm") == hkdf_extract(bytes(32), b"ikm")
+
+    def test_expand_length_cap(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_expand_lengths(self, length):
+        assert len(hkdf_expand(bytes(32), b"info", length)) == length
+
+    def test_prf_deterministic_and_length(self):
+        out = tls12_prf(b"secret", b"master secret", b"seed", 48)
+        assert len(out) == 48
+        assert out == tls12_prf(b"secret", b"master secret", b"seed", 48)
+
+    def test_prf_label_separation(self):
+        a = tls12_prf(b"secret", b"client finished", b"seed", 12)
+        b = tls12_prf(b"secret", b"server finished", b"seed", 12)
+        assert a != b
+
+    def test_prf_known_answer(self):
+        # Published P_SHA256 test vector (TLS 1.2 PRF, 100-byte output).
+        secret = bytes.fromhex("9bbe436ba940f017b17652849a71db35")
+        seed = bytes.fromhex("a0ba9f936cda311827a6f796ffd5198c")
+        out = tls12_prf(secret, b"test label", seed, 100)
+        assert out.hex().startswith("e3f229ba727be17b8d122620557cd453")

@@ -1,0 +1,119 @@
+"""Tests for the DoH-like vs EOL-TTLs schemes (Section 4.2)."""
+
+import pytest
+
+from repro.dns import (
+    AAAAData,
+    DNSClass,
+    Flags,
+    Message,
+    Question,
+    RecordType,
+    ResourceRecord,
+)
+from repro.doc.caching import (
+    CachingScheme,
+    compute_etag,
+    prepare_response,
+    restore_ttls,
+)
+
+
+def _response(ttls=(60, 30)):
+    return Message(
+        flags=Flags(qr=True),
+        questions=(Question("example.org", RecordType.AAAA),),
+        answers=tuple(
+            ResourceRecord("example.org", RecordType.AAAA, DNSClass.IN, ttl,
+                           AAAAData(f"2001:db8::{i + 1}"))
+            for i, ttl in enumerate(ttls)
+        ),
+    )
+
+
+class TestPrepareResponse:
+    def test_max_age_is_min_ttl_both_schemes(self):
+        for scheme in CachingScheme:
+            prepared = prepare_response(_response((60, 30)), scheme)
+            assert prepared.max_age == 30
+
+    def test_eol_zeroes_ttls(self):
+        prepared = prepare_response(_response(), CachingScheme.EOL_TTLS)
+        decoded = Message.decode(prepared.payload)
+        assert all(r.ttl == 0 for r in decoded.answers)
+
+    def test_doh_like_keeps_ttls(self):
+        prepared = prepare_response(_response((60, 30)), CachingScheme.DOH_LIKE)
+        decoded = Message.decode(prepared.payload)
+        assert [r.ttl for r in decoded.answers] == [60, 30]
+
+    def test_eol_etag_stable_under_ttl_change(self):
+        """The core EOL-TTLs property: TTL churn does not change the
+        representation, so revalidation keeps working (Figure 3)."""
+        a = prepare_response(_response((60, 30)), CachingScheme.EOL_TTLS)
+        b = prepare_response(_response((17, 5)), CachingScheme.EOL_TTLS)
+        assert a.etag == b.etag
+        assert a.payload == b.payload
+        assert a.max_age != b.max_age
+
+    def test_doh_like_etag_changes_with_ttl(self):
+        """...and the DoH-like failure mode: aged TTLs change the ETag."""
+        a = prepare_response(_response((60, 30)), CachingScheme.DOH_LIKE)
+        b = prepare_response(_response((17, 5)), CachingScheme.DOH_LIKE)
+        assert a.etag != b.etag
+
+    def test_etag_differs_for_different_rdata(self):
+        other = Message(
+            flags=Flags(qr=True),
+            questions=(Question("example.org", RecordType.AAAA),),
+            answers=(
+                ResourceRecord("example.org", RecordType.AAAA, DNSClass.IN, 60,
+                               AAAAData("2001:db8::99")),
+            ),
+        )
+        a = prepare_response(_response(), CachingScheme.EOL_TTLS)
+        b = prepare_response(other, CachingScheme.EOL_TTLS)
+        assert a.etag != b.etag
+
+    def test_negative_response_max_age_zero(self):
+        empty = Message(flags=Flags(qr=True),
+                        questions=(Question("nx.example.org"),))
+        prepared = prepare_response(empty, CachingScheme.EOL_TTLS)
+        assert prepared.max_age == 0
+
+    def test_etag_length(self):
+        assert len(compute_etag(b"payload")) == 8
+        assert len(compute_etag(b"payload", length=4)) == 4
+
+
+class TestRestoreTtls:
+    def test_eol_restores_from_max_age(self):
+        wire = prepare_response(_response((60, 30)), CachingScheme.EOL_TTLS)
+        decoded = Message.decode(wire.payload)
+        restored = restore_ttls(decoded, 25, CachingScheme.EOL_TTLS)
+        assert all(r.ttl == 25 for r in restored.answers)
+
+    def test_doh_like_caps_at_max_age(self):
+        decoded = _response((60, 30))
+        restored = restore_ttls(decoded, 12, CachingScheme.DOH_LIKE)
+        # min TTL was 30; aged Max-Age 12 → all TTLs reduced by 18.
+        assert [r.ttl for r in restored.answers] == [42, 12]
+
+    def test_doh_like_no_change_when_max_age_not_lower(self):
+        decoded = _response((60, 30))
+        restored = restore_ttls(decoded, 30, CachingScheme.DOH_LIKE)
+        assert [r.ttl for r in restored.answers] == [60, 30]
+
+    def test_none_max_age_is_noop(self):
+        decoded = _response()
+        assert restore_ttls(decoded, None, CachingScheme.EOL_TTLS) == decoded
+
+    def test_round_trip_preserves_relative_ttls(self):
+        """EOL: server min-TTL → Max-Age → client TTL; the client sees
+        the remaining lifetime, never more than the original."""
+        original = _response((60, 30))
+        prepared = prepare_response(original, CachingScheme.EOL_TTLS)
+        aged_max_age = prepared.max_age - 10   # 10 s on a cache
+        decoded = Message.decode(prepared.payload)
+        restored = restore_ttls(decoded, aged_max_age, CachingScheme.EOL_TTLS)
+        assert all(r.ttl == 20 for r in restored.answers)

@@ -1,0 +1,156 @@
+"""Direct unit tests for DocServer request processing."""
+
+import pytest
+
+from repro.coap import CoapMessage, Code, ContentFormat, OptionNumber
+from repro.coap.uri import base64url_encode
+from repro.dns import (
+    Message,
+    Question,
+    Rcode,
+    RecordType,
+    RecursiveResolver,
+    Zone,
+    make_query,
+)
+from repro.doc import CachingScheme, DocServer, compute_etag
+from repro.doc.cbor_format import decode_response, encode_query
+from repro.sim import Simulator
+from repro.stack import build_figure2_topology
+
+
+@pytest.fixture()
+def server_and_sim():
+    sim = Simulator(seed=71)
+    topo = build_figure2_topology(sim)
+    zone = Zone()
+    zone.add_address("a.example.org", "2001:db8::1", ttl=120)
+    zone.add_address("a.example.org", "192.0.2.1", ttl=120)
+    server = DocServer(
+        sim, topo.resolver_host.bind(5683), RecursiveResolver(zone)
+    )
+    return server, sim
+
+
+def _fetch(payload, content_format=ContentFormat.DNS_MESSAGE):
+    return (
+        CoapMessage.request(Code.FETCH, "/dns", payload=payload, token=b"\x01")
+        .with_uint_option(OptionNumber.CONTENT_FORMAT, int(content_format))
+    )
+
+
+class TestProcessing:
+    def test_fetch_wire_format(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        response = server._process(_fetch(query.encode()))
+        assert response.code == Code.CONTENT
+        assert response.content_format == int(ContentFormat.DNS_MESSAGE)
+        decoded = Message.decode(response.payload)
+        assert decoded.answers[0].rdata.address == "2001:db8::1"
+
+    def test_fetch_cbor_format(self, server_and_sim):
+        server, _ = server_and_sim
+        question = Question("a.example.org", RecordType.AAAA)
+        response = server._process(
+            _fetch(encode_query(question), ContentFormat.DNS_CBOR)
+        )
+        assert response.content_format == int(ContentFormat.DNS_CBOR)
+        decoded = decode_response(response.payload, question)
+        assert decoded.answers[0].rdata.address == "2001:db8::1"
+
+    def test_get_base64url(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.A, txid=0)
+        request = CoapMessage.request(Code.GET, "/dns").with_option(
+            OptionNumber.URI_QUERY,
+            b"dns=" + base64url_encode(query.encode()).encode(),
+        )
+        response = server._process(request)
+        assert response.code == Code.CONTENT
+        decoded = Message.decode(response.payload)
+        assert decoded.answers[0].rdata.address == "192.0.2.1"
+
+    def test_get_without_dns_variable(self, server_and_sim):
+        server, _ = server_and_sim
+        request = CoapMessage.request(Code.GET, "/dns")
+        assert server._process(request).code == Code.BAD_REQUEST
+
+    def test_malformed_payload(self, server_and_sim):
+        server, _ = server_and_sim
+        assert server._process(_fetch(b"\x01\x02")).code == Code.BAD_REQUEST
+
+    def test_disallowed_method(self, server_and_sim):
+        server, _ = server_and_sim
+        request = CoapMessage.request(Code.PUT, "/dns", payload=b"x")
+        assert server._process(request).code == Code.METHOD_NOT_ALLOWED
+
+    def test_eol_ttls_rewritten(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        response = server._process(_fetch(query.encode()))
+        decoded = Message.decode(response.payload)
+        assert all(r.ttl == 0 for r in decoded.answers)
+        assert response.max_age == 120
+
+    def test_nxdomain_reported(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("missing.example.org", RecordType.AAAA, txid=0)
+        response = server._process(_fetch(query.encode()))
+        assert response.code == Code.CONTENT  # DNS errors are 2.xx DoC responses
+        decoded = Message.decode(response.payload)
+        assert decoded.flags.rcode == Rcode.NXDOMAIN
+        assert response.max_age == 0
+
+    def test_etag_matches_payload_hash(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        response = server._process(_fetch(query.encode()))
+        assert response.etag == compute_etag(response.payload)
+
+    def test_validation_with_current_etag(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        first = server._process(_fetch(query.encode()))
+        revalidation = _fetch(query.encode()).with_option(
+            OptionNumber.ETAG, first.etag
+        )
+        second = server._process(revalidation)
+        assert second.code == Code.VALID
+        assert second.payload == b""
+        assert second.etag == first.etag
+        assert server.validations_sent == 1
+
+    def test_validation_with_stale_etag_sends_full(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        revalidation = _fetch(query.encode()).with_option(
+            OptionNumber.ETAG, b"\x00" * 8
+        )
+        response = server._process(revalidation)
+        assert response.code == Code.CONTENT
+        assert response.payload
+
+    def test_txid_echoed_in_doh_like(self):
+        """Under DoH-like the DNS payload is untouched: the (zeroed)
+        transaction ID and TTLs come back verbatim."""
+        sim = Simulator(seed=72)
+        topo = build_figure2_topology(sim)
+        zone = Zone()
+        zone.add_address("a.example.org", "2001:db8::1", ttl=77)
+        server = DocServer(
+            sim, topo.resolver_host.bind(5683), RecursiveResolver(zone),
+            scheme=CachingScheme.DOH_LIKE,
+        )
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        response = server._process(_fetch(query.encode()))
+        decoded = Message.decode(response.payload)
+        assert decoded.answers[0].ttl == 77
+        assert response.max_age == 77
+
+    def test_queries_handled_counter(self, server_and_sim):
+        server, _ = server_and_sim
+        query = make_query("a.example.org", RecordType.AAAA, txid=0)
+        server._process(_fetch(query.encode()))
+        server._process(_fetch(query.encode()))
+        assert server.queries_handled == 2

@@ -1,0 +1,108 @@
+"""In-network DTLS handshakes under loss and reordering.
+
+Regression coverage for two bugs the lossy regime exposed:
+
+* a reordered ServerHelloDone polluting the Finished transcript even
+  though it was rejected (handshake then never completes);
+* duplicated flights (from handshake retransmissions) re-driving the
+  server state machine and desynchronising epochs.
+"""
+
+import pytest
+
+from repro.dns import RecordType, RecursiveResolver, Zone
+from repro.sim import Simulator
+from repro.stack import build_figure2_topology
+from repro.transports import DnsOverDtlsClient, DnsOverDtlsServer
+
+
+def _run_once(seed, loss, l2_retries, resolve_retries=5, until=900.0):
+    sim = Simulator(seed=seed)
+    topo = build_figure2_topology(sim, loss=loss, l2_retries=l2_retries)
+    zone = Zone()
+    zone.add_address("n.example.org", "2001:db8::1", ttl=60)
+    server = DnsOverDtlsServer(
+        sim, topo.resolver_host.bind(853), RecursiveResolver(zone)
+    )
+    client = DnsOverDtlsClient(
+        sim, topo.clients[0].bind(6001), (topo.resolver_host.address, 853)
+    )
+    results = []
+    attempts = {"n": 0}
+
+    def on_done(result, error):
+        if error is not None and attempts["n"] < resolve_retries:
+            attempts["n"] += 1
+            client.resolve("n.example.org", RecordType.AAAA, on_done)
+        else:
+            results.append((result, error))
+
+    client.resolve("n.example.org", RecordType.AAAA, on_done)
+    sim.run(until=until)
+    return results, client
+
+
+class TestLossyHandshake:
+    def test_moderate_loss_always_completes(self):
+        """Per-frame loss 25% with one MAC retry: the RFC 6347 flight
+        retransmission must carry every run to completion."""
+        for seed in range(10):
+            results, client = _run_once(seed, loss=0.25, l2_retries=1)
+            result, error = results[0]
+            assert error is None, (seed, error)
+            assert result.addresses == ["2001:db8::1"]
+
+    def test_reordered_server_flight_recovers(self):
+        """Seed 1 at 35% loss reorders SH/SHD via a MAC retry — the
+        original transcript-pollution bug made this seed fail forever."""
+        results, client = _run_once(1, loss=0.35, l2_retries=3)
+        result, error = results[0]
+        assert error is None
+        assert client.adapter.session.established
+
+    def test_handshake_retransmissions_counted(self):
+        results, client = _run_once(1, loss=0.35, l2_retries=3)
+        assert client.adapter.handshake_retransmissions >= 1
+
+    def test_lossless_handshake_no_retransmissions(self):
+        results, client = _run_once(3, loss=0.0, l2_retries=0)
+        assert results[0][1] is None
+        assert client.adapter.handshake_retransmissions == 0
+
+    def test_duplicate_flights_do_not_poison_server(self):
+        """Force a duplicated client flight and check the server replays
+        its reply instead of corrupting its state machine."""
+        sim = Simulator(seed=5)
+        topo = build_figure2_topology(sim, loss=0.0)
+        zone = Zone()
+        zone.add_address("n.example.org", "2001:db8::1", ttl=60)
+        server = DnsOverDtlsServer(
+            sim, topo.resolver_host.bind(853), RecursiveResolver(zone)
+        )
+        client = DnsOverDtlsClient(
+            sim, topo.clients[0].bind(6001), (topo.resolver_host.address, 853)
+        )
+        # Duplicate every client datagram at the source socket.
+        inner_socket = client.adapter.socket
+        original_sendto = inner_socket.sendto
+
+        def duplicating_sendto(payload, dst, port, metadata=None):
+            original_sendto(payload, dst, port, metadata)
+            original_sendto(payload, dst, port, dict(metadata or {}))
+
+        inner_socket.sendto = duplicating_sendto
+        results = []
+        client.resolve("n.example.org", RecordType.AAAA,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=120)
+        result, error = results[0]
+        assert error is None
+        assert result.addresses == ["2001:db8::1"]
+
+    def test_extreme_loss_mostly_completes_with_mac_retries(self):
+        completed = 0
+        for seed in range(6):
+            results, _ = _run_once(seed, loss=0.35, l2_retries=3)
+            if results and results[0][1] is None:
+                completed += 1
+        assert completed >= 5

@@ -1,0 +1,200 @@
+"""CoAP endpoint edge cases: NON exchanges, duplicates, resets,
+malformed input, and full-stack property tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.coap import CoapMessage, Code, MessageType, OptionNumber
+from repro.coap.endpoint import CoapClient, CoapServer
+from repro.sim import Simulator
+from repro.stack import build_figure2_topology
+
+
+def _setup(seed=1, loss=0.0, handler=None):
+    sim = Simulator(seed=seed)
+    topo = build_figure2_topology(sim, loss=loss)
+    server = CoapServer(sim, topo.resolver_host.bind(5683))
+    if handler is None:
+        def handler(request, respond, metadata):
+            respond(request.make_response(Code.CONTENT, payload=request.payload))
+    server.add_resource("/echo", handler)
+    client = CoapClient(sim, topo.clients[0].bind())
+    return sim, topo, client, server
+
+
+class TestNonConfirmable:
+    def test_non_request_gets_non_response(self):
+        sim, topo, client, _ = _setup()
+        request = CoapMessage.request(
+            Code.FETCH, "/echo", payload=b"x", confirmable=False
+        )
+        results = []
+        client.request(request, topo.resolver_host.address, 5683,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=10)
+        response, error = results[0]
+        assert error is None
+        assert response.mtype == MessageType.NON
+        assert response.payload == b"x"
+
+    def test_non_request_not_retransmitted(self):
+        sim = Simulator(seed=2)
+        topo = build_figure2_topology(sim)
+        client = CoapClient(sim, topo.clients[0].bind())
+        request = CoapMessage.request(
+            Code.FETCH, "/echo", payload=b"x", confirmable=False
+        )
+        client.request(request, topo.resolver_host.address, 5683, lambda r, e: None)
+        sim.run(until=120)
+        kinds = [event.kind for event in client.events]
+        assert kinds == ["transmission"]
+
+
+class TestDuplicateSuppression:
+    def test_duplicate_request_replays_cached_reply(self):
+        calls = {"n": 0}
+
+        def handler(request, respond, metadata):
+            calls["n"] += 1
+            respond(request.make_response(Code.CONTENT, payload=b"once"))
+
+        sim, topo, client, server = _setup(handler=handler)
+        # Send the identical wire message twice, bypassing the client.
+        raw = topo.clients[0].bind()
+        request = CoapMessage.request(
+            Code.FETCH, "/echo", mid=0x0101, token=b"\x0A", payload=b"q"
+        )
+        replies = []
+        raw.on_datagram = lambda src, sport, data, md: replies.append(data)
+        for _ in range(2):
+            raw.sendto(request.encode(), topo.resolver_host.address, 5683)
+        sim.run(until=10)
+        assert calls["n"] == 1
+        assert len(replies) == 2
+        assert replies[0] == replies[1]
+
+    def test_distinct_mids_processed_separately(self):
+        calls = {"n": 0}
+
+        def handler(request, respond, metadata):
+            calls["n"] += 1
+            respond(request.make_response(Code.CONTENT))
+
+        sim, topo, client, server = _setup(handler=handler)
+        raw = topo.clients[0].bind()
+        raw.on_datagram = lambda *args: None
+        for mid in (1, 2):
+            message = CoapMessage.request(
+                Code.FETCH, "/echo", mid=mid, token=bytes([mid]), payload=b"q"
+            )
+            raw.sendto(message.encode(), topo.resolver_host.address, 5683)
+        sim.run(until=10)
+        assert calls["n"] == 2
+
+
+class TestRobustness:
+    def test_garbage_datagram_ignored(self):
+        sim, topo, client, server = _setup()
+        raw = topo.clients[0].bind()
+        raw.sendto(b"\xff\xff\xff", topo.resolver_host.address, 5683)
+        raw.sendto(b"", topo.resolver_host.address, 5683)
+        sim.run(until=5)  # no exception
+
+    def test_rst_fails_exchange(self):
+        sim = Simulator(seed=3)
+        topo = build_figure2_topology(sim)
+        # A "server" that answers everything with RST.
+        socket = topo.resolver_host.bind(5683)
+
+        def reset_everything(src, sport, data, metadata):
+            message = CoapMessage.decode(data)
+            socket.sendto(message.make_reset().encode(), src, sport)
+
+        socket.on_datagram = reset_everything
+        client = CoapClient(sim, topo.clients[0].bind())
+        results = []
+        client.request(
+            CoapMessage.request(Code.FETCH, "/echo", payload=b"q"),
+            topo.resolver_host.address, 5683,
+            lambda r, e: results.append((r, e)),
+        )
+        sim.run(until=120)
+        response, error = results[0]
+        assert response is None and error is not None
+
+    def test_response_without_exchange_ignored(self):
+        sim, topo, client, server = _setup()
+        # Deliver an unsolicited response directly to the client socket.
+        stray = CoapMessage(
+            mtype=MessageType.ACK, code=Code.CONTENT, mid=999,
+            token=b"\xDE\xAD", payload=b"stray",
+        )
+        client._on_datagram(topo.resolver_host.address, 5683,
+                            stray.encode(), {})
+        sim.run(until=1)  # nothing blows up
+
+    def test_unknown_critical_option_is_preserved(self):
+        """The endpoint does not strip options it does not understand —
+        forward compatibility for new CoAP extensions."""
+        seen = []
+
+        def handler(request, respond, metadata):
+            seen.append(request.option(65001))
+            respond(request.make_response(Code.CONTENT))
+
+        sim, topo, client, server = _setup(handler=handler)
+        request = CoapMessage.request(Code.FETCH, "/echo", payload=b"q")
+        request = request.with_option(65001, b"\x01\x02")
+        results = []
+        client.request(request, topo.resolver_host.address, 5683,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=10)
+        assert seen == [b"\x01\x02"]
+
+
+class TestFullStackProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(payload=st.binary(min_size=0, max_size=300), seed=st.integers(0, 1000))
+    def test_arbitrary_payload_round_trip(self, payload, seed):
+        """Any payload survives the full CoAP/6LoWPAN/radio path,
+        fragmentation included."""
+        sim, topo, client, _ = _setup(seed=seed)
+        results = []
+        client.request(
+            CoapMessage.request(Code.FETCH, "/echo", payload=payload),
+            topo.resolver_host.address, 5683,
+            lambda r, e: results.append((r, e)),
+        )
+        sim.run(until=60)
+        response, error = results[0]
+        assert error is None
+        assert response.payload == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=40
+        ).filter(lambda s: not s.startswith("-") and not s.endswith("-")),
+        seed=st.integers(0, 100),
+    )
+    def test_arbitrary_names_resolve(self, name, seed):
+        from repro.dns import RecordType, RecursiveResolver, Zone
+        from repro.doc import DocClient, DocServer
+
+        sim = Simulator(seed=seed)
+        topo = build_figure2_topology(sim)
+        zone = Zone()
+        fqdn = f"{name}.example.org"
+        zone.add_address(fqdn, "2001:db8::1", ttl=60)
+        DocServer(sim, topo.resolver_host.bind(5683), RecursiveResolver(zone))
+        client = DocClient(
+            sim, topo.clients[0].bind(), (topo.resolver_host.address, 5683)
+        )
+        results = []
+        client.resolve(fqdn, RecordType.AAAA,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=60)
+        result, error = results[0]
+        assert error is None
+        assert result.addresses == ["2001:db8::1"]

@@ -1,0 +1,257 @@
+"""Tests for the memory model, QUIC model, features, and datasets."""
+
+import random
+
+import pytest
+
+from repro.coap.codes import Code
+from repro.datasets import (
+    DATASET_PROFILES,
+    generate_names,
+    generate_queries,
+    name_length_stats,
+    record_type_shares,
+)
+from repro.datasets.stats import length_histogram
+from repro.dns import RecordType
+from repro.doc.features import TABLE1, TABLE5, method_features
+from repro.memmodel import build_size, fig5_builds, fig8_builds
+from repro.quicmodel import (
+    HEADER_RANGE_0RTT,
+    HEADER_RANGE_1RTT,
+    penalty_series,
+    quic_packet_size,
+    quic_penalty,
+)
+
+
+class TestMemoryModel:
+    def test_fig5_all_transports_present(self):
+        builds = fig5_builds()
+        assert set(builds) == {"UDP", "DTLSv1.2", "CoAP", "CoAPSv1.2", "OSCORE"}
+
+    def test_dtls_rom_overhead_about_24k(self):
+        """Section 5.2: DTLS adds about 24 kB of ROM over plain CoAP."""
+        builds = fig5_builds()
+        delta = builds["CoAPSv1.2"].rom - builds["CoAP"].rom
+        assert 23_000 <= delta <= 27_000
+
+    def test_oscore_rom_overhead_about_11k(self):
+        builds = fig5_builds()
+        delta = builds["OSCORE"].rom - builds["CoAP"].rom
+        assert 10_000 <= delta <= 12_000
+
+    def test_dtls_more_than_double_oscore(self):
+        """Section 5.2: 'the DTLS part expects more than double the
+        memory space of the OSCORE part'."""
+        builds = fig5_builds()
+        dtls_part = builds["CoAPSv1.2"].rom_by_category["DTLS"]
+        oscore_part = builds["OSCORE"].rom_by_category["OSCORE"]
+        assert dtls_part > 2 * oscore_part
+
+    def test_oscore_saves_over_10k_vs_dtls(self):
+        """The abstract's headline: >10 kB saved with OSCORE when a
+        CoAP application is already present."""
+        builds = fig5_builds()
+        assert builds["CoAPSv1.2"].rom - builds["OSCORE"].rom > 10_000
+
+    def test_dtls_ram_overhead_about_1_5k(self):
+        builds = fig5_builds()
+        delta = builds["CoAPSv1.2"].ram - builds["CoAP"].ram
+        assert 1_400 <= delta <= 2_200
+
+    def test_get_overhead(self):
+        """GET adds ≈2 kB ROM and 173 B RAM (Section 5.2)."""
+        plain = fig5_builds(with_get=False)["CoAP"]
+        with_get = fig5_builds(with_get=True)["CoAP"]
+        assert with_get.rom - plain.rom == 2_000
+        assert with_get.ram - plain.ram == 173
+
+    def test_doc_dns_part_largest(self):
+        """The DoC DNS implementation (~4 kB) exceeds the other DNS
+        transport implementations."""
+        from repro.memmodel.modules import MODULES
+
+        assert MODULES["dns_doc"].rom > MODULES["dns_udp"].rom
+        assert MODULES["dns_doc"].rom > MODULES["dns_dtls"].rom
+
+    def test_udp_is_smallest_build(self):
+        builds = fig5_builds()
+        assert min(builds.values(), key=lambda b: b.rom).name == "UDP"
+
+    def test_fig8_quic_nearly_double(self):
+        """Section 5.5: QUIC+TLS uses nearly double the ROM of the
+        common IoT transports (≈2× DNS over CoAP and over DTLS)."""
+        builds = fig8_builds()
+        quic = builds["QUIC"].rom
+        assert quic > 2.0 * builds["DTLSv1.2"].rom
+        assert quic > 2.0 * builds["OSCORE"].rom
+        assert quic > max(b.rom for n, b in builds.items() if n != "QUIC")
+
+    def test_fig8_quic_still_larger_after_optimisation(self):
+        """Even minus the ~20 kB of proposed savings, QUIC exceeds
+        DNS over CoAP."""
+        from repro.memmodel.modules import QUANT_OPTIMISATION_SAVINGS
+
+        builds = fig8_builds()
+        assert builds["QUIC"].rom - QUANT_OPTIMISATION_SAVINGS > builds["CoAP"].rom
+
+    def test_build_size_categories_sum(self):
+        build = build_size("x", ("gcoap", "sock_udp"))
+        assert build.rom == sum(build.rom_by_category.values())
+        assert build.ram == sum(build.ram_by_category.values())
+
+
+class TestQuicModel:
+    def test_packet_size_structure(self):
+        assert quic_packet_size(40, 42) == 40 + 2 + 42 + 16
+
+    def test_penalty_increases_with_header(self):
+        low = quic_penalty(HEADER_RANGE_1RTT[0], "CoAPSv1.2", "query")
+        high = quic_penalty(HEADER_RANGE_1RTT[1], "CoAPSv1.2", "query")
+        assert high > low
+
+    def test_best_case_comparable_worst_case_loses(self):
+        """Figure 9b: best-case 1-RTT DoQ is comparable (≈100%), but in
+        the majority of cases the established transports win (>100%)."""
+        best = quic_penalty(HEADER_RANGE_1RTT[0], "CoAPSv1.2", "query")
+        worst = quic_penalty(HEADER_RANGE_1RTT[1], "DTLSv1.2", "response_aaaa")
+        assert best <= 110
+        assert worst > 100
+
+    def test_0rtt_worse_than_1rtt(self):
+        for baseline in ("DTLSv1.2", "CoAPSv1.2", "OSCORE"):
+            zero = quic_penalty(HEADER_RANGE_0RTT[1], baseline, "response_aaaa")
+            one = quic_penalty(HEADER_RANGE_1RTT[1], baseline, "response_aaaa")
+            assert zero >= one
+
+    def test_worst_case_aaaa_three_fragments(self):
+        """Section 5.5: the max-header 0-RTT AAAA response fragments
+        into 3 frames."""
+        from repro.quicmodel.model import aaaa_fragments_worst_case
+
+        assert aaaa_fragments_worst_case() == 3
+
+    def test_series_spans_range(self):
+        series = penalty_series("0rtt", "OSCORE", "query", step=8)
+        headers = [h for h, _ in series]
+        assert headers[0] == HEADER_RANGE_0RTT[0]
+        assert headers[-1] <= HEADER_RANGE_0RTT[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quic_penalty(40, "TCP", "query")
+        with pytest.raises(ValueError):
+            quic_penalty(40, "OSCORE", "bogus")
+
+
+class TestFeatures:
+    def test_table1_oscore_unique_caching(self):
+        """Only OSCORE offers content-secure en-route caching."""
+        caching = [t.name for t in TABLE1 if t.secure_enroute_caching]
+        assert caching == ["OSCORE"]
+
+    def test_table1_constrained_suitability(self):
+        suitable = {t.name for t in TABLE1 if t.constrained_iot_suitable}
+        assert suitable == {"UDP", "DTLS", "CoAP", "CoAPS", "OSCORE"}
+
+    def test_table1_encryption(self):
+        encrypted = {t.name for t in TABLE1 if t.message_encryption}
+        assert "UDP" not in encrypted and "CoAP" not in encrypted
+        assert {"DTLS", "TLS", "QUIC", "HTTPS", "CoAPS", "OSCORE"} <= encrypted
+
+    def test_table5_fetch_has_everything(self):
+        fetch = TABLE5["FETCH"]
+        assert fetch.cacheable and fetch.body_carried and fetch.blockwise_query
+
+    def test_table5_get_cacheable_no_body(self):
+        get = TABLE5["GET"]
+        assert get.cacheable and not get.body_carried and not get.blockwise_query
+
+    def test_table5_post_body_not_cacheable(self):
+        post = TABLE5["POST"]
+        assert not post.cacheable and post.body_carried and post.blockwise_query
+
+    def test_table5_derived_from_stack(self):
+        """The registry is derived from the CoAP implementation, not
+        hand-written: cross-check against the cache module."""
+        from repro.coap import CoapMessage, cache_key_for
+
+        assert cache_key_for(CoapMessage.request(Code.POST, "/dns")) is None
+        assert cache_key_for(CoapMessage.request(Code.FETCH, "/dns")) is not None
+        assert method_features(Code.FETCH).cacheable
+
+
+class TestDatasets:
+    def test_table3_iot_statistics(self):
+        """Generated IoT names match Table 3 within tolerance:
+        median ≈ 23-26, mean ≈ 24-29, max ≈ 82-83."""
+        rng = random.Random(1)
+        for key in ("yourthings", "iotfinder", "moniotr"):
+            stats = name_length_stats(
+                generate_names(DATASET_PROFILES[key], rng)
+            )
+            assert 20 <= stats["q2"] <= 28, key
+            assert 22 <= stats["mean"] <= 30, key
+            assert stats["max"] <= 83
+            assert 8 <= stats["std"] <= 16
+
+    def test_name_count_matches_profile(self):
+        rng = random.Random(2)
+        names = generate_names(DATASET_PROFILES["yourthings"], rng)
+        assert len(names) == 1293
+        assert len(set(names)) == 1293
+
+    def test_exact_lengths(self):
+        rng = random.Random(3)
+        names = generate_names(DATASET_PROFILES["ixp"], rng, count=200)
+        for name in names:
+            assert DATASET_PROFILES["ixp"].min_length <= len(name) <= 68
+
+    def test_names_are_valid_dns_names(self):
+        from repro.dns import split_name
+
+        rng = random.Random(4)
+        for name in generate_names(DATASET_PROFILES["yourthings"], rng, count=300):
+            labels = split_name(name)
+            assert all(len(label) <= 63 for label in labels)
+
+    def test_table4_record_shares(self):
+        """A/AAAA dominate; PTR visible with mDNS (Table 4)."""
+        rng = random.Random(5)
+        profile = DATASET_PROFILES["yourthings"]
+        queries = generate_queries(profile, rng, 20000)
+        shares = record_type_shares(queries)
+        assert 0.50 <= shares[int(RecordType.A)] <= 0.58
+        assert 0.13 <= shares[int(RecordType.AAAA)] <= 0.20
+        assert 0.16 <= shares[int(RecordType.PTR)] <= 0.23
+
+    def test_ixp_includes_https_records(self):
+        rng = random.Random(6)
+        queries = generate_queries(DATASET_PROFILES["ixp"], rng, 20000)
+        shares = record_type_shares(queries)
+        assert 0.06 <= shares[int(RecordType.HTTPS)] <= 0.12
+
+    def test_mdns_flagging(self):
+        rng = random.Random(7)
+        queries = generate_queries(DATASET_PROFILES["moniotr"], rng, 5000)
+        mdns = [q for q in queries if q.is_mdns]
+        assert mdns
+        assert all(
+            q.rtype in (int(RecordType.PTR), int(RecordType.SRV), int(RecordType.ANY))
+            for q in mdns
+        )
+
+    def test_histogram_normalised(self):
+        rng = random.Random(8)
+        names = generate_names(DATASET_PROFILES["yourthings"], rng, count=500)
+        histogram = length_histogram(names)
+        assert sum(histogram) == pytest.approx(1.0)
+
+    def test_histogram_peak_in_body_range(self):
+        """Figure 1a: the density peaks in the 15-35 char region."""
+        rng = random.Random(9)
+        names = generate_names(DATASET_PROFILES["yourthings"], rng)
+        histogram = length_histogram(names)
+        peak = histogram.index(max(histogram))
+        assert 15 <= peak <= 35

@@ -1,0 +1,136 @@
+"""Group OSCORE tests (the simplified group mode)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coap import CoapMessage, Code
+from repro.oscore import OscoreError
+from repro.oscore.group import (
+    GroupContext,
+    protect_group_request,
+    protect_group_response,
+    unprotect_group_request,
+    unprotect_group_response,
+)
+
+
+def _members(*ids):
+    return [
+        GroupContext(b"grp", member, b"group-master", b"gsalt")
+        for member in ids
+    ]
+
+
+def _request(payload=b"query"):
+    return CoapMessage.request(Code.FETCH, "/dns", payload=payload,
+                               token=b"\x01", mid=3)
+
+
+class TestGroupContext:
+    def test_members_derive_same_keys(self):
+        a, b = _members(b"\x0A", b"\x0B")
+        assert a.key_for(b"\x0A") == b.key_for(b"\x0A")
+        assert a.key_for(b"\x0B") == b.key_for(b"\x0B")
+        assert a.key_for(b"\x0A") != a.key_for(b"\x0B")
+
+    def test_common_iv_shared(self):
+        a, b = _members(b"\x0A", b"\x0B")
+        assert a.common_iv == b.common_iv
+
+    def test_group_separation(self):
+        a = GroupContext(b"grp1", b"\x0A", b"group-master")
+        b = GroupContext(b"grp2", b"\x0A", b"group-master")
+        assert a.key_for(b"\x0A") != b.key_for(b"\x0A")
+
+    def test_replay_windows_per_sender(self):
+        (a,) = _members(b"\x0A")
+        assert a.replay_window(b"\x0B") is not a.replay_window(b"\x0C")
+        assert a.replay_window(b"\x0B") is a.replay_window(b"\x0B")
+
+
+class TestGroupMessages:
+    def test_request_round_trip(self):
+        sender, receiver = _members(b"\x0A", b"\x0B")
+        outer, binding = protect_group_request(sender, _request())
+        inner, recv_binding = unprotect_group_request(receiver, outer)
+        assert inner.code == Code.FETCH
+        assert inner.payload == b"query"
+        assert recv_binding.kid == b"\x0A"
+
+    def test_all_members_can_read(self):
+        sender, member_b, member_c = _members(b"\x0A", b"\x0B", b"\x0C")
+        outer, _ = protect_group_request(sender, _request())
+        for member in (member_b, member_c):
+            inner, _ = unprotect_group_request(member, outer)
+            assert inner.payload == b"query"
+
+    def test_replay_rejected_per_member(self):
+        sender, receiver = _members(b"\x0A", b"\x0B")
+        outer, _ = protect_group_request(sender, _request())
+        unprotect_group_request(receiver, outer)
+        with pytest.raises(OscoreError):
+            unprotect_group_request(receiver, outer)
+
+    def test_wrong_group_rejected(self):
+        sender = GroupContext(b"grp1", b"\x0A", b"group-master")
+        other = GroupContext(b"grp2", b"\x0B", b"group-master")
+        outer, _ = protect_group_request(sender, _request())
+        with pytest.raises(OscoreError):
+            unprotect_group_request(other, outer)
+
+    def test_outsider_cannot_forge(self):
+        sender, receiver = _members(b"\x0A", b"\x0B")
+        outsider = GroupContext(b"grp", b"\x0A", b"WRONG-master", b"gsalt")
+        outer, _ = protect_group_request(outsider, _request())
+        with pytest.raises(OscoreError):
+            unprotect_group_request(receiver, outer)
+
+    def test_multi_responder_responses(self):
+        """Several members answer one request; the client attributes
+        each response to its responder and nonces never collide."""
+        client, server_b, server_c = _members(b"\x0A", b"\x0B", b"\x0C")
+        outer, client_binding = protect_group_request(client, _request())
+
+        responses = []
+        for server, payload in ((server_b, b"from-b"), (server_c, b"from-c")):
+            inner, binding = unprotect_group_request(server, outer)
+            reply = inner.make_response(Code.CONTENT, payload=payload)
+            responses.append(protect_group_response(server, reply, binding))
+
+        seen = {}
+        for protected in responses:
+            plain, responder = unprotect_group_response(
+                client, protected, client_binding
+            )
+            seen[responder] = plain.payload
+        assert seen == {b"\x0B": b"from-b", b"\x0C": b"from-c"}
+
+    def test_response_tamper_rejected(self):
+        client, server = _members(b"\x0A", b"\x0B")
+        outer, client_binding = protect_group_request(client, _request())
+        inner, binding = unprotect_group_request(server, outer)
+        protected = protect_group_response(
+            server, inner.make_response(Code.CONTENT, payload=b"x"), binding
+        )
+        from dataclasses import replace
+
+        bad = replace(
+            protected,
+            payload=bytes([protected.payload[0] ^ 1]) + protected.payload[1:],
+        )
+        with pytest.raises(OscoreError):
+            unprotect_group_response(client, bad, client_binding)
+
+    def test_semantics_hidden_on_wire(self):
+        sender, _ = _members(b"\x0A", b"\x0B")
+        outer, _ = protect_group_request(sender, _request(b"secret-payload"))
+        assert outer.code == Code.POST
+        assert b"secret-payload" not in outer.encode()
+        assert outer.option(11) is None  # Uri-Path encrypted
+
+    @given(st.binary(max_size=80))
+    def test_round_trip_property(self, payload):
+        sender, receiver = _members(b"\x0A", b"\x0B")
+        outer, _ = protect_group_request(sender, _request(payload))
+        inner, _ = unprotect_group_request(receiver, outer)
+        assert inner.payload == payload

@@ -1,0 +1,92 @@
+"""Direct unit tests for the packet-size dissection module."""
+
+import pytest
+
+from repro.coap.codes import Code
+from repro.experiments.packet_sizes import (
+    MEDIAN_NAME,
+    PacketDissection,
+    canonical_messages,
+    dissect_blockwise,
+    dissect_transport,
+    dtls_handshake_dissections,
+)
+
+
+class TestCanonicalMessages:
+    def test_custom_name_lengths(self):
+        short = canonical_messages("ab.org")
+        long_ = canonical_messages("a" * 60 + ".example.org")
+        assert len(short["query"].encode()) < len(long_["query"].encode())
+
+    def test_response_sizes_scale_with_rdata(self):
+        messages = canonical_messages()
+        a = len(messages["response_a"].encode())
+        aaaa = len(messages["response_aaaa"].encode())
+        assert aaaa - a == 12  # 16-byte vs 4-byte address
+
+
+class TestDissectionInvariants:
+    @pytest.mark.parametrize("transport", ["udp", "dtls", "coap", "coaps", "oscore"])
+    def test_layers_sum_to_udp_payload(self, transport):
+        for d in dissect_transport(transport):
+            assert d.dns_bytes + d.security_bytes + d.coap_bytes == d.udp_payload
+
+    def test_total_link_bytes_exceed_payload(self):
+        for d in dissect_transport("udp"):
+            assert d.total_link_bytes > d.udp_payload
+            assert d.framing_bytes == d.total_link_bytes - d.udp_payload
+
+    def test_fragment_count_consistency(self):
+        for transport in ("udp", "coap", "oscore"):
+            for d in dissect_transport(transport):
+                assert d.fragments == len(d.frame_sizes)
+                assert d.fragmented == (d.fragments > 1)
+
+    def test_shorter_names_fewer_fragments(self):
+        long_ = {d.message: d for d in dissect_transport("oscore")}
+        short = {
+            d.message: d
+            for d in dissect_transport("oscore", name="a.org")
+        }
+        assert short["query"].fragments <= long_["query"].fragments
+        assert short["query"].udp_payload < long_["query"].udp_payload
+
+    def test_post_same_size_as_fetch(self):
+        fetch = {d.message: d for d in dissect_transport("coap", Code.FETCH)}
+        post = {d.message: d for d in dissect_transport("coap", Code.POST)}
+        assert fetch["query"].udp_payload == post["query"].udp_payload
+
+    def test_handshake_dissection_transport_label(self):
+        flights = dtls_handshake_dissections("CoAPSv1.2")
+        assert all(d.transport == "CoAPSv1.2" for d in flights)
+        assert all(d.dns_bytes == 0 for d in flights)
+
+
+class TestBlockwiseDissection:
+    def test_block_sizes_respected(self):
+        for size in (16, 32, 64):
+            for d in dissect_blockwise(size):
+                if d.message.startswith("query [F/P]") or d.message.startswith("Response"):
+                    assert d.dns_bytes <= size
+
+    def test_continue_is_tiny(self):
+        dissections = {d.message: d for d in dissect_blockwise(16)}
+        assert dissections["2.31 Continue"].udp_payload < 16
+
+    def test_get_immune_to_block_size(self):
+        sizes = {
+            size: {d.message: d for d in dissect_blockwise(size)}["query [G]"].udp_payload
+            for size in (16, 32, 64)
+        }
+        assert len(set(sizes.values())) == 1
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(Exception):
+            dissect_blockwise(48)
+
+    def test_coaps_variant_carries_dtls_overhead(self):
+        plain = {d.message: d for d in dissect_blockwise(32, transport="coap")}
+        secured = {d.message: d for d in dissect_blockwise(32, transport="coaps")}
+        for message in plain:
+            assert secured[message].udp_payload == plain[message].udp_payload + 29

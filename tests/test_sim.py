@@ -1,0 +1,236 @@
+"""Simulator tests: event loop, radio medium, sniffer, workload."""
+
+import random
+
+import pytest
+
+from repro.sim import RadioMedium, Simulator, Sniffer, poisson_arrival_times
+from repro.sim.medium import PHY_OVERHEAD_BYTES
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1000)
+
+    def test_deterministic_rng(self):
+        assert Simulator(seed=9).rng.random() == Simulator(seed=9).rng.random()
+
+    def test_pending_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        event.cancel()
+        assert sim.pending() == 1
+
+
+class TestMedium:
+    def _medium(self, loss=0.0, seed=1, retries=3):
+        sim = Simulator(seed=seed)
+        medium = RadioMedium(sim, l2_retries=retries)
+        received = []
+        medium.register("a", lambda src, f, md: received.append(("a", f)))
+        medium.register("b", lambda src, f, md: received.append(("b", f)))
+        medium.connect("a", "b", loss=loss)
+        return sim, medium, received
+
+    def test_delivery(self):
+        sim, medium, received = self._medium()
+        medium.transmit("a", "b", b"frame", {})
+        sim.run()
+        assert received == [("b", b"frame")]
+
+    def test_airtime_at_250kbps(self):
+        sim, medium, _ = self._medium()
+        airtime = medium.airtime(127)
+        expected = ((127 + PHY_OVERHEAD_BYTES + 11) * 8) / 250_000
+        assert airtime == pytest.approx(expected)
+
+    def test_channel_serialisation(self):
+        """Two frames queued back-to-back occupy consecutive airtime."""
+        sim, medium, received = self._medium()
+        times = []
+        medium.register("c", lambda *args: None)
+        medium.connect("a", "c")
+        medium.observer = lambda t, *args: times.append(t)
+        medium.transmit("a", "b", bytes(100), {})
+        medium.transmit("a", "c", bytes(100), {})
+        sim.run()
+        assert times[1] - times[0] == pytest.approx(medium.airtime(100))
+
+    def test_unknown_link_rejected(self):
+        _, medium, _ = self._medium()
+        with pytest.raises(ValueError):
+            medium.transmit("a", "zz", b"", {})
+
+    def test_duplicate_interface_rejected(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        medium.register("x", lambda *a: None)
+        with pytest.raises(ValueError):
+            medium.register("x", lambda *a: None)
+
+    def test_loss_with_retries_recovers(self):
+        sim, medium, received = self._medium(loss=0.5, seed=3)
+        for _ in range(20):
+            medium.transmit("a", "b", b"f", {})
+        sim.run()
+        # With 3 retries at 50% loss almost every frame gets through.
+        assert len(received) >= 17
+        assert medium.frames_lost > 0
+
+    def test_no_retries_drops(self):
+        sim, medium, received = self._medium(loss=0.9, seed=4, retries=0)
+        for _ in range(20):
+            medium.transmit("a", "b", b"f", {})
+        sim.run()
+        assert medium.frames_dropped > 0
+        assert len(received) + medium.frames_dropped == 20
+
+    def test_loss_probability_validated(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        medium.register("a", lambda *a: None)
+        medium.register("b", lambda *a: None)
+        with pytest.raises(ValueError):
+            medium.connect("a", "b", loss=1.0)
+
+    def test_neighbours(self):
+        _, medium, _ = self._medium()
+        assert medium.neighbours("a") == ["b"]
+
+
+class TestSniffer:
+    def test_records_frames(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        sniffer = Sniffer(medium)
+        medium.register("a", lambda *a: None)
+        medium.register("b", lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(60), {"kind": "query"})
+        sim.run()
+        assert len(sniffer.records) == 1
+        record = sniffer.records[0]
+        assert record.length == 60
+        assert record.kind == "query"
+
+    def test_link_aggregation_bidirectional(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        sniffer = Sniffer(medium)
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(10), {})
+        medium.transmit("b", "a", bytes(20), {})
+        sim.run()
+        assert sniffer.frame_count("a", "b") == 2
+        assert sniffer.bytes_on_link("a", "b") == 30
+
+    def test_by_kind_and_max_frame(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        sniffer = Sniffer(medium)
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(10), {"kind": "query"})
+        medium.transmit("a", "b", bytes(90), {"kind": "response"})
+        sim.run()
+        assert sniffer.by_kind() == {"query": 1, "response": 1}
+        assert sniffer.max_frame() == 90
+        assert sniffer.max_frame("query") == 10
+
+
+class TestWorkload:
+    def test_count_and_monotonic(self):
+        times = poisson_arrival_times(random.Random(1), 5.0, 50)
+        assert len(times) == 50
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate(self):
+        times = poisson_arrival_times(random.Random(2), 5.0, 5000)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(0.2, rel=0.1)
+
+    def test_start_offset(self):
+        times = poisson_arrival_times(random.Random(3), 1.0, 5, start=100.0)
+        assert all(t > 100.0 for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(random.Random(1), 0.0, 5)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(random.Random(1), 1.0, -1)

@@ -1,0 +1,156 @@
+"""Node stack and topology tests: routing, sockets, forwarding."""
+
+import pytest
+
+from repro.net import UdpDatagram
+from repro.sim import Simulator
+from repro.stack import Network, build_figure2_topology
+from repro.stack.node import StackError
+
+
+class TestNetworkBasics:
+    def test_duplicate_node_rejected(self):
+        network = Network(Simulator())
+        network.add_node("a")
+        with pytest.raises(ValueError):
+            network.add_node("a")
+
+    def test_unique_addresses_and_macs(self):
+        network = Network(Simulator())
+        a = network.add_node("a")
+        b = network.add_node("b")
+        assert a.address != b.address
+        assert a.mac != b.mac
+
+    def test_port_binding(self):
+        network = Network(Simulator())
+        node = network.add_node("a")
+        node.bind(5683)
+        with pytest.raises(StackError):
+            node.bind(5683)
+
+    def test_ephemeral_ports_distinct(self):
+        network = Network(Simulator())
+        node = network.add_node("a")
+        assert node.bind().port != node.bind().port
+
+    def test_no_route_raises(self):
+        network = Network(Simulator())
+        a = network.add_node("a")
+        network.add_node("b")
+        socket = a.bind()
+        with pytest.raises(StackError):
+            socket.sendto(b"x", network.nodes["b"].address, 99)
+
+
+class TestDelivery:
+    def _two_nodes(self, loss=0.0):
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        a, b = network.add_node("a"), network.add_node("b")
+        network.connect_radio("a", "b", loss=loss)
+        return sim, network, a, b
+
+    def test_neighbour_delivery(self):
+        sim, network, a, b = self._two_nodes()
+        inbox = []
+        server = b.bind(7000)
+        server.on_datagram = lambda src, sport, data, md: inbox.append(data)
+        a.bind().sendto(b"hello", b.address, 7000)
+        sim.run()
+        assert inbox == [b"hello"]
+
+    def test_source_address_correct(self):
+        sim, network, a, b = self._two_nodes()
+        sources = []
+        server = b.bind(7000)
+        server.on_datagram = lambda src, sport, data, md: sources.append(src)
+        a.bind(6000).sendto(b"x", b.address, 7000)
+        sim.run()
+        assert sources == [a.address]
+
+    def test_unbound_port_dropped(self):
+        sim, network, a, b = self._two_nodes()
+        a.bind().sendto(b"x", b.address, 9999)
+        sim.run()
+        assert b.packets_dropped == 1
+
+    def test_fragmented_delivery(self):
+        sim, network, a, b = self._two_nodes()
+        inbox = []
+        server = b.bind(7000)
+        server.on_datagram = lambda src, sport, data, md: inbox.append(data)
+        payload = bytes(range(256)) * 2
+        a.bind().sendto(payload, b.address, 7000)
+        sim.run()
+        assert inbox == [payload]
+
+
+class TestFigure2Topology:
+    def test_multi_hop_forwarding(self):
+        sim = Simulator(seed=2)
+        topo = build_figure2_topology(sim)
+        inbox = []
+        server = topo.resolver_host.bind(53)
+        server.on_datagram = lambda src, sport, data, md: inbox.append((src, data))
+        topo.clients[0].bind().sendto(b"q", topo.resolver_host.address, 53)
+        sim.run()
+        assert inbox == [(topo.clients[0].address, b"q")]
+        assert topo.forwarder.packets_forwarded >= 1
+        assert topo.border_router.packets_forwarded >= 1
+
+    def test_reverse_path(self):
+        sim = Simulator(seed=3)
+        topo = build_figure2_topology(sim)
+        inbox = []
+        client_sock = topo.clients[1].bind(6000)
+        client_sock.on_datagram = lambda src, sport, data, md: inbox.append(data)
+        host_sock = topo.resolver_host.bind(53)
+        host_sock.sendto(b"resp", topo.clients[1].address, 6000)
+        sim.run()
+        assert inbox == [b"resp"]
+
+    def test_hop_limit_decrements(self):
+        sim = Simulator(seed=4)
+        topo = build_figure2_topology(sim)
+        # Client -> host passes forwarder + BR: the sniffer sees the
+        # frames; we verify the stack forwards rather than re-originates.
+        server = topo.resolver_host.bind(53)
+        seen = []
+        server.on_datagram = lambda src, sport, data, md: seen.append(src)
+        topo.clients[0].bind().sendto(b"x", topo.resolver_host.address, 53)
+        sim.run()
+        assert seen == [topo.clients[0].address]
+
+    def test_sniffer_sees_both_wireless_hops(self):
+        sim = Simulator(seed=5)
+        topo = build_figure2_topology(sim)
+        topo.resolver_host.bind(53).on_datagram = lambda *a: None
+        topo.clients[0].bind().sendto(b"x", topo.resolver_host.address, 53)
+        sim.run()
+        assert topo.sniffer.frame_count("c1", "forwarder") == 1
+        assert topo.sniffer.frame_count("forwarder", "br") == 1
+
+    def test_client_count_configurable(self):
+        sim = Simulator()
+        topo = build_figure2_topology(sim, clients=3)
+        assert [c.name for c in topo.clients] == ["c1", "c2", "c3"]
+
+    def test_wired_link_invisible_to_sniffer(self):
+        sim = Simulator(seed=6)
+        topo = build_figure2_topology(sim)
+        topo.resolver_host.bind(53).on_datagram = lambda *a: None
+        topo.clients[0].bind().sendto(b"x", topo.resolver_host.address, 53)
+        sim.run()
+        for record in topo.sniffer.records:
+            assert "host" not in (record.src, record.dst)
+
+    def test_metadata_flows_with_frames(self):
+        sim = Simulator(seed=7)
+        topo = build_figure2_topology(sim)
+        topo.resolver_host.bind(53).on_datagram = lambda *a: None
+        topo.clients[0].bind().sendto(
+            b"x", topo.resolver_host.address, 53, {"kind": "query"}
+        )
+        sim.run()
+        assert all(r.kind == "query" for r in topo.sniffer.records)

@@ -1,0 +1,188 @@
+"""DNS-over-UDP / DNS-over-DTLS baseline and adapter tests."""
+
+import pytest
+
+from repro.dns import DNSCache, RecordType, RecursiveResolver, Zone
+from repro.sim import Simulator
+from repro.stack import build_figure2_topology
+from repro.transports import (
+    DnsOverDtlsClient,
+    DnsOverDtlsServer,
+    DnsOverUdpClient,
+    DnsOverUdpServer,
+    DtlsClientAdapter,
+    DtlsServerAdapter,
+    preestablish,
+)
+from repro.transports.dns_over_udp import DnsTimeoutError
+
+
+def _zone():
+    zone = Zone()
+    zone.add_address("n.example.org", "2001:db8::1", ttl=60)
+    zone.add_address("n.example.org", "192.0.2.1", ttl=60)
+    return zone
+
+
+class TestDnsOverUdp:
+    def _setup(self, loss=0.0, seed=1, cache=False):
+        sim = Simulator(seed=seed)
+        topo = build_figure2_topology(sim, loss=loss)
+        resolver = RecursiveResolver(_zone())
+        DnsOverUdpServer(sim, topo.resolver_host.bind(53), resolver)
+        client = DnsOverUdpClient(
+            sim, topo.clients[0].bind(), (topo.resolver_host.address, 53),
+            dns_cache=DNSCache(8) if cache else None,
+        )
+        return sim, topo, client
+
+    def test_resolution(self):
+        sim, _, client = self._setup()
+        results = []
+        client.resolve("n.example.org", RecordType.AAAA,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=30)
+        result, error = results[0]
+        assert error is None
+        assert result.addresses == ["2001:db8::1"]
+
+    def test_a_record(self):
+        sim, _, client = self._setup()
+        results = []
+        client.resolve("n.example.org", RecordType.A,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=30)
+        assert results[0][0].addresses == ["192.0.2.1"]
+
+    def test_txids_distinct(self):
+        sim, _, client = self._setup()
+        client.resolve("n.example.org", RecordType.A, lambda r, e: None)
+        client.resolve("n.example.org", RecordType.AAAA, lambda r, e: None)
+        assert len(client._pending) == 2
+        ids = list(client._pending)
+        assert ids[0] != ids[1]
+        sim.run(until=30)
+
+    def test_retransmission_on_loss(self):
+        sim, topo, client = self._setup(loss=0.5, seed=9)
+        topo.network.medium.l2_retries = 0
+        results = []
+        for i in range(5):
+            sim.schedule(i * 0.2, client.resolve, "n.example.org",
+                         RecordType.AAAA, lambda r, e: results.append((r, e)))
+        sim.run(until=200)
+        assert len(results) == 5
+        assert client.retransmissions > 0
+
+    def test_timeout_error(self):
+        sim = Simulator(seed=10)
+        topo = build_figure2_topology(sim)
+        client = DnsOverUdpClient(
+            sim, topo.clients[0].bind(), (topo.resolver_host.address, 53)
+        )
+        results = []
+        client.resolve("n.example.org", RecordType.AAAA,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=200)
+        assert isinstance(results[0][1], DnsTimeoutError)
+
+    def test_client_dns_cache(self):
+        sim, topo, client = self._setup(cache=True)
+        results = []
+        sim.schedule(0.0, client.resolve, "n.example.org", RecordType.AAAA,
+                     lambda r, e: results.append(r))
+        sim.schedule(5.0, client.resolve, "n.example.org", RecordType.AAAA,
+                     lambda r, e: results.append(r))
+        sim.run(until=30)
+        assert len(results) == 2
+        assert client.transmissions == 1
+        # TTL aged by the cache (stored just after t=0, read at t=5).
+        assert results[1].response.min_ttl() in (55, 56)
+
+    def test_server_delay(self):
+        sim = Simulator(seed=11)
+        topo = build_figure2_topology(sim)
+        DnsOverUdpServer(sim, topo.resolver_host.bind(53),
+                         RecursiveResolver(_zone()), response_delay=1.0)
+        client = DnsOverUdpClient(
+            sim, topo.clients[0].bind(), (topo.resolver_host.address, 53)
+        )
+        done = []
+        client.resolve("n.example.org", RecordType.AAAA,
+                       lambda r, e: done.append(sim.now))
+        sim.run(until=30)
+        assert done[0] >= 1.0
+
+
+class TestDnsOverDtls:
+    def _setup(self, preestablished=True, seed=2):
+        sim = Simulator(seed=seed)
+        topo = build_figure2_topology(sim)
+        resolver = RecursiveResolver(_zone())
+        server = DnsOverDtlsServer(sim, topo.resolver_host.bind(853), resolver)
+        client = DnsOverDtlsClient(
+            sim, topo.clients[0].bind(6001), (topo.resolver_host.address, 853)
+        )
+        if preestablished:
+            preestablish(client.adapter, server.adapter,
+                         (topo.clients[0].address, 6001))
+        return sim, topo, client
+
+    def test_resolution_preestablished(self):
+        sim, _, client = self._setup()
+        results = []
+        client.resolve("n.example.org", RecordType.AAAA,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=30)
+        result, error = results[0]
+        assert error is None
+        assert result.addresses == ["2001:db8::1"]
+
+    def test_resolution_with_in_network_handshake(self):
+        sim, topo, client = self._setup(preestablished=False)
+        results = []
+        client.resolve("n.example.org", RecordType.AAAA,
+                       lambda r, e: results.append((r, e)))
+        sim.run(until=60)
+        result, error = results[0]
+        assert error is None
+        # The handshake flights are visible on the radio links.
+        handshake_frames = [
+            r for r in topo.sniffer.records
+            if r.metadata.get("kind") == "dtls-handshake"
+        ]
+        assert len(handshake_frames) > 0
+
+    def test_payloads_encrypted_on_wire(self):
+        sim = Simulator(seed=3)
+        topo = build_figure2_topology(sim)
+        resolver = RecursiveResolver(_zone())
+        server = DnsOverDtlsServer(sim, topo.resolver_host.bind(853), resolver)
+        client = DnsOverDtlsClient(
+            sim, topo.clients[0].bind(6001), (topo.resolver_host.address, 853)
+        )
+        preestablish(client.adapter, server.adapter, (topo.clients[0].address, 6001))
+        wire = client.adapter.session.protect(b"sensitive-name")
+        assert b"sensitive-name" not in wire
+
+
+class TestDtlsAdapters:
+    def test_server_adapter_requires_session_to_send(self):
+        sim = Simulator()
+        topo = build_figure2_topology(sim)
+        adapter = DtlsServerAdapter(sim, topo.resolver_host.bind(5684))
+        with pytest.raises(RuntimeError):
+            adapter.sendto(b"x", topo.clients[0].address, 6000)
+
+    def test_client_adapter_queues_until_established(self):
+        sim = Simulator(seed=4)
+        topo = build_figure2_topology(sim)
+        server_adapter = DtlsServerAdapter(sim, topo.resolver_host.bind(5684))
+        inbox = []
+        server_adapter.on_datagram = lambda src, sport, data, md: inbox.append(data)
+        client_adapter = DtlsClientAdapter(
+            sim, topo.clients[0].bind(6000), (topo.resolver_host.address, 5684)
+        )
+        client_adapter.sendto(b"early", topo.resolver_host.address, 5684)
+        sim.run(until=30)
+        assert inbox == [b"early"]
