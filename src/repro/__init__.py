@@ -12,8 +12,9 @@ paper's evaluation depends on, in pure Python:
 * ``repro.lowpan``    — IEEE 802.15.4 + 6LoWPAN (IPHC, fragmentation)
 * ``repro.net``       — IPv6/UDP reference encodings
 * ``repro.sim``       — deterministic discrete-event simulator
-* ``repro.stack``     — per-node stacks and the Figure 2 topology
-* ``repro.transports``— DNS-over-UDP / DNS-over-DTLS baselines
+* ``repro.stack``     — per-node stacks and multi-hop topologies
+* ``repro.transports``— DNS transport baselines + the plugin registry
+* ``repro.scenarios`` — declarative scenarios, sweeps, presets
 * ``repro.crypto``    — AES-CCM, HKDF, TLS 1.2 PRF (from scratch)
 * ``repro.cborlib``   — CBOR (RFC 8949)
 * ``repro.memmodel``  — firmware build-size model (Figures 5/8)

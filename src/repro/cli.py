@@ -3,12 +3,16 @@
 Subcommands
 -----------
 ``dissect``
-    Print the Figure 6 per-layer packet dissection for one transport.
+    Print the Figure 6 per-layer packet dissection for one transport
+    (any registry profile, including the modeled QUIC), or for every
+    transport with ``--sweep``.
 ``resolve``
-    Run a demo resolution over a chosen transport on the Figure 2
-    topology and print timings.
+    Run a demo resolution over a chosen transport/scenario and print
+    timings.
 ``experiment``
-    Run a full Figure 7-style experiment and print summary statistics.
+    Run a full Figure 7-style experiment — on the default Figure 2
+    setup, on a named/inline scenario (``--scenario``), or as a
+    (transport × topology × loss) sweep (``--sweep``).
 ``memory``
     Print the Figure 5 / Figure 8 build-size tables.
 ``compress``
@@ -19,8 +23,13 @@ Examples
 ::
 
     python -m repro.cli dissect --transport oscore
+    python -m repro.cli dissect --sweep
     python -m repro.cli resolve --transport coaps --names 5
+    python -m repro.cli resolve --scenario three-hop,loss=0.1
     python -m repro.cli experiment --transport coap --queries 50 --loss 0.2
+    python -m repro.cli experiment --scenario figure7,transport=oscore
+    python -m repro.cli experiment --sweep --transports udp,coap,oscore \
+        --topologies figure2,one-hop --losses 0.05,0.25 --queries 20
     python -m repro.cli memory
     python -m repro.cli compress --name device.example.org
 """
@@ -31,13 +40,54 @@ import argparse
 import sys
 from typing import List, Optional
 
+#: Fallbacks for ``experiment`` flags when no ``--scenario`` is given
+#: (flags default to ``None`` so explicit values can override a
+#: scenario's own settings).
+_EXPERIMENT_DEFAULTS = {
+    "transport": "coap",
+    "queries": 50,
+    "loss": 0.15,
+    "l2_retries": 1,
+    "seed": 1,
+}
 
-def _cmd_dissect(args: argparse.Namespace) -> int:
-    from repro.coap.codes import Code
-    from repro.experiments.packet_sizes import dissect_transport
+#: CLI flag → scenario-spec key, shared by ``resolve`` and ``experiment``.
+_FLAG_SPEC_KEYS = {
+    "transport": "transport",
+    "queries": "queries",
+    "loss": "loss",
+    "l2_retries": "retries",
+    "seed": "seed",
+}
 
-    method = {"fetch": Code.FETCH, "get": Code.GET, "post": Code.POST}[args.method]
-    dissections = dissect_transport(args.transport, method=method)
+
+def _merged_scenario(args: argparse.Namespace, flags, defaults):
+    """Scenario from ``--scenario`` (or defaults) with flag overrides.
+
+    *flags* names the argparse attributes to consider; explicit flag
+    values always win, *defaults* fill in only when no ``--scenario``
+    was given.
+    """
+    from repro.scenarios import Scenario, scenario_from_spec
+
+    if args.scenario:
+        scenario = scenario_from_spec(args.scenario)
+        defaults = {}
+    else:
+        scenario = Scenario()
+    overrides = []
+    for flag in flags:
+        value = getattr(args, flag)
+        if value is None:
+            value = defaults.get(flag)
+        if value is not None:
+            overrides.append(f"{_FLAG_SPEC_KEYS[flag]}={value}")
+    if overrides:
+        scenario = scenario_from_spec(",".join(overrides), base=scenario)
+    return scenario
+
+
+def _print_dissections(dissections) -> None:
     print(f"{'message':16s} {'DNS':>5s} {'sec':>5s} {'CoAP':>5s} "
           f"{'UDP':>5s} frames")
     for d in dissections:
@@ -46,58 +96,137 @@ def _cmd_dissect(args: argparse.Namespace) -> int:
             f"{d.coap_bytes:5d} {d.udp_payload:5d} {list(d.frame_sizes)}"
             f"{'  FRAGMENTED' if d.fragmented else ''}"
         )
+
+
+def _cmd_dissect(args: argparse.Namespace) -> int:
+    from repro.coap.codes import Code
+    from repro.experiments.packet_sizes import dissect_transport
+    from repro.transports.registry import registry
+
+    method = {"fetch": Code.FETCH, "get": Code.GET, "post": Code.POST}[args.method]
+    if args.sweep:
+        for profile in registry:
+            print(f"--- {profile.display_name} ---")
+            _print_dissections(profile.dissect(method=method))
+            print()
+        return 0
+    _print_dissections(dissect_transport(args.transport, method=method))
     return 0
 
 
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.dns import RecordType, RecursiveResolver, Zone
-    from repro.doc import DocClient, DocServer
     from repro.sim import Simulator
-    from repro.stack import build_figure2_topology
+    from repro.transports.registry import TransportEnv, registry
 
-    sim = Simulator(seed=args.seed)
-    topo = build_figure2_topology(sim, loss=args.loss)
+    scenario = _merged_scenario(
+        args,
+        flags=("transport", "loss", "seed"),
+        defaults={"transport": "coap", "loss": 0.05, "seed": 1},
+    )
+
+    profile = registry.get(scenario.transport)
+    sim = Simulator(seed=scenario.seed)
+    topo = scenario.topology.build(sim)
     zone = Zone()
     for index in range(args.names):
         zone.add_address(
             f"name{index:02d}.example.org", f"2001:db8::{index + 1}", ttl=300
         )
-    DocServer(sim, topo.resolver_host.bind(5683), RecursiveResolver(zone))
-    client = DocClient(
-        sim, topo.clients[0].bind(), (topo.resolver_host.address, 5683)
+    env = TransportEnv(
+        sim=sim,
+        topology=topo,
+        resolver=RecursiveResolver(zone),
+        scenario=scenario,
     )
+    profile.provision(env)
+    env.server = profile.build_server(env)
+    env.target = env.server.endpoint
+    client = profile.build_client(env, topo.clients[0], 0)
 
-    def report(result, error) -> None:
-        if error is not None:
-            print(f"  FAILED: {error}")
-        else:
-            print(
-                f"  {result.question.name:28s} -> "
-                f"{', '.join(result.addresses):20s} "
-                f"{result.resolution_time * 1000:7.1f} ms"
-            )
+    def report_for(name: str, issued_at: float):
+        def report(result, error) -> None:
+            if error is not None:
+                print(f"  FAILED: {error}")
+            else:
+                elapsed = sim.now - issued_at
+                print(
+                    f"  {name:28s} -> "
+                    f"{', '.join(result.addresses):20s} "
+                    f"{elapsed * 1000:7.1f} ms"
+                )
+        return report
+
+    def issue(index: int) -> None:
+        name = f"name{index:02d}.example.org"
+        client.resolve(name, RecordType.AAAA, report_for(name, sim.now))
 
     for index in range(args.names):
-        sim.schedule(index * 0.5, client.resolve,
-                     f"name{index:02d}.example.org", RecordType.AAAA, report)
+        sim.schedule(index * 0.5, issue, index)
     sim.run(until=60)
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import ExperimentConfig, run_resolution_experiment
-    from repro.experiments.metrics import fraction_below, percentile
+    from dataclasses import replace
 
-    config = ExperimentConfig(
-        transport=args.transport,
-        num_queries=args.queries,
-        loss=args.loss,
-        l2_retries=args.l2_retries,
-        seed=args.seed,
+    from repro.experiments.metrics import fraction_below, percentile
+    from repro.scenarios import ScenarioRunner, get_topology
+
+    runner = ScenarioRunner()
+    scenario = _merged_scenario(
+        args,
+        flags=("transport", "queries", "loss", "l2_retries", "seed"),
+        defaults=_EXPERIMENT_DEFAULTS,
     )
-    result = run_resolution_experiment(config)
+
+    if not args.sweep:
+        for flag in ("transports", "topologies", "losses"):
+            if getattr(args, flag) is not None:
+                print(f"error: --{flag} requires --sweep", file=sys.stderr)
+                return 2
+
+    if args.sweep:
+        if args.loss is not None:
+            print("error: use --losses (not --loss) with --sweep",
+                  file=sys.stderr)
+            return 2
+        if args.transport is not None:
+            print("error: use --transports (not --transport) with --sweep",
+                  file=sys.stderr)
+            return 2
+        transports = (args.transports or "udp,coap,oscore").split(",")
+        losses = [
+            float(value) for value in (args.losses or "0.05,0.25").split(",")
+        ]
+        # Keep sweep cells comparable with single runs: the run's MAC
+        # retry setting applies to every topology preset.
+        topologies = [
+            replace(get_topology(name), l2_retries=scenario.topology.l2_retries)
+            for name in (args.topologies or "figure2,one-hop").split(",")
+        ]
+        sweep = runner.sweep(
+            base=scenario,
+            transports=transports,
+            topologies=topologies,
+            losses=losses,
+        )
+        print(f"{'transport':10s} {'topology':14s} {'loss':>5s} "
+              f"{'success':>8s} {'median':>9s} {'p95':>9s} {'frames@1hop':>12s}")
+        for cell in sweep:
+            metrics = cell.metrics()
+            print(
+                f"{cell.transport:10s} {cell.topology:14s} {cell.loss:5.2f} "
+                f"{metrics['success_rate']:8.2%} "
+                f"{metrics['median_s'] * 1000:7.1f} ms "
+                f"{metrics['p95_s']:7.2f} s "
+                f"{metrics['frames_1hop']:12d}"
+            )
+        return 0
+
+    result = runner.run(scenario)
     times = result.resolution_times
-    print(f"transport:        {args.transport}")
+    print(f"transport:        {scenario.transport}")
     print(f"queries:          {len(result.outcomes)}")
     print(f"success rate:     {result.success_rate:.2%}")
     if times:
@@ -158,6 +287,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.transports import transport_names
+
     parser = argparse.ArgumentParser(
         prog="repro", description="DNS over CoAP reproduction toolkit"
     )
@@ -165,29 +296,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     dissect = subparsers.add_parser("dissect", help="Figure 6 packet dissection")
     dissect.add_argument(
-        "--transport", default="coap",
-        choices=["udp", "dtls", "coap", "coaps", "oscore"],
+        "--transport", default="coap", choices=transport_names(),
     )
     dissect.add_argument(
         "--method", default="fetch", choices=["fetch", "get", "post"]
     )
+    dissect.add_argument(
+        "--sweep", action="store_true",
+        help="dissect every registered transport",
+    )
     dissect.set_defaults(func=_cmd_dissect)
 
     resolve = subparsers.add_parser("resolve", help="demo DoC resolution")
+    resolve.add_argument(
+        "--transport", default=None,
+        choices=transport_names(simulatable_only=True),
+    )
+    resolve.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="scenario preset/spec, e.g. three-hop,loss=0.1",
+    )
     resolve.add_argument("--names", type=int, default=4)
-    resolve.add_argument("--loss", type=float, default=0.05)
-    resolve.add_argument("--seed", type=int, default=1)
+    resolve.add_argument("--loss", type=float, default=None)
+    resolve.add_argument("--seed", type=int, default=None)
     resolve.set_defaults(func=_cmd_resolve)
 
     experiment = subparsers.add_parser("experiment", help="Figure 7-style run")
     experiment.add_argument(
-        "--transport", default="coap",
-        choices=["udp", "dtls", "coap", "coaps", "oscore"],
+        "--transport", default=None,
+        choices=transport_names(simulatable_only=True),
     )
-    experiment.add_argument("--queries", type=int, default=50)
-    experiment.add_argument("--loss", type=float, default=0.15)
-    experiment.add_argument("--l2-retries", type=int, default=1)
-    experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="scenario preset/spec, e.g. figure7,transport=oscore",
+    )
+    experiment.add_argument(
+        "--sweep", action="store_true",
+        help="run a transport × topology × loss sweep",
+    )
+    experiment.add_argument(
+        "--transports", default=None, metavar="LIST",
+        help="sweep: comma-separated transports (default udp,coap,oscore)",
+    )
+    experiment.add_argument(
+        "--topologies", default=None, metavar="LIST",
+        help="sweep: comma-separated topology presets "
+             "(default figure2,one-hop)",
+    )
+    experiment.add_argument(
+        "--losses", default=None, metavar="LIST",
+        help="sweep: comma-separated loss rates (default 0.05,0.25)",
+    )
+    experiment.add_argument("--queries", type=int, default=None)
+    experiment.add_argument("--loss", type=float, default=None)
+    experiment.add_argument("--l2-retries", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
     experiment.set_defaults(func=_cmd_experiment)
 
     memory = subparsers.add_parser("memory", help="Figure 5/8 build sizes")
@@ -201,9 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.scenarios import ScenarioError
+    from repro.transports.registry import (
+        TransportCapabilityError,
+        UnknownTransportError,
+    )
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (
+        ScenarioError, TransportCapabilityError, UnknownTransportError
+    ) as exc:
+        # Misconfiguration (unknown names, bad spec keys) reads as a
+        # CLI error; internal errors keep their tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

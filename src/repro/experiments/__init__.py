@@ -18,6 +18,8 @@ from .metrics import cdf, percentile, quantiles, summary_stats
 from .resolution import (
     ExperimentConfig,
     ExperimentResult,
+    LinkUtilization,
+    QueryOutcome,
     pooled_resolution_times,
     run_repeated,
     run_resolution_experiment,
@@ -28,7 +30,9 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "FRAGMENTATION_LIMIT",
+    "LinkUtilization",
     "PacketDissection",
+    "QueryOutcome",
     "canonical_messages",
     "cdf",
     "dissect_all",

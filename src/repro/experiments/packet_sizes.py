@@ -159,26 +159,20 @@ def _doc_response(request: CoapMessage, dns_wire: bytes) -> CoapMessage:
 _DTLS_APP_OVERHEAD = 13 + 8 + 8  # record header + explicit nonce + CCM-8 tag
 
 
-def dissect_transport(
-    transport: str,
-    method: Code = Code.FETCH,
-    name: str = MEDIAN_NAME,
-    with_echo: bool = False,
-) -> List[PacketDissection]:
-    """Dissect query/response packets for one transport configuration.
+class _DissectionBuilder:
+    """Accumulates :class:`PacketDissection` rows for one transport."""
 
-    *transport* is one of ``udp``, ``dtls``, ``coap``, ``coaps``,
-    ``oscore``. For OSCORE, ``with_echo`` adds the Echo option carried
-    during replay-window initialisation (Figure 6's largest request).
-    """
-    messages = canonical_messages(name)
-    dissections: List[PacketDissection] = []
+    def __init__(self, transport: str) -> None:
+        self.transport = transport
+        self.dissections: List[PacketDissection] = []
 
-    def add(kind: str, dns_len: int, security: int, coap: int, udp_payload: int):
+    def add(
+        self, kind: str, dns_len: int, security: int, coap: int, udp_payload: int
+    ) -> None:
         frames = _frame_sizes_for_udp_payload(udp_payload)
-        dissections.append(
+        self.dissections.append(
             PacketDissection(
-                transport=transport,
+                transport=self.transport,
                 message=kind,
                 dns_bytes=dns_len,
                 security_bytes=security,
@@ -189,64 +183,111 @@ def dissect_transport(
             )
         )
 
-    if transport == "udp":
-        for kind, message in messages.items():
-            wire = message.encode()
-            add(kind, len(wire), 0, 0, len(wire))
-    elif transport == "dtls":
-        for kind, message in messages.items():
-            wire = message.encode()
-            add(kind, len(wire), _DTLS_APP_OVERHEAD, 0, len(wire) + _DTLS_APP_OVERHEAD)
-    elif transport in ("coap", "coaps"):
-        security = _DTLS_APP_OVERHEAD if transport == "coaps" else 0
-        query_wire = messages["query"].encode()
-        request = _doc_request(method, query_wire)
-        encoded_request = request.encode()
-        dns_in_request = len(query_wire) if method != Code.GET else len(
-            base64url_encode(query_wire)
-        ) + 4  # "dns=" prefix
-        add(
-            "query", dns_in_request, security,
-            len(encoded_request) - dns_in_request,
-            len(encoded_request) + security,
+
+def dissect_plain_dns(profile, name: Optional[str] = None) -> List[PacketDissection]:
+    """Raw DNS messages over UDP, optionally inside DTLS records.
+
+    The dissection hook behind the ``udp`` and ``dtls`` profiles:
+    ``profile.secure`` selects the DTLS application-record overhead.
+    """
+    name = name or MEDIAN_NAME
+    security = _DTLS_APP_OVERHEAD if profile.secure else 0
+    builder = _DissectionBuilder(profile.name)
+    for kind, message in canonical_messages(name).items():
+        wire = message.encode()
+        builder.add(kind, len(wire), security, 0, len(wire) + security)
+    return builder.dissections
+
+
+def dissect_doc(
+    profile, method: Optional[Code] = None, name: Optional[str] = None
+) -> List[PacketDissection]:
+    """DNS over CoAP, plain or DTLS-secured (``profile.secure``)."""
+    name = name or MEDIAN_NAME
+    method = method or Code.FETCH
+    messages = canonical_messages(name)
+    security = _DTLS_APP_OVERHEAD if profile.secure else 0
+    builder = _DissectionBuilder(profile.name)
+    query_wire = messages["query"].encode()
+    request = _doc_request(method, query_wire)
+    encoded_request = request.encode()
+    dns_in_request = len(query_wire) if method != Code.GET else len(
+        base64url_encode(query_wire)
+    ) + 4  # "dns=" prefix
+    builder.add(
+        "query", dns_in_request, security,
+        len(encoded_request) - dns_in_request,
+        len(encoded_request) + security,
+    )
+    for kind in ("response_a", "response_aaaa"):
+        wire = messages[kind].encode()
+        response = _doc_response(request, wire)
+        encoded = response.encode()
+        builder.add(
+            kind, len(wire), security, len(encoded) - len(wire),
+            len(encoded) + security,
         )
-        for kind in ("response_a", "response_aaaa"):
-            wire = messages[kind].encode()
-            response = _doc_response(request, wire)
-            encoded = response.encode()
-            add(kind, len(wire), security, len(encoded) - len(wire), len(encoded) + security)
-    elif transport == "oscore":
-        client, server = SecurityContext.pair(b"master-secret", b"salt")
-        request = _doc_request(Code.FETCH, messages["query"].encode())
-        if with_echo:
-            request = request.with_option(OptionNumber.ECHO, bytes(8))
-        outer_request, binding = protect_request(client, request)
-        encoded_outer = outer_request.encode()
-        inner_encoded = request.encode()
-        query_wire_len = len(messages["query"].encode())
-        add(
-            "query" if not with_echo else "query_echo",
-            query_wire_len,
-            len(encoded_outer) - len(inner_encoded),
-            len(inner_encoded) - query_wire_len,
-            len(encoded_outer),
+    return builder.dissections
+
+
+def dissect_oscore(
+    profile, name: Optional[str] = None, with_echo: bool = False
+) -> List[PacketDissection]:
+    """DNS over CoAP protected end-to-end with OSCORE.
+
+    ``with_echo`` adds the Echo option carried during replay-window
+    initialisation (Figure 6's largest request).
+    """
+    name = name or MEDIAN_NAME
+    messages = canonical_messages(name)
+    builder = _DissectionBuilder(profile.name)
+    client, server = SecurityContext.pair(b"master-secret", b"salt")
+    request = _doc_request(Code.FETCH, messages["query"].encode())
+    if with_echo:
+        request = request.with_option(OptionNumber.ECHO, bytes(8))
+    outer_request, binding = protect_request(client, request)
+    encoded_outer = outer_request.encode()
+    inner_encoded = request.encode()
+    query_wire_len = len(messages["query"].encode())
+    builder.add(
+        "query" if not with_echo else "query_echo",
+        query_wire_len,
+        len(encoded_outer) - len(inner_encoded),
+        len(inner_encoded) - query_wire_len,
+        len(encoded_outer),
+    )
+    _, server_binding = unprotect_request(server, outer_request)
+    for kind in ("response_a", "response_aaaa"):
+        wire = messages[kind].encode()
+        response = _doc_response(request, wire)
+        protected = protect_response(server, response, server_binding)
+        encoded = protected.encode()
+        plain_encoded = response.encode()
+        builder.add(
+            kind, len(wire),
+            len(encoded) - len(plain_encoded),
+            len(plain_encoded) - len(wire),
+            len(encoded),
         )
-        _, server_binding = unprotect_request(server, outer_request)
-        for kind in ("response_a", "response_aaaa"):
-            wire = messages[kind].encode()
-            response = _doc_response(request, wire)
-            protected = protect_response(server, response, server_binding)
-            encoded = protected.encode()
-            plain_encoded = response.encode()
-            add(
-                kind, len(wire),
-                len(encoded) - len(plain_encoded),
-                len(plain_encoded) - len(wire),
-                len(encoded),
-            )
-    else:
-        raise ValueError(f"unknown transport {transport!r}")
-    return dissections
+    return builder.dissections
+
+
+def dissect_transport(
+    transport: str,
+    method: Code = Code.FETCH,
+    name: str = MEDIAN_NAME,
+    with_echo: bool = False,
+) -> List[PacketDissection]:
+    """Dissect query/response packets for one registered transport.
+
+    Dispatches through the transport registry, so plugin transports
+    dissect exactly like the built-in ``udp``, ``dtls``, ``coap``,
+    ``coaps``, and ``oscore`` profiles.
+    """
+    from repro.transports.registry import registry
+
+    profile = registry.get(transport)
+    return profile.dissect(method=method, name=name, with_echo=with_echo)
 
 
 def dtls_handshake_dissections(transport: str = "dtls") -> List[PacketDissection]:
@@ -273,17 +314,26 @@ def dtls_handshake_dissections(transport: str = "dtls") -> List[PacketDissection
 def dissect_all(
     name: str = MEDIAN_NAME,
 ) -> Dict[str, List[PacketDissection]]:
-    """Figure 6's full grid: every transport's query/response packets."""
-    result: Dict[str, List[PacketDissection]] = {
-        "UDP": dissect_transport("udp", name=name),
-        "DTLSv1.2": dtls_handshake_dissections("DTLSv1.2")
-        + dissect_transport("dtls", name=name),
-        "CoAP": dissect_transport("coap", Code.FETCH, name=name),
-        "CoAPSv1.2": dtls_handshake_dissections("CoAPSv1.2")
-        + dissect_transport("coaps", Code.FETCH, name=name),
-        "OSCORE": dissect_transport("oscore", name=name)
-        + dissect_transport("oscore", name=name, with_echo=True)[:1],
-    }
+    """Figure 6's full grid: every transport's query/response packets.
+
+    Built from the transport registry: every profile flagged
+    ``in_figure6`` contributes its dissections, prefixed with the DTLS
+    handshake flights where the profile carries a handshake and
+    suffixed with the Echo variant where it supports one.
+    """
+    from repro.transports.registry import registry
+
+    result: Dict[str, List[PacketDissection]] = {}
+    for profile in registry:
+        if not profile.in_figure6:
+            continue
+        dissections: List[PacketDissection] = []
+        if profile.has_handshake:
+            dissections.extend(dtls_handshake_dissections(profile.display_name))
+        dissections.extend(profile.dissect(method=Code.FETCH, name=name))
+        if profile.echo_variant:
+            dissections.extend(profile.dissect(name=name, with_echo=True)[:1])
+        result[profile.display_name] = dissections
     return result
 
 
@@ -296,7 +346,15 @@ def dissect_blockwise(
     last), the 2.31 Continue acknowledgments, and the Block2 response
     blocks (full and last) for A and AAAA responses.
     """
-    security = _DTLS_APP_OVERHEAD if transport == "coaps" else 0
+    from repro.transports.registry import registry
+
+    # DTLS record overhead applies only to CoAP carried inside DTLS
+    # (CoAPS); OSCORE's overhead is COSE and already part of the
+    # protected message, not a record wrapper.
+    profile = registry.get(transport)
+    security = (
+        _DTLS_APP_OVERHEAD if profile.coap_based and profile.has_handshake else 0
+    )
     messages = canonical_messages(name)
     query_wire = messages["query"].encode()
     dissections: List[PacketDissection] = []

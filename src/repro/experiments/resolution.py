@@ -1,12 +1,14 @@
-"""The Figure 2 testbed harness (Figures 7, 10, 11, 15).
+"""The testbed harness behind Figures 7, 10, 11, and 15.
 
-``run_resolution_experiment`` builds the two-wireless-hop topology,
-installs a DNS transport stack on the clients and the resolver host,
-drives a Poisson query workload, and collects:
-
-* per-query resolution times (the CDFs of Figures 7/15),
-* per-link frame and byte counts from the sniffer (Figure 10),
-* client transmission/retransmission/cache events (Figure 11).
+:class:`ExperimentConfig` is the paper-shaped façade: one transport on
+the Figure 2 two-hop topology. Since the scenario engine landed it is a
+thin layer — :func:`run_resolution_experiment` converts the config into
+a :class:`~repro.scenarios.Scenario` and hands it to
+:class:`~repro.scenarios.ScenarioRunner`, which dispatches all
+transport specifics through the plugin registry. The metrics structs
+(:class:`ExperimentResult`, :class:`LinkUtilization`,
+:class:`QueryOutcome`) stay here; both the legacy entry point and
+scenario-native runs emit them.
 """
 
 from __future__ import annotations
@@ -14,42 +16,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.coap.cache import CoapCache
 from repro.coap.codes import Code
 from repro.coap.endpoint import ClientEvent
-from repro.coap.proxy import ForwardProxy
-from repro.dns import DNSCache, RecordType, RecursiveResolver, Zone
-from repro.dns.enums import DNSClass
-from repro.dns.rdata import AAAAData, AData
-from repro.dns.zone import ZoneRecord
-from repro.doc import CachingScheme, DocClient, DocServer
-from repro.oscore import SecurityContext
-from repro.sim import Simulator, poisson_arrival_times
-from repro.stack import Figure2Topology, build_figure2_topology
-from repro.transports import (
-    DnsOverDtlsClient,
-    DnsOverDtlsServer,
-    DnsOverUdpClient,
-    DnsOverUdpServer,
-    DtlsClientAdapter,
-    DtlsServerAdapter,
-    preestablish,
-)
+from repro.dns import RecordType, Zone
+from repro.doc import CachingScheme
+from repro.scenarios.runner import NAME_TEMPLATE, build_workload_zone
 
-COAP_PORT = 5683
-COAPS_PORT = 5684
-DNS_PORT = 53
-DODTLS_PORT = 853
-
-#: Name template producing the paper's median 24-character names.
-NAME_TEMPLATE = "name{index:04d}.example-iot.org"
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LinkUtilization",
+    "NAME_TEMPLATE",
+    "QueryOutcome",
+    "build_zone",
+    "pooled_resolution_times",
+    "run_repeated",
+    "run_resolution_experiment",
+]
 
 
 @dataclass
 class ExperimentConfig:
-    """Parameters of one testbed run."""
+    """Parameters of one testbed run (the paper's Figure 2 setup)."""
 
-    transport: str = "coap"          # udp | dtls | coap | coaps | oscore
+    transport: str = "coap"          # any simulatable registry profile
     method: Code = Code.FETCH
     rtype: int = RecordType.AAAA
     num_queries: int = 50
@@ -71,10 +61,47 @@ class ExperimentConfig:
     l2_retries: int = 3
 
     def __post_init__(self) -> None:
-        if self.transport not in ("udp", "dtls", "coap", "coaps", "oscore"):
-            raise ValueError(f"unknown transport {self.transport!r}")
-        if self.use_proxy and self.transport in ("udp", "dtls"):
+        from repro.transports.registry import registry
+
+        profile = registry.get(self.transport)
+        if not profile.simulatable:
+            raise ValueError(
+                f"transport {self.transport!r} is model-only and cannot run"
+            )
+        if self.use_proxy and not profile.coap_based:
             raise ValueError("the CoAP proxy requires a CoAP transport")
+
+    def to_scenario(self) -> "Scenario":
+        """The equivalent declarative scenario (Figure 2 topology)."""
+        from repro.scenarios import Scenario, TopologySpec, WorkloadSpec
+
+        return Scenario(
+            name=f"experiment/{self.transport}",
+            transport=self.transport,
+            topology=TopologySpec(
+                name="figure2",
+                hops=2,
+                clients=self.clients,
+                loss=self.loss,
+                l2_retries=self.l2_retries,
+            ),
+            workload=WorkloadSpec(
+                num_queries=self.num_queries,
+                num_names=self.num_names,
+                records_per_name=self.records_per_name,
+                query_rate=self.query_rate,
+                rtype_mix=((int(self.rtype), 1.0),),
+                ttl=self.ttl,
+            ),
+            method=self.method,
+            scheme=self.scheme,
+            use_proxy=self.use_proxy,
+            client_coap_cache=self.client_coap_cache,
+            client_dns_cache=self.client_dns_cache,
+            block_size=self.block_size,
+            seed=self.seed,
+            run_duration=self.run_duration,
+        )
 
 
 @dataclass
@@ -86,11 +113,18 @@ class QueryOutcome:
     issued_at: float
     resolution_time: Optional[float]   # None on failure
     error: Optional[str] = None
+    rtype: Optional[int] = None
 
 
 @dataclass
 class LinkUtilization:
-    """Frames/bytes split by link distance to the sink (Figure 10)."""
+    """Frames/bytes split by link distance to the sink (Figure 10).
+
+    ``frames_1hop``/``bytes_1hop`` cover the bottleneck link into the
+    border router; ``frames_2hop``/``bytes_2hop`` the outermost client
+    links. For topologies deeper than two hops, ``per_hop_frames`` maps
+    every hop distance to its frame count.
+    """
 
     frames_1hop: int
     frames_2hop: int
@@ -98,19 +132,22 @@ class LinkUtilization:
     bytes_2hop: int
     queries_frames: int
     responses_frames: int
+    per_hop_frames: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
 class ExperimentResult:
     """Everything one run produced."""
 
-    config: ExperimentConfig
+    config: object
     outcomes: List[QueryOutcome]
     link: LinkUtilization
     client_events: List[ClientEvent]
     #: (event time offset vs query issue) per cache/validation event.
     proxy_cache_hits: int = 0
     proxy_revalidations: int = 0
+    #: The declarative scenario the run executed (always set).
+    scenario: Optional[object] = None
 
     @property
     def resolution_times(self) -> List[float]:
@@ -130,200 +167,14 @@ class ExperimentResult:
 def build_zone(config: ExperimentConfig, rng) -> Zone:
     """Authoritative data: ``num_names`` names of 24 characters, each
     with ``records_per_name`` records of the requested type."""
-    zone = Zone()
-    for index in range(config.num_names):
-        name = NAME_TEMPLATE.format(index=index)
-        ttl = rng.randint(*config.ttl)
-        for record_index in range(config.records_per_name):
-            if config.rtype == RecordType.A:
-                rdata = AData(f"192.0.2.{record_index + 1}")
-                rtype = RecordType.A
-            else:
-                rdata = AAAAData(f"2001:db8::{index:x}:{record_index + 1:x}")
-                rtype = RecordType.AAAA
-            zone.add(ZoneRecord(name, rtype, ttl, rdata, DNSClass.IN))
-    return zone
-
-
-def _install_server(
-    sim: Simulator,
-    topo: Figure2Topology,
-    config: ExperimentConfig,
-    resolver: RecursiveResolver,
-    oscore_contexts: List[Tuple[SecurityContext, SecurityContext]],
-):
-    """Start the resolver-side stack; returns hooks for client setup."""
-    host = topo.resolver_host
-    if config.transport == "udp":
-        DnsOverUdpServer(sim, host.bind(DNS_PORT), resolver)
-        return {"port": DNS_PORT}
-    if config.transport == "dtls":
-        server = DnsOverDtlsServer(sim, host.bind(DODTLS_PORT), resolver)
-        return {"port": DODTLS_PORT, "adapter": server.adapter}
-    if config.transport == "coaps":
-        adapter = DtlsServerAdapter(sim, host.bind(COAPS_PORT))
-        DocServer(sim, adapter, resolver, scheme=config.scheme)
-        return {"port": COAPS_PORT, "adapter": adapter}
-    # plain CoAP and OSCORE share the CoAP port.
-    oscore_server_context = None
-    if config.transport == "oscore":
-        # One shared context pair per client is cleaner; the server
-        # here handles a single client context at a time, so derive a
-        # context per client and multiplex by kid below if needed.
-        oscore_server_context = oscore_contexts[0][1] if oscore_contexts else None
-    DocServer(
-        sim, host.bind(COAP_PORT), resolver, scheme=config.scheme,
-        oscore_context=oscore_server_context,
-    )
-    return {"port": COAP_PORT}
+    return build_workload_zone(config.to_scenario().workload, rng)
 
 
 def run_resolution_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Execute one run and gather its measurements."""
-    sim = Simulator(seed=config.seed)
-    topo = build_figure2_topology(
-        sim, clients=config.clients, loss=config.loss,
-        l2_retries=config.l2_retries,
-    )
-    zone = build_zone(config, sim.rng)
-    # A TTL *range* reproduces the paper's mocked-resolver behaviour:
-    # every cache renewal at the resolver draws a fresh TTL, the churn
-    # that distinguishes DoH-like from EOL-TTLs revalidation.
-    ttl_range = config.ttl if config.ttl[0] != config.ttl[1] else None
-    resolver = RecursiveResolver(
-        zone, upstream_ttl_range=ttl_range, rng=sim.rng
-    )
+    from repro.scenarios import ScenarioRunner
 
-    oscore_contexts: List[Tuple[SecurityContext, SecurityContext]] = []
-    if config.transport == "oscore":
-        # Pre-initialised replay windows (Section 5.1): no Echo round.
-        oscore_contexts.append(
-            SecurityContext.pair(b"experiment-master-secret", b"salt")
-        )
-
-    server_info = _install_server(sim, topo, config, resolver, oscore_contexts)
-    server_endpoint = (topo.resolver_host.address, server_info["port"])
-
-    proxy = None
-    if config.use_proxy:
-        proxy = ForwardProxy(
-            sim,
-            topo.forwarder.bind(COAP_PORT),
-            topo.forwarder.bind(),
-            server_endpoint,
-            cache_entries=50,
-        )
-        target = (topo.forwarder.address, COAP_PORT)
-    else:
-        target = server_endpoint
-
-    # -- client stacks ------------------------------------------------------
-    clients = []
-    for index, node in enumerate(topo.clients):
-        if config.transport == "udp":
-            client = DnsOverUdpClient(
-                sim, node.bind(), server_endpoint,
-                dns_cache=DNSCache(8) if config.client_dns_cache else None,
-            )
-        elif config.transport == "dtls":
-            client = DnsOverDtlsClient(
-                sim, node.bind(6000), server_endpoint,
-                dns_cache=DNSCache(8) if config.client_dns_cache else None,
-            )
-            preestablish(
-                client.adapter, server_info["adapter"], (node.address, 6000)
-            )
-        else:
-            socket = node.bind(6000)
-            if config.transport == "coaps":
-                socket = DtlsClientAdapter(sim, socket, server_endpoint)
-                preestablish(
-                    socket, server_info["adapter"], (node.address, 6000)
-                )
-            oscore_context = (
-                oscore_contexts[0][0] if config.transport == "oscore" else None
-            )
-            client = DocClient(
-                sim,
-                socket,
-                target,
-                method=config.method,
-                scheme=config.scheme,
-                coap_cache=CoapCache(8) if config.client_coap_cache else None,
-                dns_cache=DNSCache(8) if config.client_dns_cache else None,
-                block_size=config.block_size,
-                oscore_context=oscore_context,
-            )
-        clients.append(client)
-
-    # -- workload -------------------------------------------------------------
-    outcomes: List[QueryOutcome] = []
-    arrivals = poisson_arrival_times(
-        sim.rng, config.query_rate, config.num_queries, start=0.1
-    )
-
-    def issue(index: int, at: float) -> None:
-        client_index = index % len(clients)
-        client = clients[client_index]
-        name = NAME_TEMPLATE.format(index=index % config.num_names)
-        outcome = QueryOutcome(
-            name=name,
-            client=topo.clients[client_index].name,
-            issued_at=sim.now,
-            resolution_time=None,
-        )
-        outcomes.append(outcome)
-
-        def on_done(result, error) -> None:
-            if error is not None:
-                outcome.error = type(error).__name__
-                return
-            outcome.resolution_time = sim.now - outcome.issued_at
-
-        if config.transport in ("udp", "dtls"):
-            client.resolve(name, config.rtype, on_done)
-        else:
-            client.resolve(name, config.rtype, on_done)
-
-    for index, at in enumerate(arrivals):
-        sim.schedule_at(at, issue, index, at)
-
-    sim.run(until=config.run_duration)
-
-    # -- collect -----------------------------------------------------------------
-    sniffer = topo.sniffer
-    queries = sum(
-        1 for r in sniffer.records if r.metadata.get("kind") == "query"
-    )
-    responses = sum(
-        1 for r in sniffer.records if r.metadata.get("kind") == "response"
-    )
-    link = LinkUtilization(
-        frames_1hop=topo.proxy_sink_frames(),
-        frames_2hop=topo.client_proxy_frames(),
-        bytes_1hop=topo.proxy_sink_bytes(),
-        bytes_2hop=topo.client_proxy_bytes(),
-        queries_frames=queries,
-        responses_frames=responses,
-    )
-    client_events: List[ClientEvent] = []
-    for client in clients:
-        coap = getattr(client, "coap", None)
-        if coap is not None:
-            client_events.extend(coap.events)
-
-    return ExperimentResult(
-        config=config,
-        outcomes=outcomes,
-        link=link,
-        client_events=client_events,
-        proxy_cache_hits=(
-            proxy.requests_served_from_cache if proxy is not None else 0
-        ),
-        proxy_revalidations=(
-            proxy.requests_revalidated if proxy is not None else 0
-        ),
-    )
+    return ScenarioRunner().run(config.to_scenario(), _config=config)
 
 
 def run_repeated(
@@ -331,10 +182,10 @@ def run_repeated(
 ) -> List[ExperimentResult]:
     """Repeat a run with different seeds (the paper repeats all runs
     10 times, Section 5.1); results aggregate across repetitions."""
+    from dataclasses import replace
+
     results = []
     for repetition in range(runs):
-        from dataclasses import replace
-
         seeded = replace(config, seed=config.seed + repetition * 1000)
         results.append(run_resolution_experiment(seeded))
     return results

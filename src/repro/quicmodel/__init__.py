@@ -11,6 +11,7 @@ from .model import (
     HEADER_RANGE_0RTT,
     HEADER_RANGE_1RTT,
     link_layer_bytes,
+    quic_dissections,
     quic_packet_size,
     quic_penalty,
     penalty_series,
@@ -21,6 +22,7 @@ __all__ = [
     "HEADER_RANGE_1RTT",
     "link_layer_bytes",
     "penalty_series",
+    "quic_dissections",
     "quic_packet_size",
     "quic_penalty",
 ]

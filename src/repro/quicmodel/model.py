@@ -98,6 +98,49 @@ def penalty_series(
     ]
 
 
+def quic_dissections(name: str = None) -> List["PacketDissection"]:
+    """Figure 6-style dissection rows for the modeled QUIC transport.
+
+    The dissection hook behind the ``quic`` transport profile: for each
+    canonical message it emits the best-case 1-RTT packet (minimum
+    short header) and, for the query, the worst-case 0-RTT packet
+    (maximum long header) — the two ends of the Figure 9 sweep. All
+    non-DNS bytes (header, length prefix, AEAD tag) are reported as
+    security overhead.
+    """
+    from repro.experiments.packet_sizes import PacketDissection
+
+    name = name or MEDIAN_NAME
+    dns_lengths = {
+        d.message: d.dns_bytes for d in dissect_transport("udp", name=name)
+    }
+    variants = [
+        ("query", HEADER_RANGE_1RTT[0], ""),
+        ("response_a", HEADER_RANGE_1RTT[0], ""),
+        ("response_aaaa", HEADER_RANGE_1RTT[0], ""),
+        ("query", HEADER_RANGE_0RTT[1], " (0-RTT max)"),
+        ("response_aaaa", HEADER_RANGE_0RTT[1], " (0-RTT max)"),
+    ]
+    dissections = []
+    for message, header, suffix in variants:
+        dns_len = dns_lengths[message]
+        payload = quic_packet_size(header, dns_len)
+        frames = tuple(_frame_sizes_for_udp_payload(payload))
+        dissections.append(
+            PacketDissection(
+                transport="quic",
+                message=message + suffix,
+                dns_bytes=dns_len,
+                security_bytes=payload - dns_len,
+                coap_bytes=0,
+                udp_payload=payload,
+                frame_sizes=frames,
+                fragments=len(frames),
+            )
+        )
+    return dissections
+
+
 def aaaa_fragments_worst_case(name: str = MEDIAN_NAME) -> int:
     """Fragments of an AAAA response with the largest 0-RTT header
     (the paper: 3 fragments)."""

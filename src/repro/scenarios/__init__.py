@@ -1,0 +1,42 @@
+"""Declarative scenario engine.
+
+* :mod:`repro.scenarios.scenario` — :class:`Scenario`,
+  :class:`TopologySpec`, :class:`WorkloadSpec`: what to run;
+* :mod:`repro.scenarios.runner` — :class:`ScenarioRunner`: how to run
+  it (including ``sweep`` over transport × topology × loss grids);
+* :mod:`repro.scenarios.presets` — named topologies/scenarios and the
+  ``key=value`` spec parser behind the CLI's ``--scenario`` flag.
+"""
+
+from .scenario import Scenario, ScenarioError, TopologySpec, WorkloadSpec
+from .runner import (
+    NAME_TEMPLATE,
+    ScenarioRunner,
+    SweepCell,
+    SweepResult,
+    build_workload_zone,
+)
+from .presets import (
+    SCENARIOS,
+    TOPOLOGIES,
+    get_scenario,
+    get_topology,
+    scenario_from_spec,
+)
+
+__all__ = [
+    "NAME_TEMPLATE",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRunner",
+    "SweepCell",
+    "SweepResult",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_workload_zone",
+    "get_scenario",
+    "get_topology",
+    "scenario_from_spec",
+]

@@ -1,0 +1,141 @@
+"""Named topologies and scenarios, plus a ``key=value`` spec parser.
+
+Presets give the CLI and tests stable names for common configurations;
+:func:`scenario_from_spec` turns strings like
+``"three-hop,transport=oscore,loss=0.1,queries=30"`` into a
+:class:`Scenario` (first a preset name, then comma-separated
+overrides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.dns import RecordType
+
+from .scenario import Scenario, ScenarioError, TopologySpec, WorkloadSpec
+
+TOPOLOGIES: Dict[str, TopologySpec] = {
+    "figure2": TopologySpec(name="figure2"),
+    "one-hop": TopologySpec(name="one-hop", hops=1),
+    "three-hop": TopologySpec(name="three-hop", hops=3),
+    "dense": TopologySpec(name="dense", clients=4),
+    "lossy": TopologySpec(name="lossy", loss=0.25, l2_retries=1),
+    "all-wireless": TopologySpec(name="all-wireless", wired_tail=False),
+}
+
+SCENARIOS: Dict[str, Scenario] = {
+    "figure2": Scenario(name="figure2"),
+    "figure7": Scenario(
+        name="figure7",
+        topology=replace(TOPOLOGIES["figure2"], loss=0.25, l2_retries=1),
+    ),
+    "one-hop": Scenario(name="one-hop", topology=TOPOLOGIES["one-hop"]),
+    "three-hop": Scenario(name="three-hop", topology=TOPOLOGIES["three-hop"]),
+    "dense": Scenario(name="dense", topology=TOPOLOGIES["dense"]),
+    "all-wireless": Scenario(
+        name="all-wireless", topology=TOPOLOGIES["all-wireless"]
+    ),
+    "burst": Scenario(name="burst", workload=WorkloadSpec(burst_size=5)),
+    "mixed-records": Scenario(
+        name="mixed-records",
+        workload=WorkloadSpec(
+            rtype_mix=((int(RecordType.A), 0.5), (int(RecordType.AAAA), 0.5))
+        ),
+    ),
+}
+
+
+def get_topology(name: str) -> TopologySpec:
+    try:
+        return TOPOLOGIES[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown topology {name!r} (known: {', '.join(sorted(TOPOLOGIES))})"
+        ) from None
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r} (known: {', '.join(sorted(SCENARIOS))})"
+        ) from None
+
+
+_RTYPES = {"a": int(RecordType.A), "aaaa": int(RecordType.AAAA)}
+
+
+def _parse_bool(value: str) -> bool:
+    lowered = value.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ScenarioError(f"not a boolean: {value!r}")
+
+
+def scenario_from_spec(
+    spec: str, base: Optional[Scenario] = None
+) -> Scenario:
+    """Build a scenario from ``"[preset][,key=value]..."``.
+
+    Topology keys: ``hops``, ``clients``, ``loss``, ``retries``,
+    ``wired``. Workload keys: ``queries``, ``names``, ``rate``,
+    ``burst``, ``records``, ``rtype`` (``a``/``aaaa``/``mixed``).
+    Scenario keys: ``transport``, ``seed``, ``duration``, ``proxy``.
+    """
+    scenario = base if base is not None else Scenario()
+    parts = [part.strip() for part in spec.split(",") if part.strip()]
+    if parts and "=" not in parts[0]:
+        scenario = get_scenario(parts.pop(0))
+    topology, workload = scenario.topology, scenario.workload
+    scenario_fields: Dict[str, object] = {}
+    for part in parts:
+        if "=" not in part:
+            raise ScenarioError(f"expected key=value, got {part!r}")
+        key, value = (token.strip() for token in part.split("=", 1))
+        if key == "hops":
+            topology = replace(topology, hops=int(value))
+        elif key == "clients":
+            topology = replace(topology, clients=int(value))
+        elif key == "loss":
+            topology = replace(topology, loss=float(value))
+        elif key == "retries":
+            topology = replace(topology, l2_retries=int(value))
+        elif key == "wired":
+            topology = replace(topology, wired_tail=_parse_bool(value))
+        elif key == "queries":
+            workload = replace(workload, num_queries=int(value))
+        elif key == "names":
+            workload = replace(workload, num_names=int(value))
+        elif key == "rate":
+            workload = replace(workload, query_rate=float(value))
+        elif key == "burst":
+            workload = replace(workload, burst_size=int(value))
+        elif key == "records":
+            workload = replace(workload, records_per_name=int(value))
+        elif key == "rtype":
+            lowered = value.lower()
+            if lowered == "mixed":
+                mix = ((_RTYPES["a"], 0.5), (_RTYPES["aaaa"], 0.5))
+            elif lowered in _RTYPES:
+                mix = ((_RTYPES[lowered], 1.0),)
+            else:
+                raise ScenarioError(f"unknown rtype {value!r}")
+            workload = replace(workload, rtype_mix=mix)
+        elif key == "transport":
+            scenario_fields["transport"] = value
+        elif key == "seed":
+            scenario_fields["seed"] = int(value)
+        elif key == "duration":
+            scenario_fields["run_duration"] = float(value)
+        elif key == "proxy":
+            scenario_fields["use_proxy"] = _parse_bool(value)
+        else:
+            raise ScenarioError(f"unknown scenario key {key!r}")
+    return replace(
+        scenario, topology=topology, workload=workload, **scenario_fields
+    )

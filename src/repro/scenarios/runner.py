@@ -1,0 +1,297 @@
+"""The scenario engine: one runner for every transport and topology.
+
+:class:`ScenarioRunner` replaces the bespoke Figure 2 harness: it
+builds the scenario's topology, provisions and installs the transport
+through the plugin registry, drives the declarative workload, and emits
+the same :class:`~repro.experiments.resolution.ExperimentResult`
+metrics structs the Figure 7/10/11/15 benchmarks consume.
+:meth:`ScenarioRunner.sweep` enumerates a (transport × topology × loss)
+grid in one call and returns per-cell metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.sim import Simulator
+from repro.transports.registry import TransportEnv, registry
+
+from .scenario import Scenario, ScenarioError, TopologySpec, WorkloadSpec
+
+#: Name template producing the paper's median 24-character names.
+NAME_TEMPLATE = "name{index:04d}.example-iot.org"
+
+
+def build_workload_zone(workload: WorkloadSpec, rng):
+    """Authoritative data for a workload: ``num_names`` 24-character
+    names, each holding ``records_per_name`` records of every record
+    type in the mix (so any drawn query type resolves)."""
+    from repro.dns import RecordType, Zone
+    from repro.dns.enums import DNSClass
+    from repro.dns.rdata import AAAAData, AData
+    from repro.dns.zone import ZoneRecord
+
+    zone = Zone()
+    for index in range(workload.num_names):
+        name = NAME_TEMPLATE.format(index=index)
+        ttl = rng.randint(*workload.ttl)
+        for record_index in range(workload.records_per_name):
+            for rtype in workload.record_types:
+                if rtype == RecordType.A:
+                    rdata = AData(f"192.0.2.{record_index + 1}")
+                else:
+                    rdata = AAAAData(
+                        f"2001:db8::{index:x}:{record_index + 1:x}"
+                    )
+                zone.add(ZoneRecord(name, rtype, ttl, rdata, DNSClass.IN))
+    return zone
+
+
+@dataclass
+class SweepCell:
+    """One (transport × topology × loss) grid point and its result."""
+
+    transport: str
+    topology: str
+    loss: float
+    scenario: Scenario
+    result: "ExperimentResult"
+
+    @property
+    def key(self) -> Tuple[str, str, float]:
+        return (self.transport, self.topology, self.loss)
+
+    def metrics(self) -> Dict[str, float]:
+        """The per-cell summary a sweep table reports."""
+        from repro.experiments.metrics import percentile
+
+        result = self.result
+        times = result.resolution_times
+        return {
+            "queries": len(result.outcomes),
+            "success_rate": result.success_rate,
+            "median_s": percentile(times, 50) if times else float("nan"),
+            "p95_s": percentile(times, 95) if times else float("nan"),
+            "max_s": max(times) if times else float("nan"),
+            "frames_1hop": result.link.frames_1hop,
+            "frames_2hop": result.link.frames_2hop,
+            "bytes_1hop": result.link.bytes_1hop,
+            "bytes_2hop": result.link.bytes_2hop,
+        }
+
+
+class SweepResult:
+    """All cells of one sweep, addressable by (transport, topology, loss)."""
+
+    def __init__(self, cells: List[SweepCell]) -> None:
+        self.cells = cells
+        self._by_key: Dict[Tuple[str, str, float], SweepCell] = {}
+        for cell in cells:
+            if cell.key in self._by_key:
+                raise ScenarioError(f"duplicate sweep cell {cell.key}")
+            self._by_key[cell.key] = cell
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return iter(self.cells)
+
+    def cell(self, transport: str, topology: str, loss: float) -> SweepCell:
+        try:
+            return self._by_key[(transport, topology, loss)]
+        except KeyError:
+            raise KeyError(
+                f"no sweep cell ({transport!r}, {topology!r}, {loss!r}); "
+                f"have {sorted(self._by_key)}"
+            ) from None
+
+    def metrics(self) -> Dict[Tuple[str, str, float], Dict[str, float]]:
+        """Per-cell metric dictionaries keyed by grid coordinates."""
+        return {cell.key: cell.metrics() for cell in self.cells}
+
+
+class ScenarioRunner:
+    """Executes scenarios and scenario sweeps via the transport registry."""
+
+    def run(self, scenario: Scenario, _config=None) -> "ExperimentResult":
+        """Execute one scenario and gather its measurements.
+
+        ``_config`` optionally stamps the result with the legacy
+        ``ExperimentConfig`` that produced the scenario so existing
+        consumers keep seeing the configuration type they passed in.
+        """
+        from repro.coap.proxy import ForwardProxy
+        from repro.dns import RecursiveResolver
+        from repro.experiments.resolution import (
+            ExperimentResult,
+            LinkUtilization,
+            QueryOutcome,
+        )
+
+        profile = registry.get(scenario.transport)
+        if not profile.simulatable:
+            raise ScenarioError(
+                f"transport {scenario.transport!r} is model-only and cannot run"
+            )
+        workload = scenario.workload
+        sim = Simulator(seed=scenario.seed)
+        topo = scenario.topology.build(sim)
+        zone = build_workload_zone(workload, sim.rng)
+        # A TTL *range* reproduces the paper's mocked-resolver behaviour:
+        # every cache renewal at the resolver draws a fresh TTL, the churn
+        # that distinguishes DoH-like from EOL-TTLs revalidation.
+        ttl_range = workload.ttl if workload.ttl[0] != workload.ttl[1] else None
+        resolver = RecursiveResolver(
+            zone, upstream_ttl_range=ttl_range, rng=sim.rng
+        )
+
+        env = TransportEnv(
+            sim=sim, topology=topo, resolver=resolver, scenario=scenario
+        )
+        profile.provision(env)
+        env.server = profile.build_server(env)
+
+        proxy = None
+        if scenario.use_proxy:
+            # The forward proxy is a plain-CoAP hop on the canonical port.
+            from repro.transports.profiles import COAP_PORT
+
+            proxy = ForwardProxy(
+                sim,
+                topo.forwarder.bind(COAP_PORT),
+                topo.forwarder.bind(),
+                env.server.endpoint,
+                cache_entries=50,
+            )
+            env.target = (topo.forwarder.address, COAP_PORT)
+        else:
+            env.target = env.server.endpoint
+
+        clients = [
+            profile.build_client(env, node, index)
+            for index, node in enumerate(topo.clients)
+        ]
+
+        # -- workload ------------------------------------------------------
+        outcomes: List[QueryOutcome] = []
+        arrivals = workload.arrival_times(sim.rng)
+
+        def issue(index: int) -> None:
+            client_index = index % len(clients)
+            client = clients[client_index]
+            name = NAME_TEMPLATE.format(index=index % workload.num_names)
+            rtype = workload.draw_rtype(sim.rng)
+            outcome = QueryOutcome(
+                name=name,
+                client=topo.clients[client_index].name,
+                issued_at=sim.now,
+                resolution_time=None,
+                rtype=rtype,
+            )
+            outcomes.append(outcome)
+
+            def on_done(result, error) -> None:
+                if error is not None:
+                    outcome.error = type(error).__name__
+                    return
+                outcome.resolution_time = sim.now - outcome.issued_at
+
+            client.resolve(name, rtype, on_done)
+
+        for index, at in enumerate(arrivals):
+            sim.schedule_at(at, issue, index)
+
+        sim.run(until=scenario.run_duration)
+
+        # -- collect -------------------------------------------------------
+        sniffer = topo.sniffer
+        queries = sum(
+            1 for r in sniffer.records if r.metadata.get("kind") == "query"
+        )
+        responses = sum(
+            1 for r in sniffer.records if r.metadata.get("kind") == "response"
+        )
+        link = LinkUtilization(
+            frames_1hop=topo.proxy_sink_frames(),
+            frames_2hop=topo.client_proxy_frames(),
+            bytes_1hop=topo.proxy_sink_bytes(),
+            bytes_2hop=topo.client_proxy_bytes(),
+            queries_frames=queries,
+            responses_frames=responses,
+            per_hop_frames={
+                hop: topo.frames_at_hop(hop) for hop in range(1, topo.hops + 1)
+            },
+        )
+        client_events = []
+        for client in clients:
+            coap = getattr(client, "coap", None)
+            if coap is not None:
+                client_events.extend(coap.events)
+
+        return ExperimentResult(
+            config=_config if _config is not None else scenario,
+            outcomes=outcomes,
+            link=link,
+            client_events=client_events,
+            proxy_cache_hits=(
+                proxy.requests_served_from_cache if proxy is not None else 0
+            ),
+            proxy_revalidations=(
+                proxy.requests_revalidated if proxy is not None else 0
+            ),
+            scenario=scenario,
+        )
+
+    def sweep(
+        self,
+        base: Optional[Scenario] = None,
+        transports: Sequence[str] = ("udp", "coap", "oscore"),
+        topologies: Sequence[Union[str, TopologySpec]] = ("figure2", "one-hop"),
+        losses: Sequence[float] = (0.05, 0.25),
+    ) -> SweepResult:
+        """Run every (transport × topology × loss) grid cell.
+
+        *topologies* accepts :class:`TopologySpec` instances or preset
+        names (see :mod:`repro.scenarios.presets`); each cell derives
+        its scenario from *base* (topology loss overridden per cell)
+        and returns per-cell metrics via :class:`SweepResult`.
+        """
+        from .presets import get_topology
+
+        base = base if base is not None else Scenario()
+        specs = [
+            spec if isinstance(spec, TopologySpec) else get_topology(spec)
+            for spec in topologies
+        ]
+        # Reject colliding grid coordinates before spending any runtime.
+        seen = set()
+        for transport in transports:
+            for spec in specs:
+                for loss in losses:
+                    key = (transport, spec.name, loss)
+                    if key in seen:
+                        raise ScenarioError(f"duplicate sweep cell {key}")
+                    seen.add(key)
+        cells: List[SweepCell] = []
+        for transport in transports:
+            for spec in specs:
+                for loss in losses:
+                    topology = replace(spec, loss=loss)
+                    scenario = replace(
+                        base,
+                        name=f"{transport}/{spec.name}/loss={loss:g}",
+                        transport=transport,
+                        topology=topology,
+                    )
+                    cells.append(
+                        SweepCell(
+                            transport=transport,
+                            topology=spec.name,
+                            loss=loss,
+                            scenario=scenario,
+                            result=self.run(scenario),
+                        )
+                    )
+        return SweepResult(cells)

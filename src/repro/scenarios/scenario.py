@@ -1,0 +1,189 @@
+"""Declarative scenario configuration.
+
+A :class:`Scenario` bundles everything one run needs: which transport
+(by registry name), the topology shape (:class:`TopologySpec` — hop
+count, client count, link loss, wired/wireless mix), and the workload
+(:class:`WorkloadSpec` — Poisson rate, name count, record-type mix,
+burst vs. steady arrivals), plus the caching/proxy knobs of the paper's
+ablations. Scenarios are frozen dataclasses: derive variants with
+:func:`dataclasses.replace`, or let :class:`ScenarioRunner.sweep`
+enumerate (transport × topology × loss) grids.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.coap.codes import Code
+from repro.dns import RecordType
+from repro.doc import CachingScheme
+
+
+class ScenarioError(ValueError):
+    """An inconsistent scenario configuration."""
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Shape of the network a scenario runs on.
+
+    ``hops`` counts wireless hops between a client and the border
+    router (the paper's Figure 2 deployment is ``hops=2``); with
+    ``wired_tail`` the resolver host sits behind an extra wired link,
+    without it the border router hosts the resolver itself.
+    """
+
+    name: str = "figure2"
+    hops: int = 2
+    clients: int = 2
+    loss: float = 0.05
+    l2_retries: int = 3
+    wired_tail: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ScenarioError(f"hops must be >= 1, got {self.hops}")
+        if self.clients < 1:
+            raise ScenarioError(f"clients must be >= 1, got {self.clients}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ScenarioError(f"loss must be in [0, 1), got {self.loss}")
+        if self.l2_retries < 0:
+            raise ScenarioError("l2_retries must be >= 0")
+
+    def build(self, sim):
+        """Instantiate this topology on *sim*."""
+        from repro.stack import build_linear_topology
+
+        return build_linear_topology(
+            sim,
+            hops=self.hops,
+            clients=self.clients,
+            loss=self.loss,
+            l2_retries=self.l2_retries,
+            wired_tail=self.wired_tail,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Query workload driven against the scenario's clients.
+
+    ``rtype_mix`` is a weighted mix of DNS record types; every name in
+    the generated zone carries records of every type in the mix, so any
+    draw resolves. ``burst_size > 1`` switches from steady Poisson
+    arrivals to bursts: arrival instants stay Poisson but each instant
+    issues a whole burst back-to-back (one query per client round-robin).
+    """
+
+    num_queries: int = 50
+    num_names: int = 50
+    records_per_name: int = 1
+    query_rate: float = 5.0
+    rtype_mix: Tuple[Tuple[int, float], ...] = ((int(RecordType.AAAA), 1.0),)
+    burst_size: int = 1
+    ttl: Tuple[int, int] = (300, 300)
+    start: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise ScenarioError("num_queries must be >= 1")
+        if self.num_names < 1:
+            raise ScenarioError("num_names must be >= 1")
+        if self.query_rate <= 0:
+            raise ScenarioError("query_rate must be positive")
+        if self.burst_size < 1:
+            raise ScenarioError("burst_size must be >= 1")
+        if not self.rtype_mix:
+            raise ScenarioError("rtype_mix must not be empty")
+        if any(weight <= 0 for _, weight in self.rtype_mix):
+            raise ScenarioError("rtype_mix weights must be positive")
+        if self.ttl[0] > self.ttl[1]:
+            raise ScenarioError(f"ttl range reversed: {self.ttl}")
+
+    @property
+    def record_types(self) -> Tuple[int, ...]:
+        return tuple(rtype for rtype, _ in self.rtype_mix)
+
+    def arrival_times(self, rng: random.Random) -> List[float]:
+        """The run's query arrival instants (one per query)."""
+        from repro.sim import poisson_arrival_times
+
+        if self.burst_size == 1:
+            return poisson_arrival_times(
+                rng, self.query_rate, self.num_queries, start=self.start
+            )
+        instants = poisson_arrival_times(
+            rng,
+            self.query_rate,
+            math.ceil(self.num_queries / self.burst_size),
+            start=self.start,
+        )
+        times = [t for t in instants for _ in range(self.burst_size)]
+        return times[: self.num_queries]
+
+    def draw_rtype(self, rng: random.Random) -> int:
+        """One record type from the mix (no RNG draw for pure mixes)."""
+        if len(self.rtype_mix) == 1:
+            return self.rtype_mix[0][0]
+        types = [rtype for rtype, _ in self.rtype_mix]
+        weights = [weight for _, weight in self.rtype_mix]
+        return rng.choices(types, weights=weights, k=1)[0]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified run: transport × topology × workload."""
+
+    name: str = "default"
+    transport: str = "coap"
+    topology: TopologySpec = TopologySpec()
+    workload: WorkloadSpec = WorkloadSpec()
+    method: Code = Code.FETCH
+    scheme: CachingScheme = CachingScheme.EOL_TTLS
+    use_proxy: bool = False
+    client_coap_cache: bool = False
+    client_dns_cache: bool = False
+    block_size: Optional[int] = None
+    seed: int = 1
+    run_duration: float = 300.0
+
+    def __post_init__(self) -> None:
+        from repro.transports.registry import registry
+
+        profile = registry.get(self.transport)
+        if not profile.simulatable:
+            raise ScenarioError(
+                f"transport {self.transport!r} is model-only and cannot run"
+            )
+        if self.use_proxy and not profile.coap_based:
+            raise ScenarioError("the CoAP proxy requires a CoAP transport")
+        if (
+            self.use_proxy
+            and self.topology.hops == 1
+            and not self.topology.wired_tail
+        ):
+            # One wireless hop with no wired tail puts the resolver on
+            # the border router — the node the proxy would bind on.
+            raise ScenarioError(
+                "the proxy needs a forwarder distinct from the resolver "
+                "host (use hops >= 2 or a wired tail)"
+            )
+
+    @property
+    def profile(self):
+        from repro.transports.registry import registry
+
+        return registry.get(self.transport)
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return replace(self, seed=seed)
+
+    def cell_label(self) -> str:
+        """Compact identity used in sweep tables."""
+        return (
+            f"{self.transport}/{self.topology.name}"
+            f"/loss={self.topology.loss:g}"
+        )

@@ -16,17 +16,27 @@ from typing import Any, Callable, List, Optional, Tuple
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+    def __init__(
+        self, time: float, callback: Callable, args: tuple,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
+        """Prevent the callback from running (idempotent; cancelling an
+        already-fired event is a no-op)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
 
 
 class Simulator:
@@ -40,10 +50,17 @@ class Simulator:
         from it so runs are reproducible.
     """
 
+    #: Compaction threshold: once the heap holds this many entries and
+    #: more than half of them are cancelled, dead entries are purged so
+    #: long parameter sweeps don't accumulate them.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, seed: int = 1) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
+        self._live = 0
+        self._cancelled_in_heap = 0
         self.rng = random.Random(seed)
 
     @property
@@ -55,8 +72,9 @@ class Simulator:
         """Run ``callback(*args)`` after *delay* seconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        event = Event(self._now + delay, callback, args)
+        event = Event(self._now + delay, callback, args, sim=self)
         heapq.heappush(self._heap, (event.time, next(self._sequence), event))
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> Event:
@@ -74,7 +92,10 @@ class Simulator:
             heapq.heappop(self._heap)
             self._now = time
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            self._live -= 1
+            event.fired = True
             event.callback(*event.args)
             processed += 1
             if processed >= max_events:
@@ -85,5 +106,18 @@ class Simulator:
             self._now = until
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled scheduled events."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled scheduled events (O(1))."""
+        return self._live
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._heap = [
+                entry for entry in self._heap if not entry[2].cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0

@@ -7,13 +7,22 @@ a UDP socket table. :class:`Network` wires nodes into topologies such
 as the paper's Figure 2.
 """
 
-from .node import Node, UdpSocket
-from .network import Network, build_figure2_topology, Figure2Topology
+from .node import Node, StackError, UdpSocket
+from .network import (
+    Figure2Topology,
+    LinearTopology,
+    Network,
+    build_figure2_topology,
+    build_linear_topology,
+)
 
 __all__ = [
     "Figure2Topology",
+    "LinearTopology",
     "Network",
     "Node",
+    "StackError",
     "UdpSocket",
     "build_figure2_topology",
+    "build_linear_topology",
 ]

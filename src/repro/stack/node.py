@@ -10,6 +10,9 @@ from repro.lowpan import LowpanAdaptation, MacFrame
 
 #: IEEE 802.15.4 broadcast address (16-bit 0xFFFF, widened here).
 BROADCAST_MAC = 0xFFFF
+
+#: IANA dynamic/private port range used for ephemeral allocation.
+EPHEMERAL_PORT_RANGE = (49152, 65535)
 from repro.net.ipv6 import Ipv6Packet
 from repro.net.udp import UdpDatagram
 from repro.sim.core import Simulator
@@ -82,7 +85,7 @@ class Node:
         self.default_route: Optional[str] = None
         #: neighbour address -> (is_wireless, mac or peer node)
         self._neighbours: Dict[str, Tuple[bool, object]] = {}
-        self._ephemeral_port = 49152
+        self._ephemeral_port = EPHEMERAL_PORT_RANGE[0]
         #: Multicast groups this node has joined (ff02::/16 link scope).
         self.multicast_groups: set = set()
         self.packets_forwarded = 0
@@ -113,15 +116,23 @@ class Node:
     def bind(self, port: int = 0) -> UdpSocket:
         """Bind a UDP socket; port 0 picks an ephemeral port."""
         if port == 0:
-            while self._ephemeral_port in self._sockets:
-                self._ephemeral_port += 1
-            port = self._ephemeral_port
-            self._ephemeral_port += 1
+            port = self._allocate_ephemeral_port()
         if port in self._sockets:
             raise StackError(f"port {port} already bound on {self.name}")
         socket = UdpSocket(self, port)
         self._sockets[port] = socket
         return socket
+
+    def _allocate_ephemeral_port(self) -> int:
+        """Next free port in the dynamic range, wrapping at the top."""
+        low, high = EPHEMERAL_PORT_RANGE
+        span = high - low + 1
+        for _ in range(span):
+            port = self._ephemeral_port
+            self._ephemeral_port = low + (port + 1 - low) % span
+            if port not in self._sockets:
+                return port
+        raise StackError(f"{self.name}: ephemeral ports exhausted")
 
     # -- sending / forwarding ----------------------------------------------
 
@@ -159,14 +170,18 @@ class Node:
 
     def _send_multicast(self, packet: Ipv6Packet, metadata: dict) -> None:
         """Broadcast a link-scope multicast packet to all neighbours."""
+        # Loopback first: members on this node receive the packet even
+        # when there is no radio to broadcast it on (wired-only nodes).
+        member = str(packet.dst) in self.multicast_groups
+        if member:
+            self._deliver(packet, metadata)
         if self.medium is None:
+            if member:
+                return
             raise StackError(f"{self.name} has no radio for multicast")
         frames = self.lowpan.packet_to_frames(packet, BROADCAST_MAC)
         for frame in frames:
             self.medium.broadcast(self.name, frame.encode(), dict(metadata))
-        # Loopback: members on this node also receive the packet.
-        if str(packet.dst) in self.multicast_groups:
-            self._deliver(packet, metadata)
 
     def _neighbour_name(self, address: str) -> str:
         # Radio interfaces are registered under node names; the network

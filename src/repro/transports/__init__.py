@@ -1,13 +1,25 @@
-"""DNS transport baselines and secure-socket adapters.
+"""DNS transports: baselines, secure-socket adapters, plugin registry.
 
 The paper compares DoC against DNS over UDP and DNS over DTLS
 (Section 5). Both baselines live here, together with the DTLS socket
-adapter that also underpins CoAPS (CoAP over DTLS).
+adapter that also underpins CoAPS (CoAP over DTLS), and the transport
+plugin registry through which every experiment, scenario, and CLI
+invocation dispatches (see :mod:`repro.transports.registry`).
 """
 
 from .dtls_adapter import DtlsClientAdapter, DtlsServerAdapter, preestablish
 from .dns_over_udp import DnsOverUdpClient, DnsOverUdpServer
 from .dns_over_dtls import DnsOverDtlsClient, DnsOverDtlsServer
+from .registry import (
+    ServerHandle,
+    TransportCapabilityError,
+    TransportEnv,
+    TransportProfile,
+    UnknownTransportError,
+    get_profile,
+    registry,
+    transport_names,
+)
 
 __all__ = [
     "DnsOverDtlsClient",
@@ -16,5 +28,13 @@ __all__ = [
     "DnsOverUdpServer",
     "DtlsClientAdapter",
     "DtlsServerAdapter",
+    "ServerHandle",
+    "TransportCapabilityError",
+    "TransportEnv",
+    "TransportProfile",
+    "UnknownTransportError",
+    "get_profile",
     "preestablish",
+    "registry",
+    "transport_names",
 ]

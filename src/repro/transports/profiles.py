@@ -1,0 +1,293 @@
+"""Built-in transport profiles.
+
+Registers the paper's five runnable DNS transports (UDP, DTLS, CoAP,
+CoAPS, OSCORE) plus the analytically-modeled QUIC with the
+:mod:`repro.transports.registry`. Each registration bundles the
+client/server factories, security provisioning, and the Figure 6
+packet-dissection hook; nothing outside this module branches on
+transport names.
+
+Imports of the heavier layers (``repro.doc``, the dissection code)
+happen inside the factories so the registry stays import-light and free
+of cycles.
+"""
+
+from __future__ import annotations
+
+from repro.transports.registry import (
+    ServerHandle,
+    TransportEnv,
+    TransportProfile,
+    registry,
+)
+
+DNS_PORT = 53
+DNS_OVER_DTLS_PORT = 853
+COAP_PORT = 5683
+COAPS_PORT = 5684
+DNS_OVER_QUIC_PORT = 853
+
+#: Client-side source port for session-oriented transports, matching
+#: the testbed configuration (one DTLS/CoAP session per client).
+CLIENT_PORT = 6000
+
+
+def _dns_cache(env: TransportEnv):
+    from repro.dns import DNSCache
+
+    return DNSCache(8) if env.scenario.client_dns_cache else None
+
+
+# -- DNS over UDP -----------------------------------------------------------
+
+
+def _udp_server(env: TransportEnv) -> ServerHandle:
+    from repro.transports.dns_over_udp import DnsOverUdpServer
+
+    host = env.topology.resolver_host
+    server = DnsOverUdpServer(env.sim, host.bind(DNS_PORT), env.resolver)
+    return ServerHandle(
+        port=DNS_PORT, endpoint=(host.address, DNS_PORT), server=server
+    )
+
+
+def _udp_client(env: TransportEnv, node, index: int):
+    from repro.transports.dns_over_udp import DnsOverUdpClient
+
+    return DnsOverUdpClient(
+        env.sim, node.bind(), env.server.endpoint, dns_cache=_dns_cache(env)
+    )
+
+
+# -- DNS over DTLS ----------------------------------------------------------
+
+
+def _dtls_server(env: TransportEnv) -> ServerHandle:
+    from repro.transports.dns_over_dtls import DnsOverDtlsServer
+
+    host = env.topology.resolver_host
+    server = DnsOverDtlsServer(
+        env.sim, host.bind(DNS_OVER_DTLS_PORT), env.resolver
+    )
+    return ServerHandle(
+        port=DNS_OVER_DTLS_PORT,
+        endpoint=(host.address, DNS_OVER_DTLS_PORT),
+        server=server,
+        adapter=server.adapter,
+    )
+
+
+def _dtls_client(env: TransportEnv, node, index: int):
+    from repro.transports.dns_over_dtls import DnsOverDtlsClient
+    from repro.transports.dtls_adapter import preestablish
+
+    client = DnsOverDtlsClient(
+        env.sim,
+        node.bind(CLIENT_PORT),
+        env.server.endpoint,
+        dns_cache=_dns_cache(env),
+    )
+    preestablish(
+        client.adapter, env.server.adapter, (node.address, CLIENT_PORT)
+    )
+    return client
+
+
+# -- DNS over CoAP (plain, DTLS-secured, OSCORE-protected) ------------------
+
+
+def _provision_oscore(env: TransportEnv) -> None:
+    # Pre-initialised replay windows (Section 5.1): no Echo round.
+    from repro.oscore import SecurityContext
+
+    env.oscore_pairs.append(
+        SecurityContext.pair(b"experiment-master-secret", b"salt")
+    )
+
+
+def _coaps_server(env: TransportEnv) -> ServerHandle:
+    from repro.doc import DocServer
+    from repro.transports.dtls_adapter import DtlsServerAdapter
+
+    host = env.topology.resolver_host
+    adapter = DtlsServerAdapter(env.sim, host.bind(COAPS_PORT))
+    server = DocServer(env.sim, adapter, env.resolver, scheme=env.scenario.scheme)
+    return ServerHandle(
+        port=COAPS_PORT,
+        endpoint=(host.address, COAPS_PORT),
+        server=server,
+        adapter=adapter,
+    )
+
+
+def _coap_server(env: TransportEnv) -> ServerHandle:
+    from repro.doc import DocServer
+
+    host = env.topology.resolver_host
+    # The server handles a single client context at a time; derive one
+    # shared pair and multiplex by kid if ever needed.
+    oscore_context = env.oscore_pairs[0][1] if env.oscore_pairs else None
+    server = DocServer(
+        env.sim,
+        host.bind(COAP_PORT),
+        env.resolver,
+        scheme=env.scenario.scheme,
+        oscore_context=oscore_context,
+    )
+    return ServerHandle(
+        port=COAP_PORT, endpoint=(host.address, COAP_PORT), server=server
+    )
+
+
+def _doc_client(env: TransportEnv, node, index: int, secure: bool, oscore: bool):
+    from repro.coap.cache import CoapCache
+    from repro.doc import DocClient
+    from repro.transports.dtls_adapter import DtlsClientAdapter, preestablish
+
+    scenario = env.scenario
+    socket = node.bind(CLIENT_PORT)
+    if secure:
+        socket = DtlsClientAdapter(env.sim, socket, env.server.endpoint)
+        preestablish(
+            socket, env.server.adapter, (node.address, CLIENT_PORT)
+        )
+    oscore_context = env.oscore_pairs[0][0] if oscore else None
+    return DocClient(
+        env.sim,
+        socket,
+        env.target,
+        method=scenario.method,
+        scheme=scenario.scheme,
+        coap_cache=CoapCache(8) if scenario.client_coap_cache else None,
+        dns_cache=_dns_cache(env),
+        block_size=scenario.block_size,
+        oscore_context=oscore_context,
+    )
+
+
+def _coap_client(env, node, index):
+    return _doc_client(env, node, index, secure=False, oscore=False)
+
+
+def _coaps_client(env, node, index):
+    return _doc_client(env, node, index, secure=True, oscore=False)
+
+
+def _oscore_client(env, node, index):
+    return _doc_client(env, node, index, secure=False, oscore=True)
+
+
+# -- dissection hooks -------------------------------------------------------
+
+
+def _dissect_plain_dns(profile, method=None, name=None, with_echo=False):
+    # Shared by udp and dtls: profile.secure selects the record overhead.
+    from repro.experiments import packet_sizes
+
+    return packet_sizes.dissect_plain_dns(profile, name=name)
+
+
+def _dissect_coap(profile, method=None, name=None, with_echo=False):
+    from repro.experiments import packet_sizes
+
+    return packet_sizes.dissect_doc(profile, method=method, name=name)
+
+
+def _dissect_oscore(profile, method=None, name=None, with_echo=False):
+    from repro.experiments import packet_sizes
+
+    return packet_sizes.dissect_oscore(profile, name=name, with_echo=with_echo)
+
+
+def _dissect_quic(profile, method=None, name=None, with_echo=False):
+    from repro.quicmodel import quic_dissections
+
+    return quic_dissections(name=name)
+
+
+# -- registrations ----------------------------------------------------------
+# replace=True keeps a re-import of this module (e.g. a retried builtin
+# load after a transient failure) idempotent.
+
+registry.register(
+    TransportProfile(
+        name="udp",
+        display_name="UDP",
+        default_port=DNS_PORT,
+        server_factory=_udp_server,
+        client_factory=_udp_client,
+        dissector=_dissect_plain_dns,
+    ),
+    replace=True,
+)
+
+registry.register(
+    TransportProfile(
+        name="dtls",
+        display_name="DTLSv1.2",
+        default_port=DNS_OVER_DTLS_PORT,
+        secure=True,
+        has_handshake=True,
+        server_factory=_dtls_server,
+        client_factory=_dtls_client,
+        dissector=_dissect_plain_dns,
+    ),
+    replace=True,
+)
+
+registry.register(
+    TransportProfile(
+        name="coap",
+        display_name="CoAP",
+        default_port=COAP_PORT,
+        coap_based=True,
+        server_factory=_coap_server,
+        client_factory=_coap_client,
+        dissector=_dissect_coap,
+    ),
+    replace=True,
+)
+
+registry.register(
+    TransportProfile(
+        name="coaps",
+        display_name="CoAPSv1.2",
+        default_port=COAPS_PORT,
+        secure=True,
+        coap_based=True,
+        has_handshake=True,
+        server_factory=_coaps_server,
+        client_factory=_coaps_client,
+        dissector=_dissect_coap,
+    ),
+    replace=True,
+)
+
+registry.register(
+    TransportProfile(
+        name="oscore",
+        display_name="OSCORE",
+        default_port=COAP_PORT,
+        secure=True,
+        coap_based=True,
+        echo_variant=True,
+        provisioner=_provision_oscore,
+        server_factory=_coap_server,
+        client_factory=_oscore_client,
+        dissector=_dissect_oscore,
+    ),
+    replace=True,
+)
+
+registry.register(
+    TransportProfile(
+        name="quic",
+        display_name="QUIC (model)",
+        default_port=DNS_OVER_QUIC_PORT,
+        secure=True,
+        simulatable=False,
+        in_figure6=False,
+        dissector=_dissect_quic,
+    ),
+    replace=True,
+)

@@ -46,6 +46,63 @@ def test_compress(capsys):
     assert "wire  70 B" in out
 
 
+def test_experiment_scenario_flag(capsys):
+    assert main([
+        "experiment", "--scenario", "one-hop,queries=8,loss=0.0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "success rate:     100.00%" in out
+
+
+def test_experiment_sweep(capsys):
+    assert main([
+        "experiment", "--sweep", "--transports", "udp,coap",
+        "--topologies", "one-hop", "--losses", "0.0", "--queries", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.count("one-hop") == 2
+    assert "udp" in out and "coap" in out
+
+
+def test_sweep_rejects_single_loss_flag(capsys):
+    assert main(["experiment", "--sweep", "--loss", "0.1"]) == 2
+    assert "--losses" in capsys.readouterr().err
+
+
+def test_sweep_rejects_single_transport_flag(capsys):
+    assert main(["experiment", "--sweep", "--transport", "oscore"]) == 2
+    assert "--transports" in capsys.readouterr().err
+
+
+def test_sweep_flags_require_sweep(capsys):
+    assert main(["experiment", "--transports", "udp,oscore"]) == 2
+    assert "--transports requires --sweep" in capsys.readouterr().err
+    assert main(["experiment", "--losses", "0.1"]) == 2
+    assert "--losses requires --sweep" in capsys.readouterr().err
+
+
+def test_scenario_errors_are_clean(capsys):
+    assert main(["experiment", "--scenario", "transport=tcp"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "udp" in err  # lists the known transports
+
+
+def test_dissect_sweep_covers_quic(capsys):
+    assert main(["dissect", "--sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "QUIC (model)" in out
+    assert "OSCORE" in out
+
+
+def test_resolve_scenario_flag(capsys):
+    assert main(["resolve", "--scenario", "three-hop,loss=0.0",
+                 "--names", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ms") == 2
+    assert "FAILED" not in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])

@@ -90,3 +90,9 @@ class TestBlockwiseDissection:
         secured = {d.message: d for d in dissect_blockwise(32, transport="coaps")}
         for message in plain:
             assert secured[message].udp_payload == plain[message].udp_payload + 29
+
+    def test_only_coaps_gets_dtls_record_overhead(self):
+        """OSCORE's security overhead is COSE inside the message, not a
+        DTLS record wrapper — block sizes must not inflate for it."""
+        for dissection in dissect_blockwise(32, transport="oscore"):
+            assert dissection.security_bytes == 0

@@ -94,6 +94,75 @@ class TestEventLoop:
         event.cancel()
         assert sim.pending() == 1
 
+    def test_cancel_after_fire_is_noop(self):
+        """Cancelling an event that already ran must not corrupt the
+        live-event counter (timers are often cancelled after firing)."""
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        fired.cancel()
+        fired.cancel()
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_pending_cancel_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_pending_tracks_fired_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_pending_is_constant_time(self):
+        """pending() reads a counter, not the heap."""
+        sim = Simulator()
+        for _ in range(1000):
+            sim.schedule(1.0, lambda: None)
+        heap_snapshot = list(sim._heap)
+        assert sim.pending() == 1000
+        assert sim._heap == heap_snapshot  # no scan side effects
+
+    def test_mass_cancellation_compacts_heap(self):
+        """Cancelled events are purged lazily so long sweeps don't
+        accumulate dead heap entries."""
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(1000)]
+        keeper = sim.schedule(2.0, lambda: None)
+        for event in events:
+            event.cancel()
+        assert sim.pending() == 1
+        assert len(sim._heap) < 1000
+        fired = []
+        keeper.callback = lambda: fired.append(True)
+        keeper.args = ()
+        sim.run()
+        assert fired == [True]
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        sim.COMPACT_MIN_SIZE  # class attr exists
+        fired = []
+        cancelled = [
+            sim.schedule(0.5, fired.append, "dead") for _ in range(200)
+        ]
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        for event in cancelled:
+            event.cancel()
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
 
 class TestMedium:
     def _medium(self, loss=0.0, seed=1, retries=3):

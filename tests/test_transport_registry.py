@@ -1,0 +1,152 @@
+"""Transport plugin registry: lookups, profiles, plugin registration."""
+
+import pytest
+
+from repro.experiments.packet_sizes import dissect_transport
+from repro.transports.registry import (
+    TransportCapabilityError,
+    TransportProfile,
+    UnknownTransportError,
+    get_profile,
+    registry,
+    transport_names,
+)
+
+BUILTINS = ("udp", "dtls", "coap", "coaps", "oscore")
+
+
+class TestLookup:
+    def test_builtins_registered(self):
+        for name in BUILTINS + ("quic",):
+            assert name in registry
+            assert registry.get(name).name == name
+
+    def test_unknown_transport_raises(self):
+        with pytest.raises(UnknownTransportError):
+            registry.get("tcp")
+
+    def test_unknown_transport_is_value_error(self):
+        """Callers that predate the registry catch ValueError."""
+        with pytest.raises(ValueError):
+            get_profile("smtp")
+
+    def test_error_names_known_transports(self):
+        with pytest.raises(UnknownTransportError, match="udp"):
+            registry.get("bogus")
+
+    def test_names_order_stable(self):
+        names = transport_names()
+        assert names[: len(BUILTINS)] == list(BUILTINS)
+        assert "quic" in names
+
+    def test_simulatable_filter_excludes_quic(self):
+        names = transport_names(simulatable_only=True)
+        assert set(names) == set(BUILTINS)
+
+
+class TestProfiles:
+    def test_default_ports(self):
+        assert registry.get("udp").default_port == 53
+        assert registry.get("dtls").default_port == 853
+        assert registry.get("coap").default_port == 5683
+        assert registry.get("coaps").default_port == 5684
+
+    def test_coap_based_flags(self):
+        for name in ("coap", "coaps", "oscore"):
+            assert registry.get(name).coap_based, name
+        for name in ("udp", "dtls"):
+            assert not registry.get(name).coap_based, name
+
+    def test_secure_flags(self):
+        for name in ("dtls", "coaps", "oscore", "quic"):
+            assert registry.get(name).secure, name
+        for name in ("udp", "coap"):
+            assert not registry.get(name).secure, name
+
+    def test_quic_is_model_only(self):
+        profile = registry.get("quic")
+        assert not profile.simulatable
+        with pytest.raises(TransportCapabilityError):
+            profile.build_server(None)
+        with pytest.raises(TransportCapabilityError):
+            profile.build_client(None, None, 0)
+
+    def test_quic_dissects(self):
+        dissections = dissect_transport("quic")
+        assert dissections
+        assert all(d.transport == "quic" for d in dissections)
+        # The modeled AEAD/header overhead is pure security bytes.
+        assert all(d.security_bytes > 0 for d in dissections)
+
+    def test_dissection_dispatches_through_registry(self):
+        udp = dissect_transport("udp")
+        assert {d.message for d in udp} == {
+            "query", "response_a", "response_aaaa"
+        }
+
+
+class TestPluginRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register(
+                TransportProfile(name="udp", display_name="UDP2", default_port=1)
+            )
+
+    def test_register_and_dissect_plugin(self):
+        from repro.experiments.packet_sizes import dissect_plain_dns
+
+        profile = TransportProfile(
+            name="rawdns",
+            display_name="RawDNS",
+            default_port=9953,
+            in_figure6=False,
+            dissector=lambda profile, method=None, name=None, with_echo=False:
+                dissect_plain_dns(profile, name=name),
+        )
+        registry.register(profile)
+        try:
+            dissections = dissect_transport("rawdns")
+            assert all(d.transport == "rawdns" for d in dissections)
+            assert all(d.security_bytes == 0 for d in dissections)
+        finally:
+            registry.unregister("rawdns")
+        with pytest.raises(UnknownTransportError):
+            registry.get("rawdns")
+
+    def test_register_before_first_lookup_loads_builtins(self):
+        """A plugin overriding a builtin before any lookup must not
+        wedge the lazy builtin registration (fresh interpreter)."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.transports.registry import TransportProfile, registry\n"
+            "registry.register(TransportProfile(name='coap',"
+            " display_name='X', default_port=1), replace=True)\n"
+            "assert registry.get('udp').default_port == 53\n"
+            "assert registry.get('coap').default_port == 1\n"
+            "assert {'udp','dtls','coap','coaps','oscore','quic'}"
+            " <= set(registry.names())\n"
+            "print('ok')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env={"PYTHONPATH": "src"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "ok"
+
+    def test_replace_flag_allows_override(self):
+        original = registry.get("udp")
+        try:
+            registry.register(
+                TransportProfile(
+                    name="udp", display_name="UDPx", default_port=54
+                ),
+                replace=True,
+            )
+            assert registry.get("udp").default_port == 54
+        finally:
+            registry.register(original, replace=True)
+        assert registry.get("udp").default_port == 53
