@@ -5,46 +5,56 @@ Clients repeatedly query 8 names (4 AAAA records each, TTLs of 2-8 s)
 through a caching CoAP forward proxy. Under the DoH-like scheme, TTL
 aging changes the payload and breaks ETag revalidation; under EOL TTLs
 the representation is stable and 2.03 Valid keeps full responses off
-the constrained links.
+the constrained links. Cache placement is a `CachingSpec`, and every
+location reports the unified per-location stats of `repro.cache`.
 
 Run:  python examples/caching_proxy.py
 """
 
 from repro.doc import CachingScheme
-from repro.experiments import ExperimentConfig, run_resolution_experiment
+from repro.scenarios import CachingSpec, Scenario, ScenarioRunner, WorkloadSpec
 
 
-def run(scheme: CachingScheme, use_proxy: bool):
-    config = ExperimentConfig(
+def run(scheme: CachingScheme, placement: str):
+    scenario = Scenario(
+        name=f"caching-study/{placement}",
         transport="coap",
-        num_queries=50,
-        num_names=8,
-        records_per_name=4,
-        ttl=(2, 8),
-        use_proxy=use_proxy,
-        client_coap_cache=False,
+        workload=WorkloadSpec(
+            num_queries=50, num_names=8, records_per_name=4, ttl=(2, 8)
+        ),
         scheme=scheme,
+        use_proxy=True,
+        caching=CachingSpec.from_placement(placement),
         seed=7,
     )
-    return run_resolution_experiment(config)
+    return ScenarioRunner().run(scenario)
 
 
 def main() -> None:
     print("scenario                         frames@1hop  bytes@1hop  "
           "proxy-hits  revalidations")
     scenarios = [
-        ("opaque forwarder", CachingScheme.EOL_TTLS, False),
-        ("proxy + DoH-like", CachingScheme.DOH_LIKE, True),
-        ("proxy + EOL TTLs", CachingScheme.EOL_TTLS, True),
+        ("opaque forwarder", CachingScheme.EOL_TTLS, "none"),
+        ("proxy + DoH-like", CachingScheme.DOH_LIKE, "proxy"),
+        ("proxy + EOL TTLs", CachingScheme.EOL_TTLS, "proxy"),
     ]
     results = {}
-    for label, scheme, use_proxy in scenarios:
-        result = run(scheme, use_proxy)
+    for label, scheme, placement in scenarios:
+        result = run(scheme, placement)
         results[label] = result
         print(
             f"{label:32s} {result.link.frames_1hop:11d} "
             f"{result.link.bytes_1hop:11d} {result.proxy_cache_hits:11d} "
             f"{result.proxy_revalidations:13d}"
+        )
+
+    print("\nper-location cache stats (proxy + EOL TTLs):")
+    for location, stats in sorted(results["proxy + EOL TTLs"].cache_stats.items()):
+        print(
+            f"  {location:10s} hits {stats.hits:3d}  stale {stats.stale_hits:3d}  "
+            f"validations {stats.validations:3d}  "
+            f"failures {stats.validation_failures:3d}  "
+            f"hit-ratio {stats.hit_ratio:.0%}"
         )
 
     opaque = results["opaque forwarder"].link.bytes_1hop

@@ -1,0 +1,22 @@
+"""Unified caching subsystem.
+
+One keyed store (:class:`KeyedCache`) backs every cache location the
+paper evaluates — client DNS cache, client CoAP cache, forward-proxy
+cache, resolver cache, and the cacheable-OSCORE ciphertext cache
+(Sections 4.2 and 6.1). Domain modules contribute only key computation
+and TTL/Max-Age semantics; storage, aging, eviction, the O(log n)
+expiry index, and the unified :class:`CacheStats` live here.
+"""
+
+from .expiry import ExpiryIndex
+from .stats import CacheStats
+from .store import CacheEntry, EvictionPolicy, KeyedCache, LookupState
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "EvictionPolicy",
+    "ExpiryIndex",
+    "KeyedCache",
+    "LookupState",
+]

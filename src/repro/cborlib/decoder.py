@@ -104,9 +104,13 @@ class _Decoder:
         result: dict = {}
 
         def add(key: Any, value: Any) -> None:
-            if isinstance(key, (list, dict)):
-                raise CBORDecodeError("unhashable map key")
-            result[key] = value
+            # A Tag is hashable only if its value is (frozen dataclass
+            # hashing descends into the fields), so the isinstance
+            # check alone cannot reject e.g. Tag(0, {}) keys.
+            try:
+                result[key] = value
+            except TypeError:
+                raise CBORDecodeError("unhashable map key") from None
 
         if info == 31:
             while True:

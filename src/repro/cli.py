@@ -12,7 +12,10 @@ Subcommands
 ``experiment``
     Run a full Figure 7-style experiment — on the default Figure 2
     setup, on a named/inline scenario (``--scenario``), or as a
-    (transport × topology × loss) sweep (``--sweep``).
+    (transport × topology × loss × cache-placement × scheme) sweep
+    (``--sweep``). ``--cache-placement``/``--cache-scheme`` pick the
+    Section 6.1 caching configuration; with ``--sweep`` they accept
+    comma-separated lists and become grid axes.
 ``memory``
     Print the Figure 5 / Figure 8 build-size tables.
 ``compress``
@@ -28,8 +31,12 @@ Examples
     python -m repro.cli resolve --scenario three-hop,loss=0.1
     python -m repro.cli experiment --transport coap --queries 50 --loss 0.2
     python -m repro.cli experiment --scenario figure7,transport=oscore
+    python -m repro.cli experiment --cache-placement client-coap+proxy \
+        --cache-scheme doh-like
     python -m repro.cli experiment --sweep --transports udp,coap,oscore \
         --topologies figure2,one-hop --losses 0.05,0.25 --queries 20
+    python -m repro.cli experiment --sweep --transports coap \
+        --cache-placement none,client-coap,all --cache-scheme doh-like,eol-ttls
     python -m repro.cli memory
     python -m repro.cli compress --name device.example.org
 """
@@ -185,6 +192,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             if getattr(args, flag) is not None:
                 print(f"error: --{flag} requires --sweep", file=sys.stderr)
                 return 2
+        for flag in ("cache_placement", "cache_scheme"):
+            value = getattr(args, flag)
+            if value is not None and "," in value:
+                name = flag.replace("_", "-")
+                print(f"error: a comma-separated --{name} list requires "
+                      f"--sweep", file=sys.stderr)
+                return 2
+        overrides = []
+        if args.cache_placement is not None:
+            overrides.append(f"cache={args.cache_placement}")
+        if args.cache_scheme is not None:
+            overrides.append(f"scheme={args.cache_scheme}")
+        if overrides:
+            from repro.scenarios import scenario_from_spec
+
+            scenario = scenario_from_spec(",".join(overrides), base=scenario)
 
     if args.sweep:
         if args.loss is not None:
@@ -205,23 +228,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             replace(get_topology(name), l2_retries=scenario.topology.l2_retries)
             for name in (args.topologies or "figure2,one-hop").split(",")
         ]
+        placements = (
+            args.cache_placement.split(",") if args.cache_placement else None
+        )
+        schemes = (
+            args.cache_scheme.split(",") if args.cache_scheme else None
+        )
         sweep = runner.sweep(
             base=scenario,
             transports=transports,
             topologies=topologies,
             losses=losses,
+            cache_placements=placements,
+            schemes=schemes,
         )
-        print(f"{'transport':10s} {'topology':14s} {'loss':>5s} "
-              f"{'success':>8s} {'median':>9s} {'p95':>9s} {'frames@1hop':>12s}")
+        cache_axes = placements is not None or schemes is not None
+        header = (f"{'transport':10s} {'topology':14s} {'loss':>5s} "
+                  f"{'success':>8s} {'median':>9s} {'p95':>9s} "
+                  f"{'frames@1hop':>12s}")
+        if cache_axes:
+            header += (f" {'cache':>28s} {'scheme':>9s} "
+                       f"{'hit%':>6s} {'valid':>6s}")
+        print(header)
         for cell in sweep:
             metrics = cell.metrics()
-            print(
+            row = (
                 f"{cell.transport:10s} {cell.topology:14s} {cell.loss:5.2f} "
                 f"{metrics['success_rate']:8.2%} "
                 f"{metrics['median_s'] * 1000:7.1f} ms "
                 f"{metrics['p95_s']:7.2f} s "
                 f"{metrics['frames_1hop']:12d}"
             )
+            if cache_axes:
+                # Hit ratio over every lookup the clients' caches saw
+                # (client DNS + client CoAP + proxy), and the total
+                # successful revalidations — the Figure 11 events.
+                locations = ("client_dns", "client_coap", "proxy")
+                hits = sum(
+                    metrics.get(f"{loc}_hits", 0) for loc in locations
+                )
+                lookups = hits + sum(
+                    metrics.get(f"{loc}_{kind}", 0)
+                    for loc in locations
+                    for kind in ("stale_hits", "misses")
+                )
+                hit_pct = hits / lookups if lookups else 0.0
+                validations = sum(
+                    metrics.get(f"{loc}_validations", 0) for loc in locations
+                )
+                row += (
+                    f" {cell.placement or '-':>28s} {cell.scheme or '-':>9s} "
+                    f"{hit_pct:6.1%} {validations:6d}"
+                )
+            print(row)
         return 0
 
     result = runner.run(scenario)
@@ -236,6 +295,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"max:              {max(times):.2f} s")
     print(f"frames @1hop:     {result.link.frames_1hop}")
     print(f"frames @2hop:     {result.link.frames_2hop}")
+    for location, stats in sorted(result.cache_stats.items()):
+        print(
+            f"cache {location:12s} hits {stats.hits:4d}  "
+            f"stale {stats.stale_hits:4d}  valid {stats.validations:4d}  "
+            f"hit-ratio {stats.hit_ratio:.0%}"
+        )
     return 0
 
 
@@ -346,6 +411,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--losses", default=None, metavar="LIST",
         help="sweep: comma-separated loss rates (default 0.05,0.25)",
+    )
+    experiment.add_argument(
+        "--cache-placement", default=None, metavar="SPEC",
+        help="cache placement: +-joined locations among client-dns, "
+             "client-coap, proxy (or all/none); with --sweep a "
+             "comma-separated list becomes a grid axis",
+    )
+    experiment.add_argument(
+        "--cache-scheme", default=None, metavar="SCHEME",
+        help="TTL handling scheme (doh-like or eol-ttls); with --sweep "
+             "a comma-separated list becomes a grid axis",
     )
     experiment.add_argument("--queries", type=int, default=None)
     experiment.add_argument("--loss", type=float, default=None)

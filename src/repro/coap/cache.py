@@ -13,17 +13,32 @@ cache. Its key properties drive the paper's results:
 * **Validation** — stale entries are kept; their ETag is offered on
   re-requests, and a 2.03 Valid refreshes the entry without re-sending
   the payload (the EOL-TTLs win in Figure 3, step 4).
+
+The module is a thin adapter over :mod:`repro.cache`: it owns the CoAP
+cache-key computation and the Max-Age/ETag semantics; storage, aging,
+eviction (expired-first with LRU fallback), and the unified
+:class:`~repro.cache.CacheStats` are the shared
+:class:`~repro.cache.KeyedCache`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+from repro.cache import CacheEntry as _BaseEntry
+from repro.cache import CacheStats, EvictionPolicy, KeyedCache, LookupState
 
 from .codes import CACHEABLE_METHODS, Code
 from .message import CoapMessage
 from .options import OptionNumber
+
+__all__ = [
+    "CacheStats",
+    "CoapCache",
+    "CoapCacheEntry",
+    "DEFAULT_MAX_AGE",
+    "cache_key_for",
+]
 
 #: RFC 7252 §5.10.5: default Max-Age when the option is absent.
 DEFAULT_MAX_AGE = 60
@@ -61,41 +76,20 @@ def _excluded_from_cache_key(number: int) -> bool:
     )
 
 
-@dataclass
-class CoapCacheEntry:
-    """A cached response and its freshness bookkeeping."""
+class CoapCacheEntry(_BaseEntry):
+    """A cached response viewed with CoAP vocabulary."""
 
-    response: CoapMessage
-    stored_at: float
-    max_age: int
+    @property
+    def response(self) -> CoapMessage:
+        return self.value
 
-    def age(self, now: float) -> float:
-        return now - self.stored_at
-
-    def is_fresh(self, now: float) -> bool:
-        return self.age(now) < self.max_age
-
-    def remaining(self, now: float) -> int:
-        return max(0, int(self.max_age - self.age(now)))
+    @property
+    def max_age(self) -> int:
+        return int(self.lifetime)
 
     @property
     def etag(self) -> Optional[bytes]:
         return self.response.etag
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters plus the validation events of Figure 11."""
-
-    hits: int = 0
-    misses: int = 0
-    stale_hits: int = 0
-    validations: int = 0
-    validation_failures: int = 0
-
-    def reset(self) -> None:
-        self.hits = self.misses = self.stale_hits = 0
-        self.validations = self.validation_failures = 0
 
 
 class CoapCache:
@@ -109,14 +103,20 @@ class CoapCache:
     """
 
     def __init__(self, capacity: int = 8) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be positive")
-        self._capacity = capacity
-        self._entries: "OrderedDict[CacheKey, CoapCacheEntry]" = OrderedDict()
-        self.stats = CacheStats()
+        self._store = KeyedCache(
+            capacity,
+            policy=EvictionPolicy.EXPIRED_FIRST,
+            keep_stale=True,
+            entry_factory=CoapCacheEntry,
+        )
+        self.stats = self._store.stats
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._store)
+
+    @property
+    def capacity(self) -> int:
+        return self._store.capacity
 
     # -- lookups ----------------------------------------------------------
 
@@ -136,19 +136,15 @@ class CoapCache:
         key = cache_key_for(request)
         if key is None:
             return None, None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None, None
-        self._entries.move_to_end(key)
-        if entry.is_fresh(now):
-            self.stats.hits += 1
+        entry, state = self._store.lookup(key, now)
+        if state is LookupState.HIT:
             aged = entry.response.replace_uint_option(
                 OptionNumber.MAX_AGE, entry.remaining(now)
             )
             return aged, entry
-        self.stats.stale_hits += 1
-        return None, entry
+        if state is LookupState.STALE:
+            return None, entry
+        return None, None
 
     # -- updates ----------------------------------------------------------
 
@@ -164,11 +160,7 @@ class CoapCache:
         max_age = response.max_age
         if max_age is None:
             max_age = DEFAULT_MAX_AGE
-        if key in self._entries:
-            del self._entries[key]
-        elif len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
-        self._entries[key] = CoapCacheEntry(response, now, max_age)
+        self._store.store(key, response, max_age, now)
         return True
 
     def refresh(
@@ -183,23 +175,20 @@ class CoapCache:
         key = cache_key_for(request)
         if key is None:
             return None
-        entry = self._entries.get(key)
+        entry = self._store.peek(key)
         if entry is None:
             return None
         new_etag = valid_response.etag
         if new_etag is not None and entry.etag != new_etag:
-            self.stats.validation_failures += 1
+            self._store.note_validation_failure()
             return None
-        self.stats.validations += 1
         max_age = valid_response.max_age
         if max_age is None:
             max_age = DEFAULT_MAX_AGE
-        entry.stored_at = now
-        entry.max_age = max_age
         refreshed = entry.response.replace_uint_option(
             OptionNumber.MAX_AGE, max_age
         )
-        entry.response = refreshed
+        self._store.refresh(key, now, max_age, value=refreshed)
         return refreshed
 
     def etags_for(self, request: CoapMessage, now: float) -> List[bytes]:
@@ -207,10 +196,10 @@ class CoapCache:
         key = cache_key_for(request)
         if key is None:
             return []
-        entry = self._entries.get(key)
+        entry = self._store.peek(key)
         if entry is None or entry.etag is None:
             return []
         return [entry.etag]
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._store.clear()

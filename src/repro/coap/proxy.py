@@ -39,7 +39,9 @@ class ForwardProxy:
     origin:
         ``(address, port)`` of the origin CoAP server.
     cache_entries:
-        Capacity of the proxy cache (Table 6: 50 on the proxy).
+        Capacity of the proxy cache (Table 6: 50 on the proxy); 0
+        disables caching entirely — the proxy degrades to an opaque
+        forwarder (the "no proxy cache" placement of Section 6.1).
     """
 
     def __init__(
@@ -53,7 +55,9 @@ class ForwardProxy:
     ) -> None:
         self.sim = sim
         self.origin = origin
-        self.cache = CoapCache(cache_entries)
+        self.cache: Optional[CoapCache] = (
+            CoapCache(cache_entries) if cache_entries > 0 else None
+        )
         self.server = CoapServer(sim, server_socket, params)
         self.upstream = CoapClient(sim, client_socket, params)
         self.server.default_handler = self._handle
@@ -63,7 +67,10 @@ class ForwardProxy:
 
     def _handle(self, request: CoapMessage, respond, metadata: dict) -> None:
         now = self.sim.now
-        fresh, entry = self.cache.lookup(request, now)
+        if self.cache is None:
+            fresh, entry = None, None
+        else:
+            fresh, entry = self.cache.lookup(request, now)
         if fresh is not None:
             self.requests_served_from_cache += 1
             metadata["cache"] = "proxy-hit"
@@ -134,5 +141,6 @@ class ForwardProxy:
             # detected at the origin): nothing cacheable to serve.
             respond(response)
             return
-        self.cache.store(request, response, self.sim.now)
+        if self.cache is not None:
+            self.cache.store(request, response, self.sim.now)
         respond(response)

@@ -1,37 +1,46 @@
 """TTL-aware DNS cache, as deployed on clients and the recursive resolver.
 
 Mirrors RIOT's ``CONFIG_DNS_CACHE_SIZE`` bounded cache (Table 6 sets it
-to 8 on clients): fixed capacity with least-recently-used eviction, and
-TTL aging on lookup so returned records carry the *remaining* TTL, the
-behaviour that makes the paper's DoH-like ETags unstable.
+to 8 on clients): fixed capacity with TTL aging on lookup so returned
+records carry the *remaining* TTL, the behaviour that makes the paper's
+DoH-like ETags unstable.
+
+This module is a thin adapter over :mod:`repro.cache`: it contributes
+the DNS cache key ``(name, type, class)`` and the TTL semantics
+(zero-TTL responses uncacheable, expired entries dropped — DNS has no
+revalidation); storage, aging, eviction, and statistics are the shared
+:class:`~repro.cache.KeyedCache`. Eviction is expired-first with an LRU
+fallback, so a dead entry never costs a live one its slot.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
+
+from repro.cache import CacheEntry as _BaseEntry
+from repro.cache import CacheStats, EvictionPolicy, KeyedCache, LookupState
 
 from .message import Message, Question
 
 
-@dataclass
-class CacheEntry:
-    """A cached response together with its insertion time and lifetime."""
+class CacheEntry(_BaseEntry):
+    """A cached response viewed with DNS vocabulary."""
 
-    response: Message
-    inserted_at: float
-    ttl: int
+    @property
+    def response(self) -> Message:
+        return self.value
 
-    def expires_at(self) -> float:
-        return self.inserted_at + self.ttl
+    @property
+    def inserted_at(self) -> float:
+        return self.stored_at
 
-    def is_fresh(self, now: float) -> bool:
-        return now < self.expires_at()
+    @property
+    def ttl(self) -> int:
+        return int(self.lifetime)
 
     def aged_response(self, now: float) -> Message:
         """The response with TTLs decremented by the elapsed cache time."""
-        elapsed = int(now - self.inserted_at)
+        elapsed = int(now - self.stored_at)
         return self.response.adjust_ttls(-elapsed)
 
 
@@ -41,56 +50,55 @@ class DNSCache:
     Parameters
     ----------
     capacity:
-        Maximum number of entries; the least recently used entry is
-        evicted when full (RIOT uses a similarly bounded table).
+        Maximum number of entries (RIOT uses a similarly bounded
+        table); when full, an expired entry is evicted if one exists,
+        otherwise the least recently used.
     """
 
     def __init__(self, capacity: int = 8) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be positive")
-        self._capacity = capacity
-        self._entries: "OrderedDict[Tuple[str, int, int], CacheEntry]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._store = KeyedCache(
+            capacity,
+            policy=EvictionPolicy.EXPIRED_FIRST,
+            keep_stale=False,
+            entry_factory=CacheEntry,
+        )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._store)
 
     @property
     def capacity(self) -> int:
-        return self._capacity
+        return self._store.capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._store.stats
+
+    @property
+    def hits(self) -> int:
+        return self._store.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.stats.misses
 
     def store(self, question: Question, response: Message, now: float) -> None:
         """Insert *response* for *question*; zero-TTL responses are not cached."""
         ttl = response.min_ttl()
         if ttl is None or ttl <= 0:
             return
-        key = question.cache_key()
-        if key in self._entries:
-            del self._entries[key]
-        elif len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
-        self._entries[key] = CacheEntry(response, now, ttl)
+        self._store.store(question.cache_key(), response, ttl, now)
 
     def lookup(self, question: Question, now: float) -> Optional[Message]:
         """Return the aged cached response, or ``None`` on miss/expiry."""
-        key = question.cache_key()
-        entry = self._entries.get(key)
-        if entry is None or not entry.is_fresh(now):
-            if entry is not None:
-                del self._entries[key]
-            self.misses += 1
+        entry, state = self._store.lookup(question.cache_key(), now)
+        if state is not LookupState.HIT:
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
         return entry.aged_response(now)
 
     def expire(self, now: float) -> int:
         """Drop all stale entries; returns the number removed."""
-        stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        return self._store.expire(now)
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._store.clear()

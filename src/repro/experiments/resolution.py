@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache import CacheStats
 from repro.coap.codes import Code
 from repro.coap.endpoint import ClientEvent
 from repro.dns import RecordType, Zone
@@ -148,6 +149,10 @@ class ExperimentResult:
     proxy_revalidations: int = 0
     #: The declarative scenario the run executed (always set).
     scenario: Optional[object] = None
+    #: Aggregated :class:`repro.cache.CacheStats` per cache location
+    #: ("client-dns", "client-coap", "proxy", "resolver") — client
+    #: caches pooled across all clients. The Figure 11 event counts.
+    cache_stats: Dict[str, "CacheStats"] = field(default_factory=dict)
 
     @property
     def resolution_times(self) -> List[float]:
@@ -162,6 +167,17 @@ class ExperimentResult:
         if not self.outcomes:
             return 0.0
         return len(self.resolution_times) / len(self.outcomes)
+
+    def cache_ratios(self) -> Dict[str, Dict[str, float]]:
+        """Per-location hit/stale/validation ratios (Figure 11 shape)."""
+        return {
+            location: {
+                "hit_ratio": stats.hit_ratio,
+                "stale_ratio": stats.stale_ratio,
+                "validation_ratio": stats.validation_ratio,
+            }
+            for location, stats in sorted(self.cache_stats.items())
+        }
 
 
 def build_zone(config: ExperimentConfig, rng) -> Zone:

@@ -22,6 +22,7 @@ from .context import OscoreError, ReplayError, ReplayWindow, SecurityContext
 from .option import OscoreOptionValue
 from .protect import protect_request, protect_response, unprotect_request, unprotect_response
 from .cacheable import (
+    CiphertextCache,
     derive_deterministic_context,
     protect_cacheable_request,
     protect_cacheable_response,
@@ -41,6 +42,7 @@ __all__ = [
     "ReplayError",
     "ReplayWindow",
     "SecurityContext",
+    "CiphertextCache",
     "GroupContext",
     "derive_deterministic_context",
     "protect_cacheable_request",

@@ -42,6 +42,94 @@ from .protect import (
 #: dedicated, well-known ID within the group).
 DETERMINISTIC_CLIENT_ID = b"\xDC"
 
+
+class CiphertextCache:
+    """Proxy-side cache of *protected* responses to deterministic requests.
+
+    The en-route caching of Table 1: an untrusted proxy keys on the
+    deterministic request's ciphertext (byte-identical across group
+    members) and serves the protected response without being able to
+    read either side. A thin adapter over
+    :class:`repro.cache.KeyedCache` — the domain contribution is the
+    key (only OSCORE-protected outer FETCHes are shareable) and the
+    lifetime (the *outer* Max-Age that
+    :func:`protect_cacheable_response` exposes for exactly this
+    purpose).
+    """
+
+    def __init__(self, capacity: int = 50) -> None:
+        from repro.cache import EvictionPolicy, KeyedCache
+
+        self._store = KeyedCache(
+            capacity, policy=EvictionPolicy.EXPIRED_FIRST, keep_stale=False
+        )
+        self.stats = self._store.stats
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def capacity(self) -> int:
+        return self._store.capacity
+
+    @staticmethod
+    def key_for(outer_request: CoapMessage):
+        """Cache key for a protected request, or ``None`` if unshareable.
+
+        Only deterministic requests may be served from a shared cache;
+        they are recognisable as outer FETCHes carrying an OSCORE
+        option (a normal OSCORE request has a fresh Partial IV, so its
+        ciphertext never repeats and caching it is pointless).
+        """
+        from repro.coap.cache import cache_key_for
+        from repro.coap.codes import Code
+        from repro.coap.options import OptionNumber
+
+        if outer_request.code != Code.FETCH:
+            return None
+        if outer_request.option(OptionNumber.OSCORE) is None:
+            return None
+        return cache_key_for(outer_request)
+
+    def lookup(self, outer_request: CoapMessage, now: float) -> Optional[CoapMessage]:
+        """The cached protected response, aged, or ``None``."""
+        from repro.cache import LookupState
+        from repro.coap.options import OptionNumber
+
+        key = self.key_for(outer_request)
+        if key is None:
+            return None
+        entry, state = self._store.lookup(key, now)
+        if state is not LookupState.HIT:
+            return None
+        return entry.value.replace_uint_option(
+            OptionNumber.MAX_AGE, entry.remaining(now)
+        )
+
+    def store(
+        self, outer_request: CoapMessage, outer_response: CoapMessage, now: float
+    ) -> bool:
+        """Cache *outer_response* if the exchange is cacheable.
+
+        The lifetime is the outer Max-Age; a protected response without
+        one gives the proxy no freshness information, so it is not
+        cached (the draft requires the server to expose it).
+        """
+        key = self.key_for(outer_request)
+        if key is None or not outer_response.code.is_success:
+            return False
+        max_age = outer_response.max_age
+        if max_age is None or max_age <= 0:
+            return False
+        self._store.store(key, outer_response, max_age, now)
+        return True
+
+    def expire(self, now: float) -> int:
+        return self._store.expire(now)
+
+    def clear(self) -> None:
+        self._store.clear()
+
 #: Length of the hash-derived Partial IV.
 _DET_PIV_LENGTH = 5
 

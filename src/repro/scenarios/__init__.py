@@ -1,14 +1,22 @@
 """Declarative scenario engine.
 
 * :mod:`repro.scenarios.scenario` — :class:`Scenario`,
-  :class:`TopologySpec`, :class:`WorkloadSpec`: what to run;
+  :class:`TopologySpec`, :class:`WorkloadSpec`, :class:`CachingSpec`:
+  what to run;
 * :mod:`repro.scenarios.runner` — :class:`ScenarioRunner`: how to run
-  it (including ``sweep`` over transport × topology × loss grids);
+  it (including ``sweep`` over transport × topology × loss ×
+  cache-placement × scheme grids);
 * :mod:`repro.scenarios.presets` — named topologies/scenarios and the
   ``key=value`` spec parser behind the CLI's ``--scenario`` flag.
 """
 
-from .scenario import Scenario, ScenarioError, TopologySpec, WorkloadSpec
+from .scenario import (
+    CachingSpec,
+    Scenario,
+    ScenarioError,
+    TopologySpec,
+    WorkloadSpec,
+)
 from .runner import (
     NAME_TEMPLATE,
     ScenarioRunner,
@@ -25,6 +33,7 @@ from .presets import (
 )
 
 __all__ = [
+    "CachingSpec",
     "NAME_TEMPLATE",
     "SCENARIOS",
     "Scenario",

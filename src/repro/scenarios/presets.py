@@ -13,8 +13,15 @@ from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.dns import RecordType
+from repro.doc import CachingScheme
 
-from .scenario import Scenario, ScenarioError, TopologySpec, WorkloadSpec
+from .scenario import (
+    CachingSpec,
+    Scenario,
+    ScenarioError,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 TOPOLOGIES: Dict[str, TopologySpec] = {
     "figure2": TopologySpec(name="figure2"),
@@ -85,7 +92,11 @@ def scenario_from_spec(
     Topology keys: ``hops``, ``clients``, ``loss``, ``retries``,
     ``wired``. Workload keys: ``queries``, ``names``, ``rate``,
     ``burst``, ``records``, ``rtype`` (``a``/``aaaa``/``mixed``).
-    Scenario keys: ``transport``, ``seed``, ``duration``, ``proxy``.
+    Scenario keys: ``transport``, ``seed``, ``duration``, ``proxy``,
+    ``cache`` (a ``+``-joined placement such as
+    ``client-dns+client-coap+proxy``, or ``all``/``none`` — a placement
+    naming the proxy also enables it), ``scheme``
+    (``doh-like``/``eol-ttls``).
     """
     scenario = base if base is not None else Scenario()
     parts = [part.strip() for part in spec.split(",") if part.strip()]
@@ -134,8 +145,28 @@ def scenario_from_spec(
             scenario_fields["run_duration"] = float(value)
         elif key == "proxy":
             scenario_fields["use_proxy"] = _parse_bool(value)
+        elif key == "cache":
+            placement = CachingSpec.from_placement(value)
+            scenario_fields["caching"] = placement
+            if placement.proxy:
+                # Caching at the proxy requires having one.
+                scenario_fields["use_proxy"] = True
+        elif key == "scheme":
+            try:
+                scenario_fields["scheme"] = CachingScheme(value.lower())
+            except ValueError:
+                known = ", ".join(s.value for s in CachingScheme)
+                raise ScenarioError(
+                    f"unknown caching scheme {value!r} (known: {known})"
+                ) from None
         else:
             raise ScenarioError(f"unknown scenario key {key!r}")
+    if "scheme" in scenario_fields:
+        # A caching spec carrying its own scheme would override the
+        # freshly set scenario scheme; defer it to the scenario's.
+        caching = scenario_fields.get("caching", scenario.caching)
+        if caching is not None and caching.scheme is not None:
+            scenario_fields["caching"] = replace(caching, scheme=None)
     return replace(
         scenario, topology=topology, workload=workload, **scenario_fields
     )

@@ -5,8 +5,10 @@ builds the scenario's topology, provisions and installs the transport
 through the plugin registry, drives the declarative workload, and emits
 the same :class:`~repro.experiments.resolution.ExperimentResult`
 metrics structs the Figure 7/10/11/15 benchmarks consume.
-:meth:`ScenarioRunner.sweep` enumerates a (transport × topology × loss)
-grid in one call and returns per-cell metrics.
+:meth:`ScenarioRunner.sweep` enumerates a
+(transport × topology × loss × cache-placement × caching-scheme) grid
+in one call and returns per-cell metrics, including the per-location
+cache hit/stale/validation ratios of Figure 11.
 """
 
 from __future__ import annotations
@@ -14,13 +16,36 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import CacheStats
+from repro.doc import CachingScheme
 from repro.sim import Simulator
 from repro.transports.registry import TransportEnv, registry
 
-from .scenario import Scenario, ScenarioError, TopologySpec, WorkloadSpec
+from .scenario import CachingSpec, Scenario, ScenarioError, TopologySpec, WorkloadSpec
 
 #: Name template producing the paper's median 24-character names.
 NAME_TEMPLATE = "name{index:04d}.example-iot.org"
+
+
+def _cell_key(
+    transport: str,
+    topology: str,
+    loss: float,
+    placement: Optional[str] = None,
+    scheme: Optional[str] = None,
+) -> Tuple:
+    """The grid coordinate of one sweep cell.
+
+    The legacy three-tuple, extended by the cache axes only when they
+    were actually swept — one definition shared by cell identity,
+    duplicate detection, and lookup.
+    """
+    key: Tuple = (transport, topology, loss)
+    if placement is not None:
+        key += (placement,)
+    if scheme is not None:
+        key += (scheme,)
+    return key
 
 
 def build_workload_zone(workload: WorkloadSpec, rng):
@@ -50,25 +75,41 @@ def build_workload_zone(workload: WorkloadSpec, rng):
 
 @dataclass
 class SweepCell:
-    """One (transport × topology × loss) grid point and its result."""
+    """One grid point and its result.
+
+    ``placement``/``scheme`` stay ``None`` unless the sweep enumerated
+    the cache dimensions — the cell key (and with it the addressing of
+    pre-existing sweeps) only grows when those axes are actually swept.
+    """
 
     transport: str
     topology: str
     loss: float
     scenario: Scenario
     result: "ExperimentResult"
+    placement: Optional[str] = None
+    scheme: Optional[str] = None
 
     @property
-    def key(self) -> Tuple[str, str, float]:
-        return (self.transport, self.topology, self.loss)
+    def key(self) -> Tuple:
+        return _cell_key(
+            self.transport, self.topology, self.loss,
+            self.placement, self.scheme,
+        )
 
     def metrics(self) -> Dict[str, float]:
-        """The per-cell summary a sweep table reports."""
+        """The per-cell summary a sweep table reports.
+
+        Besides the timing/link metrics, every cache location that was
+        active in the run contributes its Figure 11 event counters and
+        ratios under ``<location>_...`` keys (locations: ``client_dns``,
+        ``client_coap``, ``proxy``, ``resolver``).
+        """
         from repro.experiments.metrics import percentile
 
         result = self.result
         times = result.resolution_times
-        return {
+        metrics = {
             "queries": len(result.outcomes),
             "success_rate": result.success_rate,
             "median_s": percentile(times, 50) if times else float("nan"),
@@ -79,14 +120,30 @@ class SweepCell:
             "bytes_1hop": result.link.bytes_1hop,
             "bytes_2hop": result.link.bytes_2hop,
         }
+        for location, stats in sorted(result.cache_stats.items()):
+            prefix = location.replace("-", "_")
+            metrics[f"{prefix}_hits"] = stats.hits
+            metrics[f"{prefix}_misses"] = stats.misses
+            metrics[f"{prefix}_stale_hits"] = stats.stale_hits
+            metrics[f"{prefix}_validations"] = stats.validations
+            metrics[f"{prefix}_validation_failures"] = stats.validation_failures
+            metrics[f"{prefix}_hit_ratio"] = stats.hit_ratio
+            metrics[f"{prefix}_stale_ratio"] = stats.stale_ratio
+            metrics[f"{prefix}_validation_ratio"] = stats.validation_ratio
+        return metrics
 
 
 class SweepResult:
-    """All cells of one sweep, addressable by (transport, topology, loss)."""
+    """All cells of one sweep, addressable by their grid coordinates.
+
+    The coordinate is ``(transport, topology, loss)``, extended by
+    placement and scheme labels when the sweep enumerated the cache
+    dimensions.
+    """
 
     def __init__(self, cells: List[SweepCell]) -> None:
         self.cells = cells
-        self._by_key: Dict[Tuple[str, str, float], SweepCell] = {}
+        self._by_key: Dict[Tuple, SweepCell] = {}
         for cell in cells:
             if cell.key in self._by_key:
                 raise ScenarioError(f"duplicate sweep cell {cell.key}")
@@ -98,16 +155,23 @@ class SweepResult:
     def __iter__(self) -> Iterator[SweepCell]:
         return iter(self.cells)
 
-    def cell(self, transport: str, topology: str, loss: float) -> SweepCell:
+    def cell(
+        self,
+        transport: str,
+        topology: str,
+        loss: float,
+        placement: Optional[str] = None,
+        scheme: Optional[str] = None,
+    ) -> SweepCell:
+        key = _cell_key(transport, topology, loss, placement, scheme)
         try:
-            return self._by_key[(transport, topology, loss)]
+            return self._by_key[key]
         except KeyError:
             raise KeyError(
-                f"no sweep cell ({transport!r}, {topology!r}, {loss!r}); "
-                f"have {sorted(self._by_key)}"
+                f"no sweep cell {key!r}; have {sorted(self._by_key)}"
             ) from None
 
-    def metrics(self) -> Dict[Tuple[str, str, float], Dict[str, float]]:
+    def metrics(self) -> Dict[Tuple, Dict[str, float]]:
         """Per-cell metric dictionaries keyed by grid coordinates."""
         return {cell.key: cell.metrics() for cell in self.cells}
 
@@ -153,9 +217,11 @@ class ScenarioRunner:
         profile.provision(env)
         env.server = profile.build_server(env)
 
+        caching = scenario.caching_spec
         proxy = None
         if scenario.use_proxy:
-            # The forward proxy is a plain-CoAP hop on the canonical port.
+            # The forward proxy is a plain-CoAP hop on the canonical port;
+            # placement off degrades it to an opaque forwarder.
             from repro.transports.profiles import COAP_PORT
 
             proxy = ForwardProxy(
@@ -163,7 +229,7 @@ class ScenarioRunner:
                 topo.forwarder.bind(COAP_PORT),
                 topo.forwarder.bind(),
                 env.server.endpoint,
-                cache_entries=50,
+                cache_entries=caching.proxy_capacity if caching.proxy else 0,
             )
             env.target = (topo.forwarder.address, COAP_PORT)
         else:
@@ -230,6 +296,23 @@ class ScenarioRunner:
             if coap is not None:
                 client_events.extend(coap.events)
 
+        # -- per-location cache stats (Figure 11) -------------------------
+        cache_stats: Dict[str, CacheStats] = {}
+
+        def pool(location: str, cache) -> None:
+            if cache is None:
+                return
+            cache_stats.setdefault(location, CacheStats()).merge(cache.stats)
+
+        for client in clients:
+            coap = getattr(client, "coap", None)
+            pool("client-coap", getattr(coap, "cache", None))
+            stub = getattr(client, "stub", None)
+            pool("client-dns", getattr(stub, "cache", None))
+        if proxy is not None:
+            pool("proxy", proxy.cache)
+        pool("resolver", resolver.cache)
+
         return ExperimentResult(
             config=_config if _config is not None else scenario,
             outcomes=outcomes,
@@ -242,6 +325,7 @@ class ScenarioRunner:
                 proxy.requests_revalidated if proxy is not None else 0
             ),
             scenario=scenario,
+            cache_stats=cache_stats,
         )
 
     def sweep(
@@ -250,13 +334,27 @@ class ScenarioRunner:
         transports: Sequence[str] = ("udp", "coap", "oscore"),
         topologies: Sequence[Union[str, TopologySpec]] = ("figure2", "one-hop"),
         losses: Sequence[float] = (0.05, 0.25),
+        cache_placements: Optional[Sequence[Union[str, CachingSpec]]] = None,
+        schemes: Optional[Sequence[Union[str, CachingScheme]]] = None,
     ) -> SweepResult:
-        """Run every (transport × topology × loss) grid cell.
+        """Run every grid cell of the requested dimensions.
 
         *topologies* accepts :class:`TopologySpec` instances or preset
         names (see :mod:`repro.scenarios.presets`); each cell derives
         its scenario from *base* (topology loss overridden per cell)
         and returns per-cell metrics via :class:`SweepResult`.
+
+        *cache_placements* and *schemes* are optional extra axes (the
+        Section 6.1 caching study). A placement is a
+        :class:`CachingSpec` or a ``+``-joined placement string
+        (``"none"``, ``"client-coap+proxy"``, ``"all"`` — see
+        :meth:`CachingSpec.from_placement`); a placement that enables
+        the proxy cache also enables the forward proxy for that cell,
+        which requires every swept transport to be CoAP-based. A scheme
+        is a :class:`~repro.doc.CachingScheme` or its value
+        (``"doh-like"``/``"eol-ttls"``). When either axis is left
+        ``None``, the base scenario's configuration applies and the
+        cell keys keep their legacy three-tuple shape.
         """
         from .presets import get_topology
 
@@ -265,33 +363,117 @@ class ScenarioRunner:
             spec if isinstance(spec, TopologySpec) else get_topology(spec)
             for spec in topologies
         ]
+        placements = self._resolve_placements(cache_placements, transports)
+        scheme_values = self._resolve_schemes(schemes)
         # Reject colliding grid coordinates before spending any runtime.
         seen = set()
-        for transport in transports:
-            for spec in specs:
-                for loss in losses:
-                    key = (transport, spec.name, loss)
-                    if key in seen:
-                        raise ScenarioError(f"duplicate sweep cell {key}")
-                    seen.add(key)
+        for key in self._grid_keys(transports, specs, losses, placements,
+                                   scheme_values):
+            if key in seen:
+                raise ScenarioError(f"duplicate sweep cell {key}")
+            seen.add(key)
         cells: List[SweepCell] = []
         for transport in transports:
             for spec in specs:
                 for loss in losses:
-                    topology = replace(spec, loss=loss)
-                    scenario = replace(
-                        base,
-                        name=f"{transport}/{spec.name}/loss={loss:g}",
-                        transport=transport,
-                        topology=topology,
-                    )
-                    cells.append(
-                        SweepCell(
-                            transport=transport,
-                            topology=spec.name,
-                            loss=loss,
-                            scenario=scenario,
-                            result=self.run(scenario),
-                        )
-                    )
+                    for placement_label, placement in placements:
+                        for scheme_label, scheme in scheme_values:
+                            cells.append(self._run_cell(
+                                base, transport, spec, loss,
+                                placement_label, placement,
+                                scheme_label, scheme,
+                            ))
         return SweepResult(cells)
+
+    @staticmethod
+    def _resolve_placements(cache_placements, transports):
+        """Normalise the placement axis to (label, spec-or-None) pairs."""
+        if cache_placements is None:
+            return [(None, None)]
+        placements = []
+        for item in cache_placements:
+            spec = (
+                item
+                if isinstance(item, CachingSpec)
+                else CachingSpec.from_placement(item)
+            )
+            if spec.proxy:
+                for transport in transports:
+                    if not registry.get(transport).coap_based:
+                        raise ScenarioError(
+                            f"cache placement {spec.placement_label()!r} "
+                            f"enables the forward proxy, which transport "
+                            f"{transport!r} cannot traverse — sweep "
+                            f"CoAP-based transports only"
+                        )
+            placements.append((spec.placement_label(), spec))
+        return placements
+
+    @staticmethod
+    def _resolve_schemes(schemes):
+        """Normalise the scheme axis to (label, scheme-or-None) pairs."""
+        if schemes is None:
+            return [(None, None)]
+        resolved = []
+        for item in schemes:
+            scheme = item if isinstance(item, CachingScheme) else None
+            if scheme is None:
+                try:
+                    scheme = CachingScheme(str(item))
+                except ValueError:
+                    known = ", ".join(s.value for s in CachingScheme)
+                    raise ScenarioError(
+                        f"unknown caching scheme {item!r} (known: {known})"
+                    ) from None
+            resolved.append((scheme.value, scheme))
+        return resolved
+
+    @staticmethod
+    def _grid_keys(transports, specs, losses, placements, scheme_values):
+        for transport in transports:
+            for spec in specs:
+                for loss in losses:
+                    for placement_label, _ in placements:
+                        for scheme_label, _ in scheme_values:
+                            yield _cell_key(
+                                transport, spec.name, loss,
+                                placement_label, scheme_label,
+                            )
+
+    def _run_cell(
+        self, base, transport, spec, loss,
+        placement_label, placement, scheme_label, scheme,
+    ) -> SweepCell:
+        topology = replace(spec, loss=loss)
+        name = f"{transport}/{spec.name}/loss={loss:g}"
+        scenario = replace(
+            base, name=name, transport=transport, topology=topology
+        )
+        if placement is not None:
+            name += f"/cache={placement_label}"
+            scenario = replace(
+                scenario,
+                caching=placement,
+                # Caching *at* the proxy implies having one; a placement
+                # without it keeps the base's (possibly opaque) forwarder.
+                use_proxy=scenario.use_proxy or placement.proxy,
+            )
+        if scheme is not None:
+            name += f"/scheme={scheme_label}"
+            scenario = replace(scenario, scheme=scheme)
+            if scenario.caching is not None and scenario.caching.scheme is not None:
+                # An explicit spec scheme would override the swept axis
+                # (caching_spec gives it precedence); defer it instead.
+                scenario = replace(
+                    scenario, caching=replace(scenario.caching, scheme=None)
+                )
+        scenario = replace(scenario, name=name)
+        return SweepCell(
+            transport=transport,
+            topology=spec.name,
+            loss=loss,
+            scenario=scenario,
+            result=self.run(scenario),
+            placement=placement_label,
+            scheme=scheme_label,
+        )

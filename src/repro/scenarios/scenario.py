@@ -26,6 +26,79 @@ class ScenarioError(ValueError):
     """An inconsistent scenario configuration."""
 
 
+#: Placement tokens accepted by :meth:`CachingSpec.from_placement`.
+_PLACEMENTS = ("client-dns", "client-coap", "proxy")
+
+
+@dataclass(frozen=True)
+class CachingSpec:
+    """Where responses are cached, and how (the Section 6.1 dimension).
+
+    One spec fixes the per-role cache *placement* (client DNS cache,
+    client CoAP cache, forward-proxy cache — each on or off), the
+    per-role capacities (Table 6 defaults: 8/8/50), and optionally the
+    TTL↔Max-Age :class:`~repro.doc.CachingScheme`; ``scheme=None``
+    defers to the scenario's own ``scheme`` field. The resolver's DNS
+    cache is always present (it *is* the resolver, Figure 2's *S*).
+    """
+
+    client_dns: bool = False
+    client_coap: bool = False
+    proxy: bool = True
+    client_dns_capacity: int = 8
+    client_coap_capacity: int = 8
+    proxy_capacity: int = 50
+    scheme: Optional[CachingScheme] = None
+
+    def __post_init__(self) -> None:
+        for role in ("client_dns", "client_coap", "proxy"):
+            capacity = getattr(self, f"{role}_capacity")
+            if capacity < 1:
+                raise ScenarioError(
+                    f"{role}_capacity must be >= 1, got {capacity}"
+                )
+
+    @classmethod
+    def from_placement(cls, placement: str, **overrides) -> "CachingSpec":
+        """Parse ``"client-dns+client-coap+proxy"`` / ``"all"`` / ``"none"``.
+
+        The string lists the enabled cache locations joined by ``+``;
+        keyword *overrides* pass through to the constructor (e.g.
+        ``proxy_capacity=100``).
+        """
+        normalized = placement.strip().lower()
+        enabled = {name: False for name in _PLACEMENTS}
+        if normalized == "all":
+            enabled = {name: True for name in _PLACEMENTS}
+        elif normalized != "none":
+            for token in normalized.split("+"):
+                token = token.strip()
+                if token not in enabled:
+                    raise ScenarioError(
+                        f"unknown cache placement {token!r} "
+                        f"(known: {', '.join(_PLACEMENTS)}, all, none)"
+                    )
+                enabled[token] = True
+        return cls(
+            client_dns=enabled["client-dns"],
+            client_coap=enabled["client-coap"],
+            proxy=enabled["proxy"],
+            **overrides,
+        )
+
+    def placement_label(self) -> str:
+        """The canonical ``+``-joined placement string (``"none"`` if
+        every location is off)."""
+        parts = [
+            name
+            for name, on in zip(
+                _PLACEMENTS, (self.client_dns, self.client_coap, self.proxy)
+            )
+            if on
+        ]
+        return "+".join(parts) if parts else "none"
+
+
 @dataclass(frozen=True)
 class TopologySpec:
     """Shape of the network a scenario runs on.
@@ -135,7 +208,15 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One fully-specified run: transport × topology × workload."""
+    """One fully-specified run: transport × topology × workload.
+
+    Cache placement is configured either through the legacy boolean
+    fields (``client_coap_cache``/``client_dns_cache``, the proxy cache
+    implied by ``use_proxy``) or, preferably, through an explicit
+    ``caching`` :class:`CachingSpec`. When ``caching`` is given it is
+    authoritative for placement and capacities; read the resolved view
+    via :attr:`caching_spec` (never the raw fields).
+    """
 
     name: str = "default"
     transport: str = "coap"
@@ -146,6 +227,7 @@ class Scenario:
     use_proxy: bool = False
     client_coap_cache: bool = False
     client_dns_cache: bool = False
+    caching: Optional[CachingSpec] = None
     block_size: Optional[int] = None
     seed: int = 1
     run_duration: float = 300.0
@@ -177,6 +259,24 @@ class Scenario:
         from repro.transports.registry import registry
 
         return registry.get(self.transport)
+
+    @property
+    def caching_spec(self) -> CachingSpec:
+        """The effective cache configuration of this run.
+
+        Resolves the legacy boolean fields into a :class:`CachingSpec`
+        when no explicit ``caching`` was given, and fills an unset
+        ``scheme`` from the scenario's own.
+        """
+        spec = self.caching
+        if spec is None:
+            spec = CachingSpec(
+                client_dns=self.client_dns_cache,
+                client_coap=self.client_coap_cache,
+            )
+        if spec.scheme is None:
+            spec = replace(spec, scheme=self.scheme)
+        return spec
 
     def with_seed(self, seed: int) -> "Scenario":
         return replace(self, seed=seed)

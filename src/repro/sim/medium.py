@@ -72,10 +72,44 @@ class RadioMedium:
         self._links: Dict[Tuple[str, str], RadioLink] = {}
         self._receivers: Dict[str, Callable[[str, bytes, dict], None]] = {}
         self._busy_until = 0.0
-        self.observer: Optional[Callable] = None
+        self._observers: List[Callable] = []
         self.frames_sent = 0
         self.frames_lost = 0
         self.frames_dropped = 0
+
+    # -- observers ------------------------------------------------------------
+
+    def add_observer(self, observer: Callable) -> None:
+        """Attach a frame observer; any number can coexist.
+
+        Each observer is called as ``observer(time, src, dst, frame,
+        metadata, lost)`` for every completed transmission. Attaching
+        the same callable twice raises — it would double-count frames.
+        """
+        if observer in self._observers:
+            raise ValueError("observer already attached")
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable) -> None:
+        self._observers.remove(observer)
+
+    @property
+    def observer(self) -> Optional[Callable]:
+        """Legacy single-observer view: the first attached observer."""
+        return self._observers[0] if self._observers else None
+
+    @observer.setter
+    def observer(self, value: Optional[Callable]) -> None:
+        # Legacy assignment semantics: replace whatever is attached
+        # (``None`` detaches). New code should use add_observer so a
+        # sniffer and another observer can coexist.
+        self._observers = [] if value is None else [value]
+
+    def _notify(
+        self, src: str, dst: str, frame: bytes, metadata: dict, lost: bool
+    ) -> None:
+        for observer in self._observers:
+            observer(self.sim.now, src, dst, frame, metadata, lost)
 
     # -- topology -------------------------------------------------------------
 
@@ -133,8 +167,7 @@ class RadioMedium:
             receiver = self._receivers.get(dst)
             if receiver is not None:
                 receiver(src, frame, metadata)
-        if self.observer is not None:
-            self.observer(self.sim.now, src, "*", frame, metadata, any_lost)
+        self._notify(src, "*", frame, metadata, any_lost)
         if any_lost:
             self.frames_lost += 1
 
@@ -159,15 +192,13 @@ class RadioMedium:
     def _complete_attempt(self, transmission: _Transmission, link: RadioLink) -> None:
         self.frames_sent += 1
         lost = self.sim.rng.random() < link.loss
-        if self.observer is not None:
-            self.observer(
-                self.sim.now,
-                transmission.src,
-                transmission.dst,
-                transmission.frame,
-                transmission.metadata,
-                lost,
-            )
+        self._notify(
+            transmission.src,
+            transmission.dst,
+            transmission.frame,
+            transmission.metadata,
+            lost,
+        )
         if not lost:
             receiver = self._receivers.get(transmission.dst)
             if receiver is not None:

@@ -32,11 +32,16 @@ class FrameRecord:
 
 
 class Sniffer:
-    """Attaches to a :class:`RadioMedium` and records every frame."""
+    """Attaches to a :class:`RadioMedium` and records every frame.
+
+    Registers via :meth:`RadioMedium.add_observer`, so a sniffer and
+    any other observer (a spy, a second sniffer) coexist instead of
+    silently clobbering each other.
+    """
 
     def __init__(self, medium: RadioMedium) -> None:
         self.records: List[FrameRecord] = []
-        medium.observer = self._observe
+        medium.add_observer(self._observe)
 
     def _observe(
         self, time: float, src: str, dst: str, frame: bytes, metadata: dict, lost: bool

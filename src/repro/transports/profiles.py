@@ -35,7 +35,8 @@ CLIENT_PORT = 6000
 def _dns_cache(env: TransportEnv):
     from repro.dns import DNSCache
 
-    return DNSCache(8) if env.scenario.client_dns_cache else None
+    caching = env.scenario.caching_spec
+    return DNSCache(caching.client_dns_capacity) if caching.client_dns else None
 
 
 # -- DNS over UDP -----------------------------------------------------------
@@ -111,7 +112,9 @@ def _coaps_server(env: TransportEnv) -> ServerHandle:
 
     host = env.topology.resolver_host
     adapter = DtlsServerAdapter(env.sim, host.bind(COAPS_PORT))
-    server = DocServer(env.sim, adapter, env.resolver, scheme=env.scenario.scheme)
+    server = DocServer(
+        env.sim, adapter, env.resolver, scheme=env.scenario.caching_spec.scheme
+    )
     return ServerHandle(
         port=COAPS_PORT,
         endpoint=(host.address, COAPS_PORT),
@@ -131,7 +134,7 @@ def _coap_server(env: TransportEnv) -> ServerHandle:
         env.sim,
         host.bind(COAP_PORT),
         env.resolver,
-        scheme=env.scenario.scheme,
+        scheme=env.scenario.caching_spec.scheme,
         oscore_context=oscore_context,
     )
     return ServerHandle(
@@ -145,6 +148,7 @@ def _doc_client(env: TransportEnv, node, index: int, secure: bool, oscore: bool)
     from repro.transports.dtls_adapter import DtlsClientAdapter, preestablish
 
     scenario = env.scenario
+    caching = scenario.caching_spec
     socket = node.bind(CLIENT_PORT)
     if secure:
         socket = DtlsClientAdapter(env.sim, socket, env.server.endpoint)
@@ -157,8 +161,12 @@ def _doc_client(env: TransportEnv, node, index: int, secure: bool, oscore: bool)
         socket,
         env.target,
         method=scenario.method,
-        scheme=scenario.scheme,
-        coap_cache=CoapCache(8) if scenario.client_coap_cache else None,
+        scheme=caching.scheme,
+        coap_cache=(
+            CoapCache(caching.client_coap_capacity)
+            if caching.client_coap
+            else None
+        ),
         dns_cache=_dns_cache(env),
         block_size=scenario.block_size,
         oscore_context=oscore_context,

@@ -1,0 +1,373 @@
+"""End-to-end cache hierarchy and cache-placement sweep tests.
+
+The Section 6.1 caching study in miniature: queries traverse
+client DNS cache → client CoAP cache → forward-proxy cache → resolver,
+and every location reports the unified per-location counters the
+Figure 11 event analysis needs.
+"""
+
+import pytest
+
+from repro.doc import CachingScheme
+from repro.scenarios import (
+    CachingSpec,
+    Scenario,
+    ScenarioError,
+    ScenarioRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+#: Canonical label the "all" placement alias normalises to.
+ALL = "client-dns+client-coap+proxy"
+
+
+def _hierarchy_scenario(scheme, **overrides):
+    """Two clients behind a caching proxy, short churning TTLs."""
+    fields = dict(
+        name="hierarchy",
+        transport="coap",
+        topology=TopologySpec(name="figure2", hops=2, clients=2, loss=0.0),
+        workload=WorkloadSpec(
+            num_queries=40, num_names=3, query_rate=4.0, ttl=(2, 8)
+        ),
+        scheme=scheme,
+        use_proxy=True,
+        caching=CachingSpec(client_dns=True, client_coap=True, proxy=True),
+        seed=11,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestCacheHierarchy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        runner = ScenarioRunner()
+        return {
+            scheme: runner.run(_hierarchy_scenario(scheme))
+            for scheme in (CachingScheme.EOL_TTLS, CachingScheme.DOH_LIKE)
+        }
+
+    def test_all_locations_report(self, results):
+        for result in results.values():
+            assert set(result.cache_stats) == {
+                "client-dns", "client-coap", "proxy", "resolver"
+            }
+
+    def test_lossless_run_resolves_everything(self, results):
+        for result in results.values():
+            assert result.success_rate == 1.0
+
+    def test_client_dns_cache_absorbs_repeats(self, results):
+        for result in results.values():
+            dns = result.cache_stats["client-dns"]
+            # 40 queries over 3 names: the vast majority are DNS hits.
+            assert dns.hits > 20
+            assert dns.hits + dns.misses == 40
+
+    def test_proxy_shares_entries_across_clients(self, results):
+        for result in results.values():
+            assert result.cache_stats["proxy"].hits > 0
+
+    def test_hierarchy_shields_the_resolver(self, results):
+        for result in results.values():
+            resolver = result.cache_stats["resolver"]
+            # Only a handful of lookups survive three cache levels.
+            assert resolver.lookups < 10
+
+    def test_eol_ttls_revalidation_succeeds(self, results):
+        stats = results[CachingScheme.EOL_TTLS].cache_stats
+        # Stable representations: stale entries revive via 2.03 Valid
+        # at both CoAP cache locations (Figure 3, step 4, EOL branch).
+        assert stats["client-coap"].validations > 0
+        assert stats["proxy"].validations > 0
+        assert stats["client-coap"].validation_failures == 0
+        assert stats["proxy"].validation_failures == 0
+
+    def test_doh_like_revalidation_fails(self, results):
+        stats = results[CachingScheme.DOH_LIKE].cache_stats
+        # TTL churn changes the payload hash, so the origin never
+        # confirms an ETag: stale hits happen, validations do not.
+        assert stats["client-coap"].stale_hits > 0
+        assert stats["client-coap"].validations == 0
+        assert stats["proxy"].validations == 0
+
+    def test_cache_ratios_shape(self, results):
+        ratios = results[CachingScheme.EOL_TTLS].cache_ratios()
+        assert set(ratios) == {
+            "client-dns", "client-coap", "proxy", "resolver"
+        }
+        for location in ratios.values():
+            assert 0.0 <= location["hit_ratio"] <= 1.0
+
+
+class TestPlacementOff:
+    def test_placement_none_disables_every_cache(self):
+        scenario = _hierarchy_scenario(
+            CachingScheme.EOL_TTLS,
+            caching=CachingSpec.from_placement("none"),
+        )
+        result = ScenarioRunner().run(scenario)
+        # Only the resolver cache remains (it is part of the resolver).
+        assert set(result.cache_stats) == {"resolver"}
+        assert result.proxy_cache_hits == 0
+
+    def test_opaque_forwarder_still_forwards(self):
+        scenario = _hierarchy_scenario(
+            CachingScheme.EOL_TTLS,
+            caching=CachingSpec.from_placement("none"),
+        )
+        result = ScenarioRunner().run(scenario)
+        assert result.success_rate == 1.0
+
+    def test_legacy_flags_still_place_caches(self):
+        scenario = _hierarchy_scenario(
+            CachingScheme.EOL_TTLS,
+            caching=None,
+            client_dns_cache=True,
+            client_coap_cache=False,
+        )
+        result = ScenarioRunner().run(scenario)
+        assert "client-dns" in result.cache_stats
+        assert "client-coap" not in result.cache_stats
+        assert "proxy" in result.cache_stats   # use_proxy implies caching
+
+
+class TestCachingSpec:
+    def test_placement_round_trip(self):
+        for placement in ("none", "client-dns", "client-coap+proxy",
+                          "client-dns+client-coap+proxy"):
+            spec = CachingSpec.from_placement(placement)
+            assert spec.placement_label() == placement
+
+    def test_all_alias(self):
+        spec = CachingSpec.from_placement("all")
+        assert spec.placement_label() == "client-dns+client-coap+proxy"
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ScenarioError):
+            CachingSpec.from_placement("client-quic")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ScenarioError):
+            CachingSpec(proxy_capacity=0)
+
+    def test_scheme_defers_to_scenario(self):
+        scenario = Scenario(
+            scheme=CachingScheme.DOH_LIKE,
+            caching=CachingSpec(client_coap=True),
+        )
+        assert scenario.caching_spec.scheme is CachingScheme.DOH_LIKE
+
+    def test_explicit_spec_scheme_wins(self):
+        scenario = Scenario(
+            scheme=CachingScheme.DOH_LIKE,
+            caching=CachingSpec(scheme=CachingScheme.EOL_TTLS),
+        )
+        assert scenario.caching_spec.scheme is CachingScheme.EOL_TTLS
+
+    def test_capacities_reach_the_caches(self):
+        scenario = _hierarchy_scenario(
+            CachingScheme.EOL_TTLS,
+            caching=CachingSpec(
+                client_dns=True, client_coap=True, proxy=True,
+                client_dns_capacity=2, client_coap_capacity=2,
+                proxy_capacity=2,
+            ),
+            workload=WorkloadSpec(
+                num_queries=30, num_names=6, query_rate=4.0, ttl=(300, 300)
+            ),
+        )
+        result = ScenarioRunner().run(scenario)
+        # Six names through capacity-2 caches must displace entries.
+        stats = result.cache_stats
+        assert (
+            stats["client-dns"].evictions
+            + stats["client-coap"].evictions
+            + stats["proxy"].evictions
+        ) > 0
+
+
+class TestCachePlacementSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        base = _hierarchy_scenario(CachingScheme.EOL_TTLS, use_proxy=False,
+                                   caching=None)
+        return ScenarioRunner().sweep(
+            base=base,
+            transports=("coap",),
+            topologies=("figure2",),
+            losses=(0.0,),
+            cache_placements=("none", "client-coap", "all"),
+            schemes=("doh-like", "eol-ttls"),
+        )
+
+    def test_full_grid(self, sweep):
+        assert len(sweep) == 6
+
+    def test_cell_addressing_includes_cache_axes(self, sweep):
+        cell = sweep.cell("coap", "figure2", 0.0, ALL, "eol-ttls")
+        assert cell.placement == ALL
+        assert cell.scheme == "eol-ttls"
+        assert cell.scenario.use_proxy   # placement turned the proxy on
+
+    def test_metrics_carry_per_location_ratios(self, sweep):
+        metrics = sweep.cell("coap", "figure2", 0.0, ALL, "eol-ttls").metrics()
+        for key in ("client_dns_hit_ratio", "client_coap_validations",
+                    "proxy_hits", "resolver_hits"):
+            assert key in metrics
+        none_metrics = sweep.cell(
+            "coap", "figure2", 0.0, "none", "eol-ttls"
+        ).metrics()
+        assert "client_dns_hit_ratio" not in none_metrics
+
+    def test_caching_reduces_bottleneck_traffic(self, sweep):
+        cached = sweep.cell("coap", "figure2", 0.0, ALL, "eol-ttls")
+        uncached = sweep.cell("coap", "figure2", 0.0, "none", "eol-ttls")
+        assert (
+            cached.metrics()["frames_1hop"]
+            < uncached.metrics()["frames_1hop"]
+        )
+
+    def test_scheme_axis_changes_validation_behaviour(self, sweep):
+        eol = sweep.cell("coap", "figure2", 0.0, ALL, "eol-ttls").metrics()
+        doh = sweep.cell("coap", "figure2", 0.0, ALL, "doh-like").metrics()
+        assert eol["client_coap_validations"] > doh["client_coap_validations"]
+
+    def test_scheme_axis_overrides_explicit_spec_scheme(self):
+        """A base whose CachingSpec pins a scheme must not shadow the
+        swept scheme axis — each cell runs the scheme it is labeled
+        with."""
+        base = _hierarchy_scenario(
+            CachingScheme.EOL_TTLS,
+            caching=CachingSpec(
+                client_coap=True, proxy=True, scheme=CachingScheme.EOL_TTLS
+            ),
+            use_proxy=False,
+        )
+        sweep = ScenarioRunner().sweep(
+            base=base,
+            transports=("coap",),
+            topologies=("one-hop",),
+            losses=(0.0,),
+            cache_placements=("client-coap+proxy",),
+            schemes=("doh-like", "eol-ttls"),
+        )
+        for cell in sweep:
+            assert cell.scenario.caching_spec.scheme.value == cell.scheme
+
+    def test_spec_parser_scheme_overrides_explicit_spec_scheme(self):
+        from repro.scenarios import scenario_from_spec
+
+        base = Scenario(caching=CachingSpec(scheme=CachingScheme.EOL_TTLS))
+        scenario = scenario_from_spec("scheme=doh-like", base=base)
+        assert scenario.caching_spec.scheme is CachingScheme.DOH_LIKE
+
+    def test_proxy_placement_requires_coap_transport(self):
+        with pytest.raises(ScenarioError):
+            ScenarioRunner().sweep(
+                transports=("udp",),
+                topologies=("figure2",),
+                losses=(0.0,),
+                cache_placements=("proxy",),
+            )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioRunner().sweep(
+                transports=("coap",),
+                topologies=("figure2",),
+                losses=(0.0,),
+                schemes=("quic-like",),
+            )
+
+    def test_legacy_sweep_keys_unchanged(self):
+        base = Scenario(workload=WorkloadSpec(num_queries=4, num_names=2))
+        sweep = ScenarioRunner().sweep(
+            base=base,
+            transports=("coap",),
+            topologies=("one-hop",),
+            losses=(0.0,),
+        )
+        cell = sweep.cell("coap", "one-hop", 0.0)
+        assert cell.key == ("coap", "one-hop", 0.0)
+        assert cell.placement is None and cell.scheme is None
+
+
+class TestSpecParser:
+    def test_cache_key_places_and_enables_proxy(self):
+        from repro.scenarios import scenario_from_spec
+
+        scenario = scenario_from_spec("cache=client-coap+proxy")
+        assert scenario.use_proxy
+        spec = scenario.caching_spec
+        assert spec.client_coap and spec.proxy and not spec.client_dns
+
+    def test_cache_none_keeps_existing_proxy(self):
+        from repro.scenarios import scenario_from_spec
+
+        base = Scenario(use_proxy=True)
+        scenario = scenario_from_spec("cache=none", base=base)
+        assert scenario.use_proxy
+        assert not scenario.caching_spec.proxy
+
+    def test_scheme_key(self):
+        from repro.scenarios import scenario_from_spec
+
+        scenario = scenario_from_spec("scheme=doh-like")
+        assert scenario.scheme is CachingScheme.DOH_LIKE
+        assert scenario.caching_spec.scheme is CachingScheme.DOH_LIKE
+
+    def test_bad_scheme_rejected(self):
+        from repro.scenarios import scenario_from_spec
+
+        with pytest.raises(ScenarioError):
+            scenario_from_spec("scheme=quic-like")
+
+
+class TestCliCacheFlags:
+    def test_single_run_with_cache_flags(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "experiment", "--scenario",
+            "one-hop,queries=6,names=2,loss=0",
+            "--cache-placement", "client-dns",
+            "--cache-scheme", "doh-like",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache client-dns" in out
+
+    def test_sweep_with_cache_axes(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "experiment", "--sweep", "--transports", "coap",
+            "--topologies", "one-hop", "--losses", "0",
+            "--cache-placement", "none,client-coap",
+            "--cache-scheme", "eol-ttls",
+            "--queries", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "client-coap" in out
+        assert "scheme" in out
+
+    def test_comma_list_requires_sweep(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "experiment", "--cache-placement", "none,all",
+        ])
+        assert code == 2
+        assert "--sweep" in capsys.readouterr().err
+
+    def test_bad_placement_is_cli_error(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "experiment", "--cache-placement", "client-quic",
+        ])
+        assert code == 2

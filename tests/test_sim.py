@@ -268,6 +268,66 @@ class TestSniffer:
         assert sniffer.frame_count("a", "b") == 2
         assert sniffer.bytes_on_link("a", "b") == 30
 
+    def test_sniffer_coexists_with_another_observer(self):
+        """A sniffer must not clobber (or be clobbered by) another
+        observer: both see every frame."""
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        sniffer = Sniffer(medium)
+        seen = []
+        medium.add_observer(lambda t, *args: seen.append(t))
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(10), {})
+        sim.run()
+        assert len(sniffer.records) == 1
+        assert len(seen) == 1
+
+    def test_two_sniffers_both_record(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        first, second = Sniffer(medium), Sniffer(medium)
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(10), {})
+        sim.run()
+        assert len(first.records) == len(second.records) == 1
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        observer = lambda *args: None
+        medium.add_observer(observer)
+        with pytest.raises(ValueError):
+            medium.add_observer(observer)
+
+    def test_legacy_assignment_replaces(self):
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        sniffer = Sniffer(medium)
+        spied = []
+        # The pre-existing chaining idiom: read the current observer,
+        # assign a wrapper. Assignment keeps replace semantics.
+        original = medium.observer
+        assert original is not None
+
+        def spy(*args):
+            spied.append(args)
+            original(*args)
+
+        medium.observer = spy
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(10), {})
+        sim.run()
+        assert len(spied) == 1
+        assert len(sniffer.records) == 1   # via the chain, not directly
+        medium.observer = None
+        assert medium.observer is None
+
     def test_by_kind_and_max_frame(self):
         sim = Simulator()
         medium = RadioMedium(sim)

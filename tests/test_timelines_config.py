@@ -94,7 +94,7 @@ class TestTable6:
 
         defaults = paper_defaults()
         assert DNSCache().capacity == defaults["dns_cache_capacity"]
-        assert CoapCache()._capacity == defaults["coap_cache_capacity_client"]
+        assert CoapCache().capacity == defaults["coap_cache_capacity_client"]
         params = ReliabilityParams()
         assert params.max_retransmit == defaults["max_retransmit"]
         assert params.ack_timeout == defaults["ack_timeout"]
