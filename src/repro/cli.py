@@ -188,7 +188,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     if not args.sweep:
-        for flag in ("transports", "topologies", "losses"):
+        for flag in ("transports", "topologies", "losses", "workers"):
             if getattr(args, flag) is not None:
                 print(f"error: --{flag} requires --sweep", file=sys.stderr)
                 return 2
@@ -241,6 +241,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             losses=losses,
             cache_placements=placements,
             schemes=schemes,
+            workers=args.workers,
         )
         cache_axes = placements is not None or schemes is not None
         header = (f"{'transport':10s} {'topology':14s} {'loss':>5s} "
@@ -427,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--loss", type=float, default=None)
     experiment.add_argument("--l2-retries", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="sweep: run grid cells on N worker processes "
+             "(default 1 = in-process serial; results are identical)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     memory = subparsers.add_parser("memory", help="Figure 5/8 build sizes")

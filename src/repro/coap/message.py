@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .codes import Code
@@ -11,7 +11,7 @@ from .options import (
     OptionNumber,
     decode_options,
     decode_uint,
-    encode_options,
+    encode_options_into,
     encode_uint,
 )
 
@@ -33,7 +33,7 @@ class MessageType(enum.IntEnum):
     RST = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoapMessage:
     """A CoAP message.
 
@@ -67,15 +67,19 @@ class CoapMessage:
 
     def with_option(self, number: int, value: bytes) -> "CoapMessage":
         """Copy with one more option appended (kept sorted on encode)."""
-        return replace(self, options=self.options + ((number, value),))
+        return CoapMessage(
+            self.mtype, self.code, self.mid, self.token,
+            self.options + ((number, value),), self.payload,
+        )
 
     def with_uint_option(self, number: int, value: int) -> "CoapMessage":
         return self.with_option(number, encode_uint(value))
 
     def without_option(self, number: int) -> "CoapMessage":
-        return replace(
-            self,
-            options=tuple((n, v) for n, v in self.options if n != number),
+        return CoapMessage(
+            self.mtype, self.code, self.mid, self.token,
+            tuple((n, v) for n, v in self.options if n != number),
+            self.payload,
         )
 
     def replace_uint_option(self, number: int, value: int) -> "CoapMessage":
@@ -128,21 +132,24 @@ class CoapMessage:
     def encode(self) -> bytes:
         if not 0 <= self.mid <= 0xFFFF:
             raise CoapMessageError("message ID out of range")
-        if len(self.token) > 8:
+        token = self.token
+        if len(token) > 8:
             raise CoapMessageError("token longer than 8 bytes")
-        header = bytes(
-            [
-                (COAP_VERSION << 6) | (self.mtype << 4) | len(self.token),
+        # One buffer end to end: header, token, options, and payload
+        # are appended in place (no per-section intermediates).
+        out = bytearray(
+            (
+                (COAP_VERSION << 6) | (self.mtype << 4) | len(token),
                 int(self.code),
                 self.mid >> 8,
                 self.mid & 0xFF,
-            ]
+            )
         )
-        out = bytearray(header)
-        out += self.token
-        out += encode_options(self.options)
+        out += token
+        encode_options_into(out, self.options)
         if self.payload:
-            out += b"\xff" + self.payload
+            out += b"\xff"
+            out += self.payload
         return bytes(out)
 
     @classmethod

@@ -141,18 +141,42 @@ def _nibble(value: int) -> Tuple[int, bytes]:
     raise OptionError("option delta/length too large")
 
 
+def encode_options_into(
+    out: bytearray, options: Iterable[Tuple[int, bytes]]
+) -> None:
+    """Serialise options into *out* (sorted by number, stable).
+
+    Appending into the caller's buffer avoids the intermediate
+    per-message allocation on the encode hot path; small deltas and
+    lengths (< 13, the overwhelmingly common case) take the no-extension
+    fast branch.
+    """
+    previous = 0
+    ordered = list(options)
+    if any(
+        ordered[index][0] > ordered[index + 1][0]
+        for index in range(len(ordered) - 1)
+    ):
+        ordered.sort(key=lambda item: item[0])
+    for number, value in ordered:
+        delta = number - previous
+        length = len(value)
+        if delta < 13 and length < 13:
+            out.append((delta << 4) | length)
+        else:
+            delta_nibble, delta_ext = _nibble(delta)
+            length_nibble, length_ext = _nibble(length)
+            out.append((delta_nibble << 4) | length_nibble)
+            out += delta_ext
+            out += length_ext
+        out += value
+        previous = number
+
+
 def encode_options(options: Iterable[Tuple[int, bytes]]) -> bytes:
     """Serialise options (sorted by number, stable for equal numbers)."""
     out = bytearray()
-    previous = 0
-    for number, value in sorted(options, key=lambda item: item[0]):
-        delta_nibble, delta_ext = _nibble(number - previous)
-        length_nibble, length_ext = _nibble(len(value))
-        out.append((delta_nibble << 4) | length_nibble)
-        out += delta_ext
-        out += length_ext
-        out += value
-        previous = number
+    encode_options_into(out, options)
     return bytes(out)
 
 
@@ -164,34 +188,48 @@ def decode_options(data: bytes, offset: int = 0) -> Tuple[List[Tuple[int, bytes]
     """
     options: List[Tuple[int, bytes]] = []
     number = 0
-    while offset < len(data):
+    size = len(data)
+    append = options.append
+    while offset < size:
         byte = data[offset]
         if byte == 0xFF:
             offset += 1
-            if offset >= len(data):
+            if offset >= size:
                 raise OptionError("payload marker with empty payload")
             return options, offset
         offset += 1
-        delta_nibble, length_nibble = byte >> 4, byte & 0x0F
-
-        def extend(nibble: int, position: int) -> Tuple[int, int]:
-            if nibble < 13:
-                return nibble, position
-            if nibble == 13:
-                if position >= len(data):
+        delta = byte >> 4
+        length = byte & 0x0F
+        if delta >= 13:
+            if delta == 13:
+                if offset >= size:
                     raise OptionError("truncated option extension")
-                return data[position] + 13, position + 1
-            if nibble == 14:
-                if position + 2 > len(data):
+                delta = data[offset] + 13
+                offset += 1
+            elif delta == 14:
+                if offset + 2 > size:
                     raise OptionError("truncated option extension")
-                return int.from_bytes(data[position : position + 2], "big") + 269, position + 2
-            raise OptionError("reserved option nibble 15")
-
-        delta, offset = extend(delta_nibble, offset)
-        length, offset = extend(length_nibble, offset)
+                delta = int.from_bytes(data[offset : offset + 2], "big") + 269
+                offset += 2
+            else:
+                raise OptionError("reserved option nibble 15")
+        if length >= 13:
+            if length == 13:
+                if offset >= size:
+                    raise OptionError("truncated option extension")
+                length = data[offset] + 13
+                offset += 1
+            elif length == 14:
+                if offset + 2 > size:
+                    raise OptionError("truncated option extension")
+                length = int.from_bytes(data[offset : offset + 2], "big") + 269
+                offset += 2
+            else:
+                raise OptionError("reserved option nibble 15")
         number += delta
-        if offset + length > len(data):
+        end = offset + length
+        if end > size:
             raise OptionError("truncated option value")
-        options.append((number, bytes(data[offset : offset + length])))
-        offset += length
-    return options, len(data)
+        append((number, bytes(data[offset:end])))
+        offset = end
+    return options, size

@@ -12,12 +12,54 @@ are instances with different parameters:
 from __future__ import annotations
 
 import hmac
+import os
+from functools import lru_cache
 
 from .aes import AES128
 
 
 class AEADError(Exception):
     """Raised when authenticated decryption fails."""
+
+
+# Optional hardware-accelerated backend: when the ``cryptography``
+# package happens to be installed (it is NOT a dependency of this
+# repository), AES-CCM can run at C speed. The pure-Python
+# implementation below remains the canonical one — both produce
+# byte-identical RFC 3610 output, the test suite pins the pure path
+# explicitly, and ``REPRO_PURE_CRYPTO=1`` disables the backend.
+if os.environ.get("REPRO_PURE_CRYPTO"):
+    _ACCELERATED_BACKEND = None
+else:
+    try:
+        from cryptography.hazmat.primitives.ciphers.aead import (
+            AESCCM as _ACCELERATED_BACKEND,
+        )
+    except ImportError:  # pragma: no cover - depends on environment
+        _ACCELERATED_BACKEND = None
+
+
+@lru_cache(maxsize=256)
+def _accelerated_ccm(key: bytes, tag_length: int):
+    """Shared accelerated AEAD instances (``None`` without backend)."""
+    if _ACCELERATED_BACKEND is None:
+        return None
+    return _ACCELERATED_BACKEND(key, tag_length=tag_length)
+
+
+@lru_cache(maxsize=256)
+def _expanded_key(key: bytes) -> AES128:
+    """Shared AES-128 key schedules.
+
+    OSCORE constructs a fresh AEAD for every protected message
+    exchange, always from the same handful of derived keys — expanding
+    the key schedule each time was pure waste. :class:`AES128` is
+    immutable after construction, so instances are safe to share. The
+    cache is bounded (LRU, 256 keys); note that cached keys stay
+    referenced for the cache's lifetime, which is fine for simulated
+    credentials.
+    """
+    return AES128(key)
 
 
 class AESCCM:
@@ -32,14 +74,28 @@ class AESCCM:
     nonce_length:
         Nonce length in bytes (7..13); the CTR counter occupies the
         remaining ``15 - nonce_length`` bytes.
+    backend:
+        ``"auto"`` (default) delegates seal/open to the optional
+        accelerated backend when one is available; ``"pure"`` forces
+        the from-scratch implementation.
     """
 
-    def __init__(self, key: bytes, tag_length: int = 8, nonce_length: int = 13):
+    def __init__(
+        self,
+        key: bytes,
+        tag_length: int = 8,
+        nonce_length: int = 13,
+        backend: str = "auto",
+    ):
         if tag_length % 2 or not 4 <= tag_length <= 16:
             raise ValueError("tag_length must be an even value in 4..16")
         if not 7 <= nonce_length <= 13:
             raise ValueError("nonce_length must be in 7..13")
-        self._aes = AES128(key)
+        if backend not in ("auto", "pure"):
+            raise ValueError(f"unknown backend {backend!r}")
+        key = bytes(key)
+        self._aes = _expanded_key(key)
+        self._fast = _accelerated_ccm(key, tag_length) if backend == "auto" else None
         self.tag_length = tag_length
         self.nonce_length = nonce_length
         self._length_field = 15 - nonce_length
@@ -61,12 +117,22 @@ class AESCCM:
         return self._aes.encrypt_block(block)
 
     def _ctr_crypt(self, nonce: bytes, data: bytes) -> bytes:
-        out = bytearray()
-        for index in range(0, len(data), 16):
-            keystream = self._ctr_block(nonce, index // 16 + 1)
-            chunk = data[index : index + 16]
-            out += bytes(a ^ b for a, b in zip(chunk, keystream))
-        return bytes(out)
+        length = len(data)
+        if not length:
+            return b""
+        # Generate the whole keystream, then XOR in one big-int
+        # operation — byte-wise generator XOR was a top profile entry.
+        encrypt = self._aes.encrypt_block
+        prefix = bytes([self._length_field - 1]) + nonce
+        length_field = self._length_field
+        keystream = b"".join(
+            encrypt(prefix + counter.to_bytes(length_field, "big"))
+            for counter in range(1, (length + 15) // 16 + 1)
+        )
+        return (
+            int.from_bytes(data, "big")
+            ^ int.from_bytes(keystream[:length], "big")
+        ).to_bytes(length, "big")
 
     def _cbc_mac(self, nonce: bytes, aad: bytes, plaintext: bytes) -> bytes:
         flags = 0
@@ -95,20 +161,31 @@ class AESCCM:
         if len(blocks) % 16:
             blocks += bytes(16 - len(blocks) % 16)
 
-        mac = bytes(16)
+        # CBC-MAC chain with integer XOR (no per-byte generators).
+        encrypt = self._aes.encrypt_block
+        from_bytes = int.from_bytes
+        mac = 0
         for index in range(0, len(blocks), 16):
-            mac = self._aes.encrypt_block(
-                bytes(a ^ b for a, b in zip(mac, blocks[index : index + 16]))
+            mac = from_bytes(
+                encrypt(
+                    (mac ^ from_bytes(blocks[index : index + 16], "big"))
+                    .to_bytes(16, "big")
+                ),
+                "big",
             )
         # Encrypt the MAC with counter block 0.
-        keystream = self._ctr_block(nonce, 0)
-        return bytes(a ^ b for a, b in zip(mac, keystream))[: self.tag_length]
+        mac ^= from_bytes(self._ctr_block(nonce, 0), "big")
+        return mac.to_bytes(16, "big")[: self.tag_length]
 
     # -- public API ------------------------------------------------------
 
     def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Return ciphertext || tag."""
         self._check_nonce(nonce)
+        if self._fast is not None:
+            if len(plaintext) >= 1 << (8 * self._length_field):
+                raise ValueError("plaintext too long for nonce length")
+            return self._fast.encrypt(nonce, plaintext, aad or None)
         tag = self._cbc_mac(nonce, aad, plaintext)
         return self._ctr_crypt(nonce, plaintext) + tag
 
@@ -123,6 +200,11 @@ class AESCCM:
         self._check_nonce(nonce)
         if len(ciphertext) < self.tag_length:
             raise AEADError("ciphertext shorter than authentication tag")
+        if self._fast is not None:
+            try:
+                return self._fast.decrypt(nonce, ciphertext, aad or None)
+            except Exception as exc:
+                raise AEADError("CCM tag verification failed") from exc
         body, tag = ciphertext[: -self.tag_length], ciphertext[-self.tag_length :]
         plaintext = self._ctr_crypt(nonce, body)
         expected = self._cbc_mac(nonce, aad, plaintext)

@@ -11,7 +11,8 @@ manipulations, both provided here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from .enums import DNSClass, Opcode, Rcode, RecordType
@@ -23,7 +24,7 @@ class MessageError(ValueError):
     """Raised on malformed DNS messages."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flags:
     """The 16 header flag bits following the transaction ID."""
 
@@ -65,7 +66,7 @@ class Flags:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Question:
     """An entry of the question section."""
 
@@ -74,17 +75,33 @@ class Question:
     rclass: int = DNSClass.IN
 
     def encode(self, compress: Dict[str, int] | None, offset: int) -> bytes:
-        out = bytearray(encode_name(self.name, compress, offset))
+        out = bytearray()
+        self.encode_into(out, compress, offset)
+        return bytes(out)
+
+    def encode_into(
+        self,
+        out: bytearray,
+        compress: Dict[str, int] | None,
+        offset: Optional[int] = None,
+    ) -> None:
+        """Append this question's wire form to *out*.
+
+        *offset* is the wire offset of ``out``'s start; it defaults to
+        0-based appending (``len(out)`` positions are the message
+        offsets when *out* is the whole message being built).
+        """
+        base = 0 if offset is None else offset - len(out)
+        out += encode_name(self.name, compress, base + len(out))
         out += int(self.rtype).to_bytes(2, "big")
         out += int(self.rclass).to_bytes(2, "big")
-        return bytes(out)
 
     def cache_key(self) -> Tuple[str, int, int]:
         """Key identifying this question for DNS caches."""
         return (self.name.lower(), int(self.rtype), int(self.rclass))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceRecord:
     """A resource record of the answer/authority/additional sections."""
 
@@ -95,14 +112,25 @@ class ResourceRecord:
     rdata: object
 
     def encode(self, compress: Dict[str, int] | None, offset: int) -> bytes:
-        out = bytearray(encode_name(self.name, compress, offset))
+        out = bytearray()
+        self.encode_into(out, compress, offset)
+        return bytes(out)
+
+    def encode_into(
+        self,
+        out: bytearray,
+        compress: Dict[str, int] | None,
+        offset: Optional[int] = None,
+    ) -> None:
+        """Append this record's wire form to *out* (see Question)."""
+        base = 0 if offset is None else offset - len(out)
+        out += encode_name(self.name, compress, base + len(out))
         out += int(self.rtype).to_bytes(2, "big")
         out += int(self.rclass).to_bytes(2, "big")
         out += (self.ttl & 0xFFFFFFFF).to_bytes(4, "big")
-        rdata = self.rdata.encode(compress, offset + len(out) + 2)
+        rdata = self.rdata.encode(compress, base + len(out) + 2)
         out += len(rdata).to_bytes(2, "big")
         out += rdata
-        return bytes(out)
 
 
 @dataclass(frozen=True)
@@ -124,7 +152,10 @@ class Message:
         DoC zeroes the ID (Section 4.2) so that equal queries serialise
         to equal bytes and hit the same CoAP cache entry.
         """
-        return replace(self, id=new_id & 0xFFFF)
+        return Message(
+            new_id & 0xFFFF, self.flags, self.questions,
+            self.answers, self.authorities, self.additionals,
+        )
 
     def with_ttls(self, ttl: int) -> "Message":
         """Return a copy with every record's TTL set to *ttl*.
@@ -144,15 +175,19 @@ class Message:
     def _map_ttl(self, fn) -> "Message":
         def map_section(records: Tuple[ResourceRecord, ...]):
             return tuple(
-                replace(r, ttl=fn(r.ttl)) if r.rtype != RecordType.OPT else r
+                ResourceRecord(r.name, r.rtype, r.rclass, fn(r.ttl), r.rdata)
+                if r.rtype != RecordType.OPT
+                else r
                 for r in records
             )
 
-        return replace(
-            self,
-            answers=map_section(self.answers),
-            authorities=map_section(self.authorities),
-            additionals=map_section(self.additionals),
+        return Message(
+            self.id,
+            self.flags,
+            self.questions,
+            map_section(self.answers),
+            map_section(self.authorities),
+            map_section(self.additionals),
         )
 
     def all_records(self) -> Tuple[ResourceRecord, ...]:
@@ -185,15 +220,29 @@ class Message:
             if count > 0xFFFF:
                 raise MessageError("section count exceeds 16 bits")
             out += count.to_bytes(2, "big")
+        # Sections append into the one message buffer; ``len(out)`` is
+        # each element's wire offset, so compression sees true offsets
+        # without any per-question/per-record intermediate bytes.
         for question in self.questions:
-            out += question.encode(table, len(out))
+            question.encode_into(out, table)
         for record in self.answers + self.authorities + self.additionals:
-            out += record.encode(table, len(out))
+            record.encode_into(out, table)
         return bytes(out)
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
-        """Parse a wire-format DNS message."""
+        """Parse a wire-format DNS message.
+
+        Decoding is a pure function of the wire bytes and a message is
+        immutable all the way down (frozen dataclasses over tuples), so
+        results are memoised: caching schemes decode the same response
+        bytes many times over (revalidations, retransmissions, shared
+        zone data).
+        """
+        return _decode_cached(bytes(data))
+
+    @classmethod
+    def _decode(cls, data: bytes) -> "Message":
         if len(data) < 12:
             raise MessageError("message shorter than header")
         msg_id = int.from_bytes(data[0:2], "big")
@@ -246,3 +295,8 @@ class Message:
             name, RecordType.from_value(rtype), rclass, ttl, rdata
         )
         return record, offset
+
+
+@lru_cache(maxsize=2048)
+def _decode_cached(data: bytes) -> Message:
+    return Message._decode(data)

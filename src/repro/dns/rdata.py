@@ -12,10 +12,22 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
+from repro.net.ipv6 import address_from_packed, packed_address
 from .enums import RecordType
 from .name import decode_name, encode_name
+
+
+@lru_cache(maxsize=8192)
+def _packed_v4(address: str) -> bytes:
+    return ipaddress.IPv4Address(address).packed
+
+
+@lru_cache(maxsize=8192)
+def _v4_from_packed(packed: bytes) -> str:
+    return str(ipaddress.IPv4Address(packed))
 
 
 class RdataError(ValueError):
@@ -31,13 +43,13 @@ class AData:
     TYPE = RecordType.A
 
     def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
-        return ipaddress.IPv4Address(self.address).packed
+        return _packed_v4(self.address)
 
     @classmethod
     def decode(cls, data: bytes, offset: int, rdlength: int) -> "AData":
         if rdlength != 4:
             raise RdataError(f"A rdata must be 4 bytes, got {rdlength}")
-        return cls(str(ipaddress.IPv4Address(data[offset : offset + 4])))
+        return cls(_v4_from_packed(bytes(data[offset : offset + 4])))
 
 
 @dataclass(frozen=True)
@@ -49,13 +61,13 @@ class AAAAData:
     TYPE = RecordType.AAAA
 
     def encode(self, compress: Dict[str, int] | None = None, offset: int = 0) -> bytes:
-        return ipaddress.IPv6Address(self.address).packed
+        return packed_address(self.address)
 
     @classmethod
     def decode(cls, data: bytes, offset: int, rdlength: int) -> "AAAAData":
         if rdlength != 16:
             raise RdataError(f"AAAA rdata must be 16 bytes, got {rdlength}")
-        return cls(str(ipaddress.IPv6Address(data[offset : offset + 16])))
+        return cls(address_from_packed(bytes(data[offset : offset + 16])))
 
 
 @dataclass(frozen=True)

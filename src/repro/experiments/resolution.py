@@ -194,17 +194,25 @@ def run_resolution_experiment(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_repeated(
-    config: ExperimentConfig, runs: int = 10
+    config: ExperimentConfig, runs: int = 10, workers: Optional[int] = None
 ) -> List[ExperimentResult]:
     """Repeat a run with different seeds (the paper repeats all runs
-    10 times, Section 5.1); results aggregate across repetitions."""
+    10 times, Section 5.1); results aggregate across repetitions.
+
+    Repetitions are independent simulations; *workers* > 1 fans them
+    out over a process pool (same executor machinery as
+    :meth:`~repro.scenarios.ScenarioRunner.sweep`) with results in
+    seed order either way.
+    """
     from dataclasses import replace
 
-    results = []
-    for repetition in range(runs):
-        seeded = replace(config, seed=config.seed + repetition * 1000)
-        results.append(run_resolution_experiment(seeded))
-    return results
+    from repro.scenarios.executors import get_executor
+
+    seeded = [
+        replace(config, seed=config.seed + repetition * 1000)
+        for repetition in range(runs)
+    ]
+    return get_executor(None, workers).map(run_resolution_experiment, seeded)
 
 
 def pooled_resolution_times(results: List[ExperimentResult]) -> List[float]:

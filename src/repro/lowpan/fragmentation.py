@@ -24,7 +24,7 @@ _FRAGN_DISPATCH = 0b11100
 
 def _frag1_extent_headers(frag1_chunk: bytes):
     """Compressed/uncompressed header lengths of the FRAG1 contents."""
-    from .iphc import header_extents
+    from .iphc import header_extents  # deferred: keeps import cycle-free
 
     return header_extents(frag1_chunk)
 
@@ -108,6 +108,10 @@ class _PartialDatagram:
     size: int
     received: Dict[int, bytes]
     first_arrival: float
+    #: Uncompressed extent of the FRAG1 chunk, computed once — FRAGN
+    #: arrivals re-check completeness but need not re-parse the IPHC
+    #: header every time.
+    frag1_extent: Optional[int] = None
 
 
 class Reassembler:
@@ -161,15 +165,16 @@ class Reassembler:
         # uncompressed bytes. The FRAG1 chunk's uncompressed extent is
         # its length plus the IPHC compression savings, recovered by
         # parsing the compressed header it carries.
-        if 0 not in partial.received:
+        frag1 = partial.received.get(0)
+        if frag1 is None:
             return None
-        frag1 = partial.received[0]
-        try:
-            compressed_hdr, uncompressed_hdr = _frag1_extent_headers(frag1)
-        except Exception:
-            return None
-        frag1_extent = len(frag1) + (uncompressed_hdr - compressed_hdr)
-        position = frag1_extent
+        if partial.frag1_extent is None:
+            try:
+                compressed_hdr, uncompressed_hdr = _frag1_extent_headers(frag1)
+            except Exception:
+                return None
+            partial.frag1_extent = len(frag1) + (uncompressed_hdr - compressed_hdr)
+        position = partial.frag1_extent
         for units in sorted(u for u in partial.received if u != 0):
             if units * 8 != position:
                 return None  # hole: a fragment is still missing

@@ -8,6 +8,7 @@ leaving 104 bytes of the 127-byte PDU for the 6LoWPAN payload.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 #: Maximum PHY payload (PDU) of IEEE 802.15.4 (Table 2b).
 FRAME_MAX_PDU = 127
@@ -27,7 +28,26 @@ def mac_header_length(extended: bool = True) -> int:
     return 2 + 1 + 2 + 2 * address_len
 
 
-@dataclass(frozen=True)
+_MAC_HEADER_LEN = 2 + 1 + 2 + 8 + 8
+_MAX_PAYLOAD = FRAME_MAX_PDU - _MAC_HEADER_LEN - FCS_LEN
+
+# FCF: frame type data (0b001), PAN ID compression, dst/src addressing
+# mode 'extended' (0b11 each), frame version 2006.
+_FCF = 0b001 | (1 << 6) | (0b11 << 10) | (0b01 << 12) | (0b11 << 14)
+_FCF_BYTES = _FCF.to_bytes(2, "little")
+
+
+@lru_cache(maxsize=1024)
+def _address_fields(pan_id: int, dst: int, src: int) -> bytes:
+    """PAN + destination + source header bytes, constant per link."""
+    return (
+        pan_id.to_bytes(2, "little")
+        + dst.to_bytes(8, "little")
+        + src.to_bytes(8, "little")
+    )
+
+
+@dataclass(frozen=True, slots=True)
 class MacFrame:
     """A data frame with extended (EUI-64) addressing."""
 
@@ -38,39 +58,37 @@ class MacFrame:
     pan_id: int = 0x23
 
     def __post_init__(self) -> None:
-        if len(self.payload) > self.max_payload():
+        if len(self.payload) > _MAX_PAYLOAD:
             raise ValueError(
-                f"payload {len(self.payload)} exceeds {self.max_payload()}"
+                f"payload {len(self.payload)} exceeds {_MAX_PAYLOAD}"
             )
 
     @staticmethod
     def max_payload() -> int:
         """Per-frame 6LoWPAN capacity: 127 - header(21) - FCS(2) = 104."""
-        return FRAME_MAX_PDU - mac_header_length() - FCS_LEN
+        return _MAX_PAYLOAD
 
     def encode(self) -> bytes:
         """Wire format including the FCS placeholder (PDU bytes)."""
-        # FCF: frame type data (0b001), PAN ID compression, dst/src
-        # addressing mode 'extended' (0b11 each), frame version 2006.
-        fcf = 0b001 | (1 << 6) | (0b11 << 10) | (0b01 << 12) | (0b11 << 14)
-        out = bytearray()
-        out += fcf.to_bytes(2, "little")
-        out += bytes([self.seq & 0xFF])
-        out += self.pan_id.to_bytes(2, "little")
-        out += self.dst.to_bytes(8, "little")
-        out += self.src.to_bytes(8, "little")
-        out += self.payload
-        out += b"\x00\x00"  # FCS placeholder (computed by hardware)
-        return bytes(out)
+        # FCS placeholder trailer (computed by hardware); the per-link
+        # address fields come from a cache — only the sequence number
+        # changes frame to frame.
+        return (
+            _FCF_BYTES
+            + bytes((self.seq & 0xFF,))
+            + _address_fields(self.pan_id, self.dst, self.src)
+            + self.payload
+            + b"\x00\x00"
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "MacFrame":
-        header_len = mac_header_length()
-        if len(data) < header_len + FCS_LEN:
+        if len(data) < _MAC_HEADER_LEN + FCS_LEN:
             raise ValueError("frame shorter than MAC header")
-        seq = data[2]
-        pan_id = int.from_bytes(data[3:5], "little")
-        dst = int.from_bytes(data[5:13], "little")
-        src = int.from_bytes(data[13:21], "little")
-        payload = bytes(data[header_len:-FCS_LEN])
-        return cls(src=src, dst=dst, seq=seq, payload=payload, pan_id=pan_id)
+        return cls(
+            src=int.from_bytes(data[13:21], "little"),
+            dst=int.from_bytes(data[5:13], "little"),
+            seq=data[2],
+            payload=bytes(data[_MAC_HEADER_LEN:-FCS_LEN]),
+            pan_id=int.from_bytes(data[3:5], "little"),
+        )

@@ -18,10 +18,17 @@ Compression modes implemented:
 
 from __future__ import annotations
 
-import ipaddress
 from typing import Optional, Tuple
 
-from repro.net.ipv6 import Ipv6Packet, NEXT_HEADER_UDP
+from repro.net.ipv6 import (
+    NEXT_HEADER_UDP,
+    Ipv6Packet,
+    address_from_int,
+    address_from_packed,
+    address_int,
+    is_multicast,
+    packed_address,
+)
 from repro.net.udp import UdpDatagram
 
 _DISPATCH = 0b011
@@ -43,7 +50,7 @@ def _iid_from_mac(mac: int) -> int:
 
 
 def _address_parts(address: str) -> Tuple[int, int]:
-    value = int(ipaddress.IPv6Address(address))
+    value = address_int(address)
     return value >> 64, value & ((1 << 64) - 1)
 
 
@@ -59,14 +66,14 @@ def _compress_unicast(address: str, mac: int) -> Tuple[int, bytes]:
         if iid >> 16 == 0x000000FFFE00:
             return 2, (iid & 0xFFFF).to_bytes(2, "big")
         return 1, iid.to_bytes(8, "big")
-    return 0, ipaddress.IPv6Address(address).packed
+    return 0, packed_address(address)
 
 
 def _decompress_unicast(mode: int, data: bytes, offset: int, mac: int) -> Tuple[str, int]:
     if mode == 0:
         _need(data, offset, 16)
-        packed = data[offset : offset + 16]
-        return str(ipaddress.IPv6Address(packed)), offset + 16
+        packed = bytes(data[offset : offset + 16])
+        return address_from_packed(packed), offset + 16
     if mode == 1:
         _need(data, offset, 8)
         iid = int.from_bytes(data[offset : offset + 8], "big")
@@ -79,11 +86,11 @@ def _decompress_unicast(mode: int, data: bytes, offset: int, mac: int) -> Tuple[
     else:
         iid = _iid_from_mac(mac)
     value = (_LINK_LOCAL_PREFIX << 64) | iid
-    return str(ipaddress.IPv6Address(value)), offset
+    return address_from_int(value), offset
 
 
 def _compress_multicast(address: str) -> Tuple[int, bytes]:
-    value = int(ipaddress.IPv6Address(address))
+    value = address_int(address)
     if value >> 120 != 0xFF:
         raise IphcError("not a multicast address")
     scope = (value >> 112) & 0xFF
@@ -95,29 +102,29 @@ def _compress_multicast(address: str) -> Tuple[int, bytes]:
         return 2, bytes([scope]) + (group & 0xFFFFFFFF).to_bytes(4, "big")
     if group >> 40 == 0:
         return 1, bytes([scope]) + (group & 0xFFFFFFFFFF).to_bytes(5, "big")
-    return 0, ipaddress.IPv6Address(address).packed
+    return 0, packed_address(address)
 
 
 def _decompress_multicast(mode: int, data: bytes, offset: int) -> Tuple[str, int]:
     if mode == 0:
         _need(data, offset, 16)
-        packed = data[offset : offset + 16]
-        return str(ipaddress.IPv6Address(packed)), offset + 16
+        packed = bytes(data[offset : offset + 16])
+        return address_from_packed(packed), offset + 16
     if mode == 3:
         _need(data, offset, 1)
         value = (0xFF02 << 112) | data[offset]
-        return str(ipaddress.IPv6Address(value)), offset + 1
+        return address_from_int(value), offset + 1
     if mode == 2:
         _need(data, offset, 5)
         scope = data[offset]
         group = int.from_bytes(data[offset + 1 : offset + 5], "big")
         value = (0xFF << 120) | (scope << 112) | group
-        return str(ipaddress.IPv6Address(value)), offset + 5
+        return address_from_int(value), offset + 5
     _need(data, offset, 6)
     scope = data[offset]
     group = int.from_bytes(data[offset + 1 : offset + 6], "big")
     value = (0xFF << 120) | (scope << 112) | group
-    return str(ipaddress.IPv6Address(value)), offset + 6
+    return address_from_int(value), offset + 6
 
 
 def _compress_udp(datagram_bytes: bytes) -> bytes:
@@ -196,7 +203,7 @@ def compress(packet: Ipv6Packet, src_mac: int, dst_mac: int) -> bytes:
     hlim_map = {1: 0b01, 64: 0b10, 255: 0b11}
     hlim_mode = hlim_map.get(packet.hop_limit, 0b00)
 
-    dst_is_multicast = ipaddress.IPv6Address(packet.dst).is_multicast
+    dst_is_multicast = is_multicast(packet.dst)
     sam, src_inline = _compress_unicast(packet.src, src_mac)
     if dst_is_multicast:
         dam, dst_inline = _compress_multicast(packet.dst)
@@ -317,8 +324,8 @@ def decompress(data: bytes, src_mac: int, dst_mac: int) -> Ipv6Packet:
         dst, offset = _decompress_unicast(dam, data, offset, dst_mac)
 
     if udp_nhc:
-        datagram, _checksum = _decompress_udp(data, offset)
-        payload = datagram.encode(src, dst)
+        datagram, checksum = _decompress_udp(data, offset)
+        payload = datagram.encode_with_checksum(bytes(checksum))
     else:
         payload = bytes(data[offset:])
     return Ipv6Packet(

@@ -1,24 +1,69 @@
-"""IPv6 header encoding (RFC 8200) and address helpers."""
+"""IPv6 header encoding (RFC 8200) and address helpers.
+
+The simulator shuttles addresses around as presentation-format strings
+but needs their binary forms on every frame (IPHC compression, UDP
+pseudo-header checksums, multicast routing checks). A simulation uses
+a small, fixed set of addresses, so every conversion is memoised —
+profiles showed ``ipaddress`` string parsing as one of the costliest
+per-frame operations before these caches existed.
+"""
 
 from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 IPV6_HEADER_LEN = 40
 NEXT_HEADER_UDP = 17
 DEFAULT_HOP_LIMIT = 64
 
 
+@lru_cache(maxsize=8192)
+def address_int(address: str) -> int:
+    """*address* as a 128-bit integer (memoised)."""
+    return int(ipaddress.IPv6Address(address))
+
+
+@lru_cache(maxsize=8192)
+def packed_address(address: str) -> bytes:
+    """*address* in 16-byte network order (memoised)."""
+    return ipaddress.IPv6Address(address).packed
+
+
+@lru_cache(maxsize=8192)
+def address_from_int(value: int) -> str:
+    """Canonical presentation form of a 128-bit value (memoised)."""
+    return str(ipaddress.IPv6Address(value))
+
+
+@lru_cache(maxsize=8192)
+def address_from_packed(packed: bytes) -> str:
+    """Canonical presentation form of 16 network-order bytes (memoised)."""
+    return str(ipaddress.IPv6Address(packed))
+
+
+@lru_cache(maxsize=8192)
+def canonical_address(address: str) -> str:
+    """The canonical (compressed, lowercase) form of *address*."""
+    return str(ipaddress.IPv6Address(address))
+
+
+@lru_cache(maxsize=8192)
+def is_multicast(address: str) -> bool:
+    """True for ``ff00::/8`` addresses (memoised)."""
+    return address_int(address) >> 120 == 0xFF
+
+
 def link_local(iid: int) -> str:
     """A link-local address ``fe80::/64`` with the given 64-bit IID."""
     if not 0 <= iid < 1 << 64:
         raise ValueError("interface ID must fit in 64 bits")
-    address = (0xFE80 << 112) | iid
-    return str(ipaddress.IPv6Address(address))
+    return address_from_int((0xFE80 << 112) | iid)
+
 
 def is_link_local(address: str) -> bool:
-    return ipaddress.IPv6Address(address).is_link_local
+    return address_int(address) >> 118 == 0x3FA  # fe80::/10
 
 
 def global_address(iid: int, prefix: int = 0x2001_0DB8_0000_0000) -> str:
@@ -31,15 +76,15 @@ def global_address(iid: int, prefix: int = 0x2001_0DB8_0000_0000) -> str:
     """
     if not 0 <= iid < 1 << 64:
         raise ValueError("interface ID must fit in 64 bits")
-    return str(ipaddress.IPv6Address((prefix << 64) | iid))
+    return address_from_int((prefix << 64) | iid)
 
 
 def interface_id(address: str) -> int:
     """The low 64 bits of *address*."""
-    return int(ipaddress.IPv6Address(address)) & ((1 << 64) - 1)
+    return address_int(address) & ((1 << 64) - 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ipv6Packet:
     """An IPv6 packet carrying a UDP payload.
 
@@ -65,8 +110,8 @@ class Ipv6Packet:
             first.to_bytes(4, "big")
             + len(self.payload).to_bytes(2, "big")
             + bytes([self.next_header, self.hop_limit])
-            + ipaddress.IPv6Address(self.src).packed
-            + ipaddress.IPv6Address(self.dst).packed
+            + packed_address(self.src)
+            + packed_address(self.dst)
         )
         return header + self.payload
 
@@ -98,8 +143,8 @@ class Ipv6Packet:
             raise ValueError(f"not an IPv6 packet (version {version})")
         length = int.from_bytes(data[4:6], "big")
         packet = cls(
-            src=str(ipaddress.IPv6Address(data[8:24])),
-            dst=str(ipaddress.IPv6Address(data[24:40])),
+            src=address_from_packed(bytes(data[8:24])),
+            dst=address_from_packed(bytes(data[24:40])),
             payload=bytes(data[40 : 40 + length]),
             next_header=data[6],
             hop_limit=data[7],

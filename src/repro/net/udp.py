@@ -2,27 +2,32 @@
 
 from __future__ import annotations
 
-import ipaddress
 from dataclasses import dataclass
+
+from .ipv6 import packed_address
 
 UDP_HEADER_LEN = 8
 
 
 def _ones_complement_sum(data: bytes) -> int:
+    """Fold *data* as 16-bit words with end-around carry.
+
+    Because ``2**16 ≡ 1 (mod 65535)``, the ones'-complement sum of all
+    16-bit words equals the whole buffer taken as one big integer
+    modulo 0xFFFF — one C-level conversion instead of a Python loop.
+    (The fold maps a word sum of 0xFFFF to 0; both invert to the same
+    checksum, so :func:`udp_checksum` is unaffected.)
+    """
     if len(data) % 2:
         data += b"\x00"
-    total = 0
-    for index in range(0, len(data), 2):
-        total += (data[index] << 8) | data[index + 1]
-        total = (total & 0xFFFF) + (total >> 16)
-    return total
+    return int.from_bytes(data, "big") % 0xFFFF
 
 
 def udp_checksum(src: str, dst: str, datagram: bytes) -> int:
     """RFC 8200 §8.1 checksum over pseudo-header and UDP datagram."""
     pseudo = (
-        ipaddress.IPv6Address(src).packed
-        + ipaddress.IPv6Address(dst).packed
+        packed_address(src)
+        + packed_address(dst)
         + len(datagram).to_bytes(4, "big")
         + b"\x00\x00\x00\x11"
     )
@@ -31,7 +36,7 @@ def udp_checksum(src: str, dst: str, datagram: bytes) -> int:
     return checksum or 0xFFFF  # 0 is transmitted as all-ones
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpDatagram:
     """A UDP datagram; checksum is computed on encode."""
 
@@ -61,6 +66,22 @@ class UdpDatagram:
         return (
             header_no_checksum[:6]
             + checksum.to_bytes(2, "big")
+            + self.payload
+        )
+
+    def encode_with_checksum(self, checksum: bytes) -> bytes:
+        """Wire format with a checksum carried from the wire.
+
+        6LoWPAN NHC always transports the UDP checksum inline, so a
+        decompressor can splice the received value back in instead of
+        recomputing it over the pseudo-header — the bytes are identical
+        because the pseudo-header inputs did not change on the hop.
+        """
+        return (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.length.to_bytes(2, "big")
+            + checksum
             + self.payload
         )
 

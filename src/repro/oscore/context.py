@@ -180,7 +180,10 @@ class SecurityContext:
         padded_id = piv_id.rjust(_NONCE_LENGTH - 6, b"\x00")
         padded_piv = partial_iv.rjust(5, b"\x00")
         plain = bytes([len(piv_id)]) + padded_id + padded_piv
-        return bytes(a ^ b for a, b in zip(plain, self.common_iv))
+        return (
+            int.from_bytes(plain, "big")
+            ^ int.from_bytes(self.common_iv, "big")
+        ).to_bytes(_NONCE_LENGTH, "big")
 
     def sender_aead(self):
         return AES_CCM_16_64_128(self.sender_key)

@@ -17,6 +17,7 @@ Responses reuse the request's nonce (no Partial IV on the wire) unless
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.cborlib import dumps
@@ -84,8 +85,13 @@ def _parse_plaintext(data: bytes) -> Tuple[Code, tuple, bytes]:
     return code, tuple(options), bytes(data[payload_offset:])
 
 
+@lru_cache(maxsize=4096)
 def _external_aad(request_kid: bytes, request_piv: bytes) -> bytes:
-    """RFC 8613 §5.4 external_aad (I options empty, single algorithm)."""
+    """RFC 8613 §5.4 external_aad (I options empty, single algorithm).
+
+    A pure function of (kid, Partial IV), and every exchange needs it
+    twice (seal and open) — memoised to skip the repeated CBOR encode.
+    """
     external = dumps(
         [1, [AES_CCM_16_64_128_ALG], request_kid, request_piv, b""]
     )

@@ -1,0 +1,48 @@
+"""Runtime performance measurement (`repro.perf`).
+
+The paper reproduction's benchmark *figures* (`benchmarks/`) check
+numbers the paper reports; this package measures the reproduction
+itself: how fast the hot paths run on the current machine. It provides
+
+* :mod:`repro.perf.harness` — a micro/macro benchmark harness with
+  warmup/repeat controls, wall-clock timing, work-unit counts, peak
+  RSS, JSON emission, and baseline comparison;
+* :mod:`repro.perf.benchmarks` — the registered benchmarks covering
+  the hot paths (full scenario sweep, single resolution, CoAP and DNS
+  codecs, AES-CCM seal/open, simulator event churn);
+* :mod:`repro.perf.golden` — golden codec vectors asserting that
+  encode/decode outputs stay byte-identical across optimisation work;
+* ``python -m repro.perf`` — the command-line entry point
+  (:mod:`repro.perf.__main__`), which records ``BENCH_*.json``
+  trajectories.
+
+Typical use::
+
+    PYTHONPATH=src python -m repro.perf --quick --json bench.json
+    PYTHONPATH=src python -m repro.perf --json BENCH_PR4.json \
+        --compare BENCH_PR3.json
+"""
+
+from .harness import (
+    Benchmark,
+    BenchmarkError,
+    BenchResult,
+    benchmark_names,
+    compare_reports,
+    get_benchmark,
+    register,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkError",
+    "BenchResult",
+    "benchmark_names",
+    "compare_reports",
+    "get_benchmark",
+    "register",
+    "run_benchmarks",
+    "write_report",
+]

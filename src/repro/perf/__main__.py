@@ -1,0 +1,122 @@
+"""``python -m repro.perf`` — run the benchmark harness.
+
+Examples
+--------
+::
+
+    python -m repro.perf --list
+    python -m repro.perf --quick
+    python -m repro.perf --json BENCH_PR3.json
+    python -m repro.perf --only coap_encode,dns_encode --repeats 9
+    python -m repro.perf --json BENCH_PR4.json --compare BENCH_PR3.json
+
+Exit status is non-zero when any selected benchmark errors, which is
+what the CI smoke job keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness import (
+    BenchmarkError,
+    benchmark_names,
+    build_report,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+
+
+def _format_row(entry: dict, comparison: Optional[dict]) -> str:
+    name = entry["name"]
+    if entry.get("error"):
+        return f"{name:20s} ERROR {entry['error']}"
+    row = (
+        f"{name:20s} best {entry['best_s'] * 1000:9.2f} ms"
+        f"  mean {entry['mean_s'] * 1000:9.2f} ms"
+    )
+    if entry.get("per_unit_us") is not None:
+        row += f"  {entry['per_unit_us']:9.2f} us/{entry['unit']}"
+    if comparison and name in comparison:
+        row += f"  {comparison[name]['speedup']:5.2f}x vs baseline"
+    return row
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf",
+        description="Run the repro runtime benchmarks",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced work per benchmark and fewer repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="measured repeats per benchmark (default 5, quick 3)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=1,
+        help="unmeasured warmup runs per benchmark (default 1)",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="LIST",
+        help="comma-separated benchmark names to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the JSON report to PATH (e.g. BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a previously written JSON report",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in benchmark_names():
+            print(name)
+        return 0
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 3 if args.quick else 5
+    names = args.only.split(",") if args.only else None
+
+    try:
+        results = run_benchmarks(
+            names=names, repeats=repeats, warmup=args.warmup, quick=args.quick
+        )
+        if args.json:
+            report = write_report(
+                args.json, results, quick=args.quick,
+                baseline_path=args.compare,
+            )
+        else:
+            baseline = load_report(args.compare) if args.compare else None
+            report = build_report(results, args.quick, baseline)
+    except (BenchmarkError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    comparison = report.get("comparison")
+    for entry in report["results"]:
+        print(_format_row(entry, comparison))
+    if args.json:
+        print(f"report written to {args.json}")
+
+    errored = [e["name"] for e in report["results"] if e.get("error")]
+    if errored:
+        print(f"FAILED benchmarks: {', '.join(errored)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""Registered benchmarks for the reproduction's hot paths.
+
+Macro benchmarks drive whole scenario runs (the full sweep, serial and
+process-parallel, and a single resolution experiment); micro benchmarks
+isolate the codecs and primitives those runs spend their time in (CoAP
+and DNS encode/decode, AES-CCM seal/open, simulator event churn).
+
+Every benchmark accepts ``quick`` (a reduced-work variant for CI smoke
+runs) and returns the number of work units performed. The codec
+benchmarks run the golden-vector guard as setup: their fast paths must
+produce byte-identical wire output before any timing counts.
+"""
+
+from __future__ import annotations
+
+from . import golden
+from .harness import register
+
+# -- macro: scenario sweeps ------------------------------------------------
+
+#: The 8-cell reference grid: 2 transports × 2 topologies × 2 losses.
+SWEEP_GRID = dict(
+    transports=("coap", "oscore"),
+    topologies=("figure2", "one-hop"),
+    losses=(0.05, 0.25),
+)
+
+
+def _sweep_base(quick: bool):
+    from repro.scenarios import Scenario, WorkloadSpec
+
+    return Scenario(
+        workload=WorkloadSpec(num_queries=10 if quick else 30),
+        run_duration=300.0,
+    )
+
+
+def _run_sweep(quick: bool, workers: int) -> int:
+    from repro.scenarios import ScenarioRunner
+
+    result = ScenarioRunner().sweep(
+        base=_sweep_base(quick), workers=workers, **SWEEP_GRID
+    )
+    return len(result)
+
+
+@register(
+    "sweep_serial",
+    "8-cell sweep (coap+oscore × figure2+one-hop × 0.05/0.25), serial",
+    unit="cell",
+)
+def sweep_serial(quick: bool) -> int:
+    return _run_sweep(quick, workers=1)
+
+
+@register(
+    "sweep_process4",
+    "the same 8-cell sweep fanned out over 4 worker processes",
+    unit="cell",
+)
+def sweep_process4(quick: bool) -> int:
+    return _run_sweep(quick, workers=4)
+
+
+@register(
+    "single_resolution",
+    "one Figure 7-style resolution experiment (coap, figure2 topology)",
+    unit="query",
+)
+def single_resolution(quick: bool) -> int:
+    from repro.scenarios import Scenario, ScenarioRunner, WorkloadSpec
+
+    queries = 15 if quick else 50
+    scenario = Scenario(workload=WorkloadSpec(num_queries=queries))
+    result = ScenarioRunner().run(scenario, frame_capture="counts")
+    return len(result.outcomes)
+
+
+# -- micro: codecs ---------------------------------------------------------
+
+
+def _codec_messages(codec: str):
+    return [v.build() for v in golden.vectors() if v.codec == codec]
+
+
+def _codec_wires(codec: str):
+    return [v.build().encode() for v in golden.vectors() if v.codec == codec]
+
+
+@register(
+    "coap_encode",
+    "CoAP message encode over the golden vector set",
+    unit="message",
+    setup=golden.verify,
+)
+def coap_encode(quick: bool) -> int:
+    messages = _codec_messages("coap")
+    rounds = 300 if quick else 1500
+    for _ in range(rounds):
+        for message in messages:
+            message.encode()
+    return rounds * len(messages)
+
+
+@register(
+    "coap_decode",
+    "CoAP message decode over the golden vector set",
+    unit="message",
+    setup=golden.verify,
+)
+def coap_decode(quick: bool) -> int:
+    from repro.coap.message import CoapMessage
+
+    wires = _codec_wires("coap")
+    rounds = 300 if quick else 1500
+    for _ in range(rounds):
+        for wire in wires:
+            CoapMessage.decode(wire)
+    return rounds * len(wires)
+
+
+@register(
+    "dns_encode",
+    "DNS message encode (with compression) over the golden vector set",
+    unit="message",
+    setup=golden.verify,
+)
+def dns_encode(quick: bool) -> int:
+    messages = _codec_messages("dns")
+    rounds = 300 if quick else 1500
+    for _ in range(rounds):
+        for message in messages:
+            message.encode()
+    return rounds * len(messages)
+
+
+#: Wire-generation cache so the decode benchmarks time only decoding.
+_DNS_WIRES: dict = {}
+
+
+def _distinct_dns_wires(count: int):
+    """*count* structurally similar but distinct response wires.
+
+    Distinct inputs defeat the decode memo (its capacity is below
+    *count*, so repeats stay cold), which makes this the cold-parser
+    measurement; :func:`dns_decode_hot` measures the memoised repeat
+    path. Generated once per process and reused across repeats.
+    """
+    wires = _DNS_WIRES.get(count)
+    if wires is not None:
+        return wires
+    from repro.dns.enums import DNSClass, RecordType
+    from repro.dns.message import Flags, Message, Question, ResourceRecord
+    from repro.dns.rdata import AAAAData
+
+    wires = []
+    for index in range(count):
+        name = f"name{index:05d}.example-iot.org"
+        wires.append(
+            Message(
+                id=0,
+                flags=Flags(qr=True),
+                questions=(Question(name, RecordType.AAAA),),
+                answers=(
+                    ResourceRecord(
+                        name, RecordType.AAAA, DNSClass.IN, 300,
+                        AAAAData(f"2001:db8::{index:x}"),
+                    ),
+                ),
+            ).encode()
+        )
+    _DNS_WIRES[count] = wires
+    return wires
+
+
+def _prepare_dns_decode() -> None:
+    golden.verify()
+    _distinct_dns_wires(4096)
+
+
+@register(
+    "dns_decode",
+    "DNS message decode, distinct wires (cold parser path)",
+    unit="message",
+    setup=_prepare_dns_decode,
+)
+def dns_decode(quick: bool) -> int:
+    from repro.dns.message import Message
+
+    wires = _distinct_dns_wires(4096)
+    for wire in wires:
+        Message.decode(wire)
+    return len(wires)
+
+
+@register(
+    "dns_decode_hot",
+    "DNS message decode, repeated wires (memoised path)",
+    unit="message",
+    setup=golden.verify,
+)
+def dns_decode_hot(quick: bool) -> int:
+    from repro.dns.message import Message
+
+    wires = _codec_wires("dns")
+    rounds = 300 if quick else 1500
+    for _ in range(rounds):
+        for wire in wires:
+            Message.decode(wire)
+    return rounds * len(wires)
+
+
+# -- micro: crypto ---------------------------------------------------------
+
+_KEY = bytes(range(16))
+_NONCE = bytes(range(13))
+_AAD = b"\x83\x00\x41\x01\x40"
+#: A DNS-response-sized plaintext (the OSCORE payloads of Figure 6).
+_PLAINTEXT = bytes(range(256)) * 1
+
+
+def _seal_once() -> bytes:
+    from repro.crypto import AES_CCM_16_64_128
+
+    # Constructing per call mirrors OSCORE, which instantiates the AEAD
+    # for every protected message exchange.
+    return AES_CCM_16_64_128(_KEY).encrypt(_NONCE, _PLAINTEXT[:120], _AAD)
+
+
+@register(
+    "aesccm_seal",
+    "AES-CCM-16-64-128 seal of a 120-byte payload (fresh AEAD per op)",
+    unit="seal",
+)
+def aesccm_seal(quick: bool) -> int:
+    ops = 100 if quick else 500
+    for _ in range(ops):
+        _seal_once()
+    return ops
+
+
+@register(
+    "aesccm_open",
+    "AES-CCM-16-64-128 open+verify of a 120-byte payload",
+    unit="open",
+)
+def aesccm_open(quick: bool) -> int:
+    from repro.crypto import AES_CCM_16_64_128
+
+    ciphertext = _seal_once()
+    ops = 100 if quick else 500
+    for _ in range(ops):
+        AES_CCM_16_64_128(_KEY).decrypt(_NONCE, ciphertext, _AAD)
+    return ops
+
+
+# -- micro: simulator ------------------------------------------------------
+
+
+@register(
+    "sim_event_churn",
+    "simulator schedule/cancel/fire churn (half the events cancelled)",
+    unit="event",
+)
+def sim_event_churn(quick: bool) -> int:
+    from repro.sim import Simulator
+
+    total = 4_000 if quick else 20_000
+    sim = Simulator(seed=7)
+    fired = 0
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+
+    # Interleave survivors with cancelled events so the lazy heap
+    # compaction path is part of what gets measured.
+    events = []
+    for index in range(total):
+        events.append(sim.schedule(index * 1e-4, tick))
+    for index in range(0, total, 2):
+        events[index].cancel()
+    sim.run()
+    return fired + total // 2

@@ -1,0 +1,238 @@
+"""Golden codec vectors: byte-identical wire formats, guaranteed.
+
+The CoAP and DNS codecs are on the reproduction's hottest paths and
+get rewritten for speed; these vectors pin their wire output down to
+the byte. Each vector is a message builder plus the expected wire hex
+captured from the original (pre-fast-path) codecs. :func:`verify`
+asserts, for every vector, that
+
+1. encoding the built message produces exactly the golden bytes, and
+2. decoding those bytes and re-encoding reproduces them bit-for-bit
+   (the round-trip property the caches and deterministic cache keys
+   rely on).
+
+The harness runs :func:`verify` as the *setup* step of every codec
+benchmark — a fast path that changes any output byte fails before a
+single timing is recorded. The same vectors are checked into
+``tests/golden_codec_vectors.json`` and exercised by the unit suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+
+class GoldenMismatch(AssertionError):
+    """A codec produced bytes that differ from the golden vectors."""
+
+
+@dataclass(frozen=True)
+class GoldenVector:
+    name: str
+    codec: str  # "coap" | "dns"
+    build: Callable[[], object]
+    wire_hex: str
+
+
+# -- builders --------------------------------------------------------------
+
+_NAME = "name0000.example-iot.org"
+
+
+def _dns_query():
+    from repro.dns.enums import RecordType
+    from repro.dns.message import Message, Question
+
+    return Message(id=0, questions=(Question(_NAME, RecordType.AAAA),))
+
+
+def _dns_response():
+    from repro.dns.enums import DNSClass, RecordType
+    from repro.dns.message import Flags, Message, Question, ResourceRecord
+    from repro.dns.rdata import AAAAData, AData
+
+    return Message(
+        id=0,
+        flags=Flags(qr=True, ra=True),
+        questions=(Question(_NAME, RecordType.AAAA),),
+        answers=(
+            ResourceRecord(
+                _NAME, RecordType.AAAA, DNSClass.IN, 300, AAAAData("2001:db8::1:1")
+            ),
+            ResourceRecord(
+                _NAME, RecordType.A, DNSClass.IN, 300, AData("192.0.2.1")
+            ),
+        ),
+    )
+
+
+def _dns_referral():
+    from repro.dns.enums import DNSClass, RecordType
+    from repro.dns.message import Flags, Message, Question, ResourceRecord
+    from repro.dns.rdata import AAAAData, NSData
+
+    return Message(
+        id=0,
+        flags=Flags(qr=True, aa=True),
+        questions=(Question("device.example-iot.org", RecordType.AAAA),),
+        answers=(
+            ResourceRecord(
+                "device.example-iot.org", RecordType.AAAA, DNSClass.IN, 120,
+                AAAAData("2001:db8::2:7"),
+            ),
+        ),
+        authorities=(
+            ResourceRecord(
+                "example-iot.org", RecordType.NS, DNSClass.IN, 3600,
+                NSData("ns1.example-iot.org"),
+            ),
+        ),
+    )
+
+
+def _coap_fetch_request():
+    from repro.coap.codes import Code
+    from repro.coap.message import CoapMessage, MessageType
+    from repro.coap.options import ContentFormat, OptionNumber
+
+    return (
+        CoapMessage(
+            mtype=MessageType.CON,
+            code=Code.FETCH,
+            mid=0x1234,
+            token=b"\xca\xfe",
+            payload=_dns_query().encode(),
+        )
+        .with_uri_path("/dns")
+        .with_uint_option(OptionNumber.CONTENT_FORMAT, ContentFormat.DNS_MESSAGE)
+        .with_uint_option(OptionNumber.ACCEPT, ContentFormat.DNS_MESSAGE)
+    )
+
+
+def _coap_content_response():
+    from repro.coap.codes import Code
+    from repro.coap.message import CoapMessage, MessageType
+    from repro.coap.options import ContentFormat, OptionNumber
+
+    return (
+        CoapMessage(
+            mtype=MessageType.ACK,
+            code=Code.CONTENT,
+            mid=0x1234,
+            token=b"\xca\xfe",
+            payload=_dns_response().encode(),
+        )
+        .with_option(OptionNumber.ETAG, b"\x01\x02\x03\x04")
+        .with_uint_option(OptionNumber.CONTENT_FORMAT, ContentFormat.DNS_MESSAGE)
+        .with_uint_option(OptionNumber.MAX_AGE, 300)
+    )
+
+
+def _coap_blockwise_get():
+    from repro.coap.codes import Code
+    from repro.coap.message import CoapMessage, MessageType
+    from repro.coap.options import OptionNumber
+
+    return (
+        CoapMessage(
+            mtype=MessageType.CON,
+            code=Code.GET,
+            mid=0xBEEF,
+            token=b"\x42",
+        )
+        .with_uri_path("/dns/cached")
+        .with_uint_option(OptionNumber.BLOCK2, 0x06)
+        .with_option(OptionNumber.URI_QUERY, b"dns=AAAA")
+    )
+
+
+def _coap_empty_ack():
+    from repro.coap.message import CoapMessage, MessageType
+    from repro.coap.codes import Code
+
+    return CoapMessage(mtype=MessageType.ACK, code=Code.EMPTY, mid=0x0001)
+
+
+#: Expected wire bytes, captured from the seed codecs (PR 3).
+_EXPECTED: List[Tuple[str, str, Callable[[], object], str]] = [
+    (
+        "dns_query_aaaa", "dns", _dns_query,
+        "000001000001000000000000086e616d65303030300b6578616d706c652d696f"
+        "74036f726700001c0001",
+    ),
+    (
+        "dns_response_two_answers", "dns", _dns_response,
+        "000081800001000200000000086e616d65303030300b6578616d706c652d696f"
+        "74036f726700001c0001c00c001c00010000012c001020010db8000000000000"
+        "000000010001c00c000100010000012c0004c0000201",
+    ),
+    (
+        "dns_referral", "dns", _dns_referral,
+        "000085000001000100010000066465766963650b6578616d706c652d696f7403"
+        "6f726700001c0001c00c001c000100000078001020010db80000000000000000"
+        "00020007c0130002000100000e100006036e7331c013",
+    ),
+    (
+        "coap_fetch_request", "coap", _coap_fetch_request,
+        "42051234cafeb3646e73120229520229ff000001000001000000000000086e61"
+        "6d65303030300b6578616d706c652d696f74036f726700001c0001",
+    ),
+    (
+        "coap_content_response", "coap", _coap_content_response,
+        "62451234cafe440102030482022922012cff000081800001000200000000086e"
+        "616d65303030300b6578616d706c652d696f74036f726700001c0001c00c001c"
+        "00010000012c001020010db8000000000000000000010001c00c000100010000"
+        "012c0004c0000201",
+    ),
+    (
+        "coap_blockwise_get", "coap", _coap_blockwise_get,
+        "4101beef42b3646e730663616368656448646e733d414141418106",
+    ),
+    ("coap_empty_ack", "coap", _coap_empty_ack, "60000001"),
+]
+
+
+def vectors() -> List[GoldenVector]:
+    return [
+        GoldenVector(name, codec, build, wire_hex)
+        for name, codec, build, wire_hex in _EXPECTED
+    ]
+
+
+def _decode(codec: str, wire: bytes):
+    if codec == "coap":
+        from repro.coap.message import CoapMessage
+
+        return CoapMessage.decode(wire)
+    from repro.dns.message import Message
+
+    return Message.decode(wire)
+
+
+def verify() -> int:
+    """Check every golden vector; returns how many were verified.
+
+    Raises
+    ------
+    GoldenMismatch
+        If any encode deviates from the golden bytes or any
+        decode→encode round trip is not byte-identical.
+    """
+    checked = 0
+    for vector in vectors():
+        message = vector.build()
+        encoded = message.encode()
+        if vector.wire_hex is not None and encoded.hex() != vector.wire_hex:
+            raise GoldenMismatch(
+                f"golden vector {vector.name!r}: encode produced\n"
+                f"  {encoded.hex()}\nexpected\n  {vector.wire_hex}"
+            )
+        reencoded = _decode(vector.codec, encoded).encode()
+        if reencoded != encoded:
+            raise GoldenMismatch(
+                f"golden vector {vector.name!r}: decode→encode round trip "
+                f"changed bytes\n  {encoded.hex()}\n  -> {reencoded.hex()}"
+            )
+        checked += 1
+    return checked

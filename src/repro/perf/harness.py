@@ -1,0 +1,300 @@
+"""The benchmark harness: registry, measurement, JSON reports.
+
+Each :class:`Benchmark` wraps a callable that performs a bounded amount
+of work and returns how many *units* of it were done (messages encoded,
+queries resolved, simulator events processed, sweep cells run). The
+harness times it over ``warmup + repeats`` runs, keeps the per-repeat
+wall-clock times, the unit count, and the process's peak RSS, and
+serialises everything to a ``BENCH_*.json`` report that later sessions
+(or CI) can compare against with :func:`compare_reports`.
+
+Design notes
+------------
+* **Wall-clock, not CPU time** — the sweep benchmarks measure process
+  fan-out, which only wall-clock can see.
+* **best-of-N as the headline** — the minimum over repeats is the
+  least noisy estimator on a shared machine; the mean and the raw
+  times are kept alongside it.
+* **Peak RSS** is read from ``getrusage`` after each run. The kernel
+  reports a process-lifetime high-water mark, so per-benchmark values
+  are monotone across a session — comparable within one report, and an
+  upper bound rather than an isolated per-run figure.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+
+class BenchmarkError(ValueError):
+    """Unknown benchmark name or invalid harness configuration."""
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (0 where unavailable)."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark.
+
+    ``fn`` is called as ``fn(quick)`` and must return the number of
+    work units it performed (its *quick* variant may do less work).
+    ``setup`` runs once before any timed run — uncounted — and is
+    where correctness guards live (e.g. the codec golden-vector check:
+    a benchmark of a rewritten fast path must prove byte-identical
+    output before its timings mean anything).
+    """
+
+    name: str
+    description: str
+    unit: str
+    fn: Callable[[bool], int]
+    setup: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class BenchResult:
+    """Measurements of one benchmark."""
+
+    name: str
+    description: str
+    unit: str
+    repeats: int
+    warmup: int
+    times_s: List[float] = field(default_factory=list)
+    units: int = 0
+    peak_rss_kb: int = 0
+    error: Optional[str] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.times_s) if self.times_s else float("nan")
+
+    @property
+    def mean_s(self) -> float:
+        if not self.times_s:
+            return float("nan")
+        return sum(self.times_s) / len(self.times_s)
+
+    @property
+    def per_unit_us(self) -> float:
+        """Best time per work unit, in microseconds."""
+        if not self.times_s or not self.units:
+            return float("nan")
+        return self.best_s / self.units * 1e6
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "unit": self.unit,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "times_s": [round(t, 6) for t in self.times_s],
+            "best_s": round(self.best_s, 6) if self.times_s else None,
+            "mean_s": round(self.mean_s, 6) if self.times_s else None,
+            "units": self.units,
+            "per_unit_us": (
+                round(self.per_unit_us, 3) if self.times_s and self.units else None
+            ),
+            "peak_rss_kb": self.peak_rss_kb,
+            "error": self.error,
+            "metadata": self.metadata,
+        }
+
+
+#: Registered benchmarks in registration order (which is run order).
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    unit: str = "ops",
+    setup: Optional[Callable[[], None]] = None,
+) -> Callable[[Callable[[bool], int]], Callable[[bool], int]]:
+    """Decorator registering ``fn(quick) -> units`` as a benchmark."""
+
+    def decorate(fn: Callable[[bool], int]) -> Callable[[bool], int]:
+        if name in _REGISTRY:
+            raise BenchmarkError(f"benchmark {name!r} already registered")
+        _REGISTRY[name] = Benchmark(name, description, unit, fn, setup)
+        return fn
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    # The benchmark definitions live in their own module so that
+    # importing the harness (e.g. from tests) stays cheap.
+    from . import benchmarks  # noqa: F401
+
+
+def benchmark_names() -> List[str]:
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown benchmark {name!r} "
+            f"(known: {', '.join(_REGISTRY) or 'none'})"
+        ) from None
+
+
+def run_one(
+    bench: Benchmark,
+    repeats: int = 5,
+    warmup: int = 1,
+    quick: bool = False,
+) -> BenchResult:
+    """Measure one benchmark; failures are captured, not raised."""
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise BenchmarkError(f"warmup must be >= 0, got {warmup}")
+    result = BenchResult(
+        name=bench.name,
+        description=bench.description,
+        unit=bench.unit,
+        repeats=repeats,
+        warmup=warmup,
+    )
+    try:
+        if bench.setup is not None:
+            bench.setup()
+        for _ in range(warmup):
+            bench.fn(quick)
+        for _ in range(repeats):
+            start = time.perf_counter()
+            units = bench.fn(quick)
+            elapsed = time.perf_counter() - start
+            result.times_s.append(elapsed)
+            result.units = int(units)
+    except Exception as exc:  # noqa: BLE001 - reported per benchmark
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.peak_rss_kb = _peak_rss_kb()
+    return result
+
+
+def run_benchmarks(
+    names: Optional[List[str]] = None,
+    repeats: int = 5,
+    warmup: int = 1,
+    quick: bool = False,
+) -> List[BenchResult]:
+    """Run the selected (default: all) benchmarks in registry order."""
+    _ensure_loaded()
+    if names is None:
+        selected = list(_REGISTRY.values())
+    else:
+        selected = [get_benchmark(name) for name in names]
+    return [run_one(bench, repeats, warmup, quick) for bench in selected]
+
+
+# -- reports ---------------------------------------------------------------
+
+
+def build_report(
+    results: List[BenchResult],
+    quick: bool,
+    baseline: Optional[dict] = None,
+) -> dict:
+    """The JSON document a harness run emits.
+
+    *baseline* is a previously-written report; when given, each result
+    gains the baseline's timing plus a measured speedup factor
+    (``baseline best / current best``) under ``comparison``.
+    """
+    report = {
+        "schema": "repro.perf/1",
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "results": [r.to_dict() for r in results],
+    }
+    if baseline is not None:
+        report["comparison"] = compare_reports(baseline, results)
+    return report
+
+
+def compare_reports(baseline: dict, results: List[BenchResult]) -> dict:
+    """Measured speedups of *results* over a *baseline* report.
+
+    Returns ``{name: {baseline_best_s, current_best_s, speedup,
+    baseline_per_unit_us, current_per_unit_us}}`` for every benchmark
+    present in both; benchmarks that errored on either side are
+    skipped.
+    """
+    by_name = {
+        entry["name"]: entry
+        for entry in baseline.get("results", [])
+        if entry.get("best_s") and not entry.get("error")
+    }
+    comparison: Dict[str, dict] = {}
+    for result in results:
+        entry = by_name.get(result.name)
+        if entry is None or result.error or not result.times_s:
+            continue
+        baseline_per = entry.get("per_unit_us")
+        current_per = round(result.per_unit_us, 3) if result.units else None
+        # Per-unit is the comparison that survives a benchmark changing
+        # its work volume between recordings; total wall-clock is the
+        # fallback when unit counts are unavailable.
+        if baseline_per and current_per:
+            speedup = round(baseline_per / current_per, 3)
+        else:
+            speedup = round(entry["best_s"] / result.best_s, 3)
+        comparison[result.name] = {
+            "baseline_best_s": entry["best_s"],
+            "current_best_s": round(result.best_s, 6),
+            "speedup": speedup,
+            "baseline_per_unit_us": baseline_per,
+            "current_per_unit_us": current_per,
+        }
+    return comparison
+
+
+def load_report(path: str) -> dict:
+    """Read a previously written report (the single baseline loader)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_report(
+    path: str,
+    results: List[BenchResult],
+    quick: bool = False,
+    baseline_path: Optional[str] = None,
+) -> dict:
+    """Serialise a report (optionally comparing against a baseline)."""
+    baseline = load_report(baseline_path) if baseline_path is not None else None
+    report = build_report(results, quick, baseline)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

@@ -10,6 +10,15 @@
   ``key=value`` spec parser behind the CLI's ``--scenario`` flag.
 """
 
+from .executors import (
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    executor_names,
+    get_executor,
+    register_executor,
+)
 from .scenario import (
     CachingSpec,
     Scenario,
@@ -34,18 +43,24 @@ from .presets import (
 
 __all__ = [
     "CachingSpec",
+    "ExecutorError",
     "NAME_TEMPLATE",
+    "ProcessExecutor",
     "SCENARIOS",
     "Scenario",
     "ScenarioError",
     "ScenarioRunner",
+    "SerialExecutor",
     "SweepCell",
+    "SweepExecutor",
     "SweepResult",
     "TOPOLOGIES",
     "TopologySpec",
     "WorkloadSpec",
     "build_workload_zone",
-    "get_scenario",
+    "executor_names",
+    "get_executor",
     "get_topology",
+    "register_executor",
     "scenario_from_spec",
 ]

@@ -21,6 +21,7 @@ from repro.doc import CachingScheme
 from repro.sim import Simulator
 from repro.transports.registry import TransportEnv, registry
 
+from .executors import SweepExecutor, get_executor
 from .scenario import CachingSpec, Scenario, ScenarioError, TopologySpec, WorkloadSpec
 
 #: Name template producing the paper's median 24-character names.
@@ -86,7 +87,9 @@ class SweepCell:
     topology: str
     loss: float
     scenario: Scenario
-    result: "ExperimentResult"
+    #: ``None`` while the cell is an enumerated-but-unrun spec (see
+    #: :meth:`ScenarioRunner.enumerate_cells`).
+    result: Optional["ExperimentResult"]
     placement: Optional[str] = None
     scheme: Optional[str] = None
 
@@ -179,12 +182,23 @@ class SweepResult:
 class ScenarioRunner:
     """Executes scenarios and scenario sweeps via the transport registry."""
 
-    def run(self, scenario: Scenario, _config=None) -> "ExperimentResult":
+    def run(
+        self,
+        scenario: Scenario,
+        _config=None,
+        *,
+        frame_capture: str = "records",
+    ) -> "ExperimentResult":
         """Execute one scenario and gather its measurements.
 
         ``_config`` optionally stamps the result with the legacy
         ``ExperimentConfig`` that produced the scenario so existing
         consumers keep seeing the configuration type they passed in.
+
+        ``frame_capture`` selects the frame observer: ``"records"``
+        keeps a full :class:`~repro.sim.trace.Sniffer` record list,
+        ``"counts"`` attaches the cheaper counting tally — enough for
+        every metric a sweep reports, and what :meth:`sweep` uses.
         """
         from repro.coap.proxy import ForwardProxy
         from repro.dns import RecursiveResolver
@@ -201,7 +215,7 @@ class ScenarioRunner:
             )
         workload = scenario.workload
         sim = Simulator(seed=scenario.seed)
-        topo = scenario.topology.build(sim)
+        topo = scenario.topology.build(sim, capture=frame_capture)
         zone = build_workload_zone(workload, sim.rng)
         # A TTL *range* reproduces the paper's mocked-resolver behaviour:
         # every cache renewal at the resolver draws a fresh TTL, the churn
@@ -272,13 +286,9 @@ class ScenarioRunner:
         sim.run(until=scenario.run_duration)
 
         # -- collect -------------------------------------------------------
-        sniffer = topo.sniffer
-        queries = sum(
-            1 for r in sniffer.records if r.metadata.get("kind") == "query"
-        )
-        responses = sum(
-            1 for r in sniffer.records if r.metadata.get("kind") == "response"
-        )
+        kinds = topo.sniffer.by_kind()
+        queries = kinds.get("query", 0)
+        responses = kinds.get("response", 0)
         link = LinkUtilization(
             frames_1hop=topo.proxy_sink_frames(),
             frames_2hop=topo.client_proxy_frames(),
@@ -336,6 +346,8 @@ class ScenarioRunner:
         losses: Sequence[float] = (0.05, 0.25),
         cache_placements: Optional[Sequence[Union[str, CachingSpec]]] = None,
         schemes: Optional[Sequence[Union[str, CachingScheme]]] = None,
+        executor: Union[str, SweepExecutor, None] = None,
+        workers: Optional[int] = None,
     ) -> SweepResult:
         """Run every grid cell of the requested dimensions.
 
@@ -355,6 +367,37 @@ class ScenarioRunner:
         (``"doh-like"``/``"eol-ttls"``). When either axis is left
         ``None``, the base scenario's configuration applies and the
         cell keys keep their legacy three-tuple shape.
+
+        Cells are independent simulations, so the grid can fan out:
+        *executor* selects a registered
+        :mod:`~repro.scenarios.executors` backend (``"serial"`` or
+        ``"process"``) or passes an executor instance; leaving it
+        ``None`` picks ``process`` when ``workers`` > 1 and ``serial``
+        otherwise. Results are merged in grid-enumeration order and the
+        per-cell metrics are bit-identical across executors — every
+        cell seeds its own simulator.
+        """
+        cells = self.enumerate_cells(
+            base, transports, topologies, losses, cache_placements, schemes
+        )
+        runner = get_executor(executor, workers)
+        return SweepResult(runner.map(_execute_cell, cells))
+
+    def enumerate_cells(
+        self,
+        base: Optional[Scenario] = None,
+        transports: Sequence[str] = ("udp", "coap", "oscore"),
+        topologies: Sequence[Union[str, TopologySpec]] = ("figure2", "one-hop"),
+        losses: Sequence[float] = (0.05, 0.25),
+        cache_placements: Optional[Sequence[Union[str, CachingSpec]]] = None,
+        schemes: Optional[Sequence[Union[str, CachingScheme]]] = None,
+    ) -> List[SweepCell]:
+        """The sweep grid as result-less :class:`SweepCell` specs.
+
+        Each cell carries its fully-derived scenario but has not run
+        yet (``result=None``); the cells are pure, picklable values in
+        deterministic grid order, ready for any executor. Colliding
+        grid coordinates are rejected before any runtime is spent.
         """
         from .presets import get_topology
 
@@ -365,25 +408,23 @@ class ScenarioRunner:
         ]
         placements = self._resolve_placements(cache_placements, transports)
         scheme_values = self._resolve_schemes(schemes)
-        # Reject colliding grid coordinates before spending any runtime.
         seen = set()
         for key in self._grid_keys(transports, specs, losses, placements,
                                    scheme_values):
             if key in seen:
                 raise ScenarioError(f"duplicate sweep cell {key}")
             seen.add(key)
-        cells: List[SweepCell] = []
-        for transport in transports:
-            for spec in specs:
-                for loss in losses:
-                    for placement_label, placement in placements:
-                        for scheme_label, scheme in scheme_values:
-                            cells.append(self._run_cell(
-                                base, transport, spec, loss,
-                                placement_label, placement,
-                                scheme_label, scheme,
-                            ))
-        return SweepResult(cells)
+        return [
+            self._build_cell(
+                base, transport, spec, loss,
+                placement_label, placement, scheme_label, scheme,
+            )
+            for transport in transports
+            for spec in specs
+            for loss in losses
+            for placement_label, placement in placements
+            for scheme_label, scheme in scheme_values
+        ]
 
     @staticmethod
     def _resolve_placements(cache_placements, transports):
@@ -440,7 +481,7 @@ class ScenarioRunner:
                                 placement_label, scheme_label,
                             )
 
-    def _run_cell(
+    def _build_cell(
         self, base, transport, spec, loss,
         placement_label, placement, scheme_label, scheme,
     ) -> SweepCell:
@@ -473,7 +514,17 @@ class ScenarioRunner:
             topology=spec.name,
             loss=loss,
             scenario=scenario,
-            result=self.run(scenario),
+            result=None,
             placement=placement_label,
             scheme=scheme_label,
         )
+
+
+def _execute_cell(cell: SweepCell) -> SweepCell:
+    """Run one enumerated cell (module-level so executors can pickle it).
+
+    Sweep metrics read only aggregated frame tallies, never individual
+    frame records, so cells run with the cheap counting observer.
+    """
+    cell.result = ScenarioRunner().run(cell.scenario, frame_capture="counts")
+    return cell

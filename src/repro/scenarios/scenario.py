@@ -126,8 +126,12 @@ class TopologySpec:
         if self.l2_retries < 0:
             raise ScenarioError("l2_retries must be >= 0")
 
-    def build(self, sim):
-        """Instantiate this topology on *sim*."""
+    def build(self, sim, capture: str = "records"):
+        """Instantiate this topology on *sim*.
+
+        *capture* selects the frame observer (``"records"`` for a full
+        sniffer, ``"counts"`` for the aggregate-only tally).
+        """
         from repro.stack import build_linear_topology
 
         return build_linear_topology(
@@ -137,6 +141,7 @@ class TopologySpec:
             loss=self.loss,
             l2_retries=self.l2_retries,
             wired_tail=self.wired_tail,
+            capture=capture,
         )
 
 

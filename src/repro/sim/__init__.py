@@ -10,12 +10,13 @@ frame sniffer standing in for the testbed's ``sniffer_aggregator``
 
 from .core import Event, Simulator
 from .medium import RadioLink, RadioMedium
-from .trace import FrameRecord, Sniffer
+from .trace import FrameRecord, FrameTally, Sniffer
 from .workload import poisson_arrival_times
 
 __all__ = [
     "Event",
     "FrameRecord",
+    "FrameTally",
     "RadioLink",
     "RadioMedium",
     "Simulator",

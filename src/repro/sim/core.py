@@ -78,8 +78,21 @@ class Simulator:
         return event
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> Event:
-        """Run ``callback(*args)`` at absolute simulated *time*."""
-        return self.schedule(max(0.0, time - self._now), callback, *args)
+        """Run ``callback(*args)`` at absolute simulated *time*.
+
+        Raises
+        ------
+        ValueError
+            If *time* lies in the simulated past — mirroring
+            :meth:`schedule`'s negative-delay error instead of silently
+            clamping to "now", which used to mask scheduling bugs.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}: simulated time is already "
+                f"{self._now}"
+            )
+        return self.schedule(time - self._now, callback, *args)
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Process events until the heap is empty or *until* is reached."""

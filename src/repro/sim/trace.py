@@ -82,3 +82,69 @@ class Sniffer:
 
     def clear(self) -> None:
         self.records.clear()
+
+
+class FrameTally:
+    """Aggregated frame counters without per-frame records.
+
+    A drop-in for :class:`Sniffer` wherever only aggregate views are
+    read (per-link frame/byte counts, per-kind totals, maximum frame
+    size). It allocates nothing per frame — no :class:`FrameRecord`,
+    no metadata copy — which is why scenario sweeps attach it instead
+    of a full sniffer: sweep metrics never read individual records.
+    """
+
+    __slots__ = ("_links", "_kinds", "_max_by_kind")
+
+    def __init__(self, medium: RadioMedium) -> None:
+        #: (src, dst) -> [frames, bytes]
+        self._links: Dict[tuple, list] = {}
+        #: kind -> frame count
+        self._kinds: Dict[str, int] = {}
+        #: kind -> largest frame length
+        self._max_by_kind: Dict[str, int] = {}
+        medium.add_observer(self._observe)
+
+    def _observe(
+        self, time: float, src: str, dst: str, frame: bytes, metadata: dict, lost: bool
+    ) -> None:
+        length = len(frame)
+        entry = self._links.get((src, dst))
+        if entry is None:
+            entry = self._links[(src, dst)] = [0, 0]
+        entry[0] += 1
+        entry[1] += length
+        kind = metadata.get("kind", "unknown")
+        self._kinds[kind] = self._kinds.get(kind, 0) + 1
+        if length > self._max_by_kind.get(kind, 0):
+            self._max_by_kind[kind] = length
+
+    # -- aggregations (the Sniffer views that need no records) -------------
+
+    def frame_count(self, a: str, b: str) -> int:
+        """Frames in either direction between *a* and *b*."""
+        return (
+            self._links.get((a, b), (0, 0))[0]
+            + self._links.get((b, a), (0, 0))[0]
+        )
+
+    def bytes_on_link(self, a: str, b: str) -> int:
+        return (
+            self._links.get((a, b), (0, 0))[1]
+            + self._links.get((b, a), (0, 0))[1]
+        )
+
+    def by_kind(self) -> Dict[str, int]:
+        """Frame counts per annotated kind (query/response/...)."""
+        return dict(self._kinds)
+
+    def max_frame(self, kind: Optional[str] = None) -> int:
+        """Largest frame length, optionally filtered by kind."""
+        if kind is not None:
+            return self._max_by_kind.get(kind, 0)
+        return max(self._max_by_kind.values(), default=0)
+
+    def clear(self) -> None:
+        self._links.clear()
+        self._kinds.clear()
+        self._max_by_kind.clear()

@@ -16,18 +16,34 @@ from typing import Dict, List
 from repro.net.ipv6 import global_address
 from repro.sim.core import Simulator
 from repro.sim.medium import RadioMedium
-from repro.sim.trace import Sniffer
+from repro.sim.trace import FrameTally, Sniffer
 
 from .node import Node
 
 
 class Network:
-    """A simulation network: one radio medium plus wired attachments."""
+    """A simulation network: one radio medium plus wired attachments.
 
-    def __init__(self, sim: Simulator, l2_retries: int = 3) -> None:
+    ``capture`` selects the frame observer: ``"records"`` (default)
+    attaches a full :class:`Sniffer`, ``"counts"`` the allocation-free
+    :class:`FrameTally` — sufficient for every aggregate view
+    (per-link counts/bytes, per-kind totals) and measurably cheaper
+    per frame, which is what scenario sweeps use.
+    """
+
+    def __init__(
+        self, sim: Simulator, l2_retries: int = 3, capture: str = "records"
+    ) -> None:
         self.sim = sim
         self.medium = RadioMedium(sim, l2_retries=l2_retries)
-        self.sniffer = Sniffer(self.medium)
+        if capture == "records":
+            self.sniffer = Sniffer(self.medium)
+        elif capture == "counts":
+            self.sniffer = FrameTally(self.medium)
+        else:
+            raise ValueError(
+                f"capture must be 'records' or 'counts', got {capture!r}"
+            )
         self.nodes: Dict[str, Node] = {}
         self._next_iid = 1
 
@@ -155,6 +171,7 @@ def build_linear_topology(
     loss: float = 0.0,
     l2_retries: int = 3,
     wired_tail: bool = True,
+    capture: str = "records",
 ) -> LinearTopology:
     """Construct a linear multi-hop topology.
 
@@ -162,13 +179,14 @@ def build_linear_topology(
     border router (all radio hops), then — when *wired_tail* is true —
     a wired BR↔host link. With ``wired_tail=False`` the border router
     itself hosts the resolver (an all-wireless deployment). Static
-    routes model a converged RPL DODAG.
+    routes model a converged RPL DODAG. *capture* picks the frame
+    observer (see :class:`Network`).
     """
     if hops < 1:
         raise ValueError(f"need at least one wireless hop, got {hops}")
     if clients < 1:
         raise ValueError(f"need at least one client, got {clients}")
-    network = Network(sim, l2_retries=l2_retries)
+    network = Network(sim, l2_retries=l2_retries, capture=capture)
     client_nodes = [network.add_node(f"c{i + 1}") for i in range(clients)]
     relay_names = (
         ["forwarder"] if hops == 2 else [f"fwd{i + 1}" for i in range(hops - 1)]

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-import ipaddress
-
 from repro.lowpan import LowpanAdaptation, MacFrame
 
 #: IEEE 802.15.4 broadcast address (16-bit 0xFFFF, widened here).
@@ -13,7 +11,7 @@ BROADCAST_MAC = 0xFFFF
 
 #: IANA dynamic/private port range used for ephemeral allocation.
 EPHEMERAL_PORT_RANGE = (49152, 65535)
-from repro.net.ipv6 import Ipv6Packet
+from repro.net.ipv6 import Ipv6Packet, canonical_address, is_multicast
 from repro.net.udp import UdpDatagram
 from repro.sim.core import Simulator
 from repro.sim.medium import RadioMedium
@@ -107,11 +105,9 @@ class Node:
 
     def join_group(self, group_addr: str) -> None:
         """Subscribe to a link-local multicast group."""
-        if not ipaddress.IPv6Address(group_addr).is_multicast:
+        if not is_multicast(group_addr):
             raise StackError(f"{group_addr} is not a multicast address")
-        self.multicast_groups.add(
-            str(ipaddress.IPv6Address(group_addr))
-        )
+        self.multicast_groups.add(canonical_address(group_addr))
 
     def bind(self, port: int = 0) -> UdpSocket:
         """Bind a UDP socket; port 0 picks an ephemeral port."""
@@ -149,7 +145,7 @@ class Node:
         if packet.dst == self.address:
             self._deliver(packet, metadata)
             return
-        if ipaddress.IPv6Address(packet.dst).is_multicast:
+        if is_multicast(packet.dst):
             self._send_multicast(packet, metadata)
             return
         next_hop = self._next_hop(packet.dst)
@@ -160,9 +156,12 @@ class Node:
             next_mac = info
             frames = self.lowpan.packet_to_frames(packet, next_mac)
             neighbour_name = self._neighbour_name(next_hop)
+            # One defensive copy per packet per hop; the fragments of a
+            # packet share it (nothing downstream mutates metadata).
+            frame_metadata = dict(metadata)
             for frame in frames:
                 self.medium.transmit(
-                    self.name, neighbour_name, frame.encode(), dict(metadata)
+                    self.name, neighbour_name, frame.encode(), frame_metadata
                 )
         else:
             peer, latency = info
@@ -208,7 +207,7 @@ class Node:
         if packet.dst == self.address:
             self._deliver(packet, metadata)
             return
-        if ipaddress.IPv6Address(packet.dst).is_multicast:
+        if is_multicast(packet.dst):
             # Link-scope multicast is never forwarded; deliver only to
             # joined groups.
             if str(packet.dst) in self.multicast_groups:

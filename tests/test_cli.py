@@ -64,6 +64,21 @@ def test_experiment_sweep(capsys):
     assert "udp" in out and "coap" in out
 
 
+def test_experiment_sweep_workers(capsys):
+    assert main([
+        "experiment", "--sweep", "--transports", "udp,coap",
+        "--topologies", "one-hop", "--losses", "0.0", "--queries", "4",
+        "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.count("one-hop") == 2
+
+
+def test_workers_requires_sweep(capsys):
+    assert main(["experiment", "--workers", "4"]) == 2
+    assert "--workers requires --sweep" in capsys.readouterr().err
+
+
 def test_sweep_rejects_single_loss_flag(capsys):
     assert main(["experiment", "--sweep", "--loss", "0.1"]) == 2
     assert "--losses" in capsys.readouterr().err

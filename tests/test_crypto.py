@@ -79,15 +79,52 @@ _RFC3610_VECTORS = [
 
 
 class TestCcm:
+    # Both the default (possibly accelerated) and the forced pure
+    # from-scratch backend must reproduce the RFC vectors.
+    @pytest.mark.parametrize("backend", ["auto", "pure"])
     @pytest.mark.parametrize("nonce_hex,aad_hex,pt_hex,ct_hex", _RFC3610_VECTORS)
-    def test_rfc3610_vectors(self, nonce_hex, aad_hex, pt_hex, ct_hex):
-        ccm = AESCCM(_RFC3610_KEY, tag_length=8, nonce_length=13)
+    def test_rfc3610_vectors(self, backend, nonce_hex, aad_hex, pt_hex, ct_hex):
+        ccm = AESCCM(_RFC3610_KEY, tag_length=8, nonce_length=13, backend=backend)
         nonce = bytes.fromhex(nonce_hex)
         aad = bytes.fromhex(aad_hex)
         plaintext = bytes.fromhex(pt_hex)
         ciphertext = ccm.encrypt(nonce, plaintext, aad)
         assert ciphertext.hex().upper() == ct_hex
         assert ccm.decrypt(nonce, ciphertext, aad) == plaintext
+
+    def test_pure_backend_matches_default(self):
+        key = bytes(range(16))
+        nonce = bytes(range(13))
+        default = AESCCM(key)
+        pure = AESCCM(key, backend="pure")
+        for plaintext, aad in [
+            (b"", b""),
+            (b"x", b"aad"),
+            (bytes(range(100)), b"\x83\x00\x41\x01"),
+        ]:
+            sealed = default.encrypt(nonce, plaintext, aad)
+            assert pure.encrypt(nonce, plaintext, aad) == sealed
+            assert pure.decrypt(nonce, sealed, aad) == plaintext
+            assert default.decrypt(nonce, sealed, aad) == plaintext
+
+    def test_pure_backend_tamper_detection(self):
+        ccm = AESCCM(bytes(16), backend="pure")
+        nonce = bytes(13)
+        ct = bytearray(ccm.encrypt(nonce, b"hello", b"aad"))
+        ct[0] ^= 1
+        with pytest.raises(AEADError):
+            ccm.decrypt(nonce, bytes(ct), b"aad")
+
+    def test_key_schedule_shared_between_instances(self):
+        # OSCORE constructs a fresh AEAD per protected exchange from
+        # the same derived key; the expanded AES128 must be shared
+        # instead of re-expanded.
+        key = bytes(range(16))
+        first = AESCCM(key, backend="pure")
+        second = AESCCM(key, backend="pure")
+        assert first._aes is second._aes
+        other = AESCCM(bytes(16), backend="pure")
+        assert other._aes is not first._aes
 
     def test_tamper_detection_ciphertext(self):
         ccm = AES_CCM_16_64_128(bytes(16))

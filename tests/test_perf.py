@@ -1,0 +1,202 @@
+"""Tests for the `repro.perf` subsystem.
+
+Covers the harness mechanics (registration, measurement, JSON reports,
+baseline comparison), the golden codec vectors — including the
+checked-in ``tests/golden_codec_vectors.json`` copy staying in sync —
+and the sweep executors the macro benchmarks rely on.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf import golden
+from repro.perf.harness import (
+    Benchmark,
+    BenchmarkError,
+    benchmark_names,
+    build_report,
+    compare_reports,
+    get_benchmark,
+    run_one,
+    write_report,
+)
+
+
+class TestGoldenVectors:
+    def test_verify_passes(self):
+        assert golden.verify() == len(golden.vectors())
+
+    def test_vectors_cover_both_codecs(self):
+        codecs = {v.codec for v in golden.vectors()}
+        assert codecs == {"coap", "dns"}
+
+    def test_encode_matches_golden_bytes(self):
+        for vector in golden.vectors():
+            assert vector.build().encode().hex() == vector.wire_hex, vector.name
+
+    def test_checked_in_json_matches_golden_module(self):
+        path = os.path.join(os.path.dirname(__file__), "golden_codec_vectors.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            checked_in = json.load(handle)
+        from_module = [
+            {"name": v.name, "codec": v.codec, "wire_hex": v.wire_hex}
+            for v in golden.vectors()
+        ]
+        assert checked_in["vectors"] == from_module
+
+    def test_mismatch_raises(self, monkeypatch):
+        vector = golden.vectors()[0]
+        bad = golden.GoldenVector(
+            vector.name, vector.codec, vector.build, "00" * 8
+        )
+        monkeypatch.setattr(golden, "vectors", lambda: [bad])
+        with pytest.raises(golden.GoldenMismatch):
+            golden.verify()
+
+
+class TestHarness:
+    def test_registered_benchmarks_present(self):
+        names = benchmark_names()
+        for expected in (
+            "sweep_serial",
+            "sweep_process4",
+            "single_resolution",
+            "coap_encode",
+            "coap_decode",
+            "dns_encode",
+            "dns_decode",
+            "aesccm_seal",
+            "aesccm_open",
+            "sim_event_churn",
+        ):
+            assert expected in names
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(BenchmarkError):
+            get_benchmark("no-such-benchmark")
+
+    def test_run_one_measures(self):
+        bench = Benchmark("t", "test", "op", lambda quick: 7)
+        result = run_one(bench, repeats=3, warmup=1)
+        assert result.error is None
+        assert len(result.times_s) == 3
+        assert result.units == 7
+        assert result.best_s <= result.mean_s
+        assert result.per_unit_us > 0
+
+    def test_run_one_captures_errors(self):
+        def boom(quick):
+            raise RuntimeError("kaput")
+
+        result = run_one(Benchmark("t", "test", "op", boom), repeats=2)
+        assert result.error == "RuntimeError: kaput"
+        assert result.times_s == []
+
+    def test_setup_guard_runs_before_timing(self):
+        calls = []
+        bench = Benchmark(
+            "t", "test", "op", lambda quick: calls.append("fn") or 1,
+            setup=lambda: calls.append("setup"),
+        )
+        run_one(bench, repeats=1, warmup=0)
+        assert calls[0] == "setup"
+
+    def test_report_roundtrip_and_compare(self, tmp_path):
+        # The work must take measurable time — a zero-duration entry is
+        # (correctly) excluded from baseline comparisons.
+        bench = Benchmark("t", "test", "op", lambda quick: sum(range(200_000)) and 100)
+        results = [run_one(bench, repeats=2, warmup=0)]
+        path = tmp_path / "bench.json"
+        report = write_report(str(path), results)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == "repro.perf/1"
+        assert on_disk["results"][0]["name"] == "t"
+        assert on_disk["results"][0]["units"] == 100
+        # Compare a second run against the written baseline.
+        again = [run_one(bench, repeats=2, warmup=0)]
+        comparison = compare_reports(on_disk, again)
+        assert "t" in comparison
+        assert comparison["t"]["speedup"] > 0
+        with_baseline = build_report(again, quick=False, baseline=report)
+        assert "comparison" in with_baseline
+
+    def test_errored_benchmarks_excluded_from_comparison(self):
+        good = Benchmark("ok", "d", "op", lambda quick: 1)
+        baseline = build_report([run_one(good, repeats=1, warmup=0)], quick=False)
+
+        def boom(quick):
+            raise RuntimeError("x")
+
+        failed = run_one(Benchmark("ok", "d", "op", boom), repeats=1)
+        assert compare_reports(baseline, [failed]) == {}
+
+    def test_cli_quick_smoke(self, capsys):
+        from repro.perf.__main__ import main
+
+        assert main(["--only", "sim_event_churn", "--quick", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sim_event_churn" in out
+
+    def test_cli_list(self, capsys):
+        from repro.perf.__main__ import main
+
+        assert main(["--list"]) == 0
+        assert "coap_encode" in capsys.readouterr().out
+
+
+class TestExecutors:
+    def test_get_executor_default_serial(self):
+        from repro.scenarios import SerialExecutor, get_executor
+
+        assert isinstance(get_executor(None, None), SerialExecutor)
+        assert isinstance(get_executor(None, 1), SerialExecutor)
+
+    def test_get_executor_workers_pick_process(self):
+        from repro.scenarios import ProcessExecutor, get_executor
+
+        executor = get_executor(None, 3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.workers == 3
+
+    def test_get_executor_by_name_and_instance(self):
+        from repro.scenarios import SerialExecutor, get_executor
+
+        assert get_executor("serial").name == "serial"
+        assert get_executor("process", 2).name == "process"
+        instance = SerialExecutor()
+        assert get_executor(instance) is instance
+
+    def test_unknown_executor_rejected(self):
+        from repro.scenarios import ExecutorError, get_executor
+
+        with pytest.raises(ExecutorError):
+            get_executor("cluster")
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.scenarios import ExecutorError, ProcessExecutor
+
+        with pytest.raises(ExecutorError):
+            ProcessExecutor(0)
+
+    def test_register_executor_conflict(self):
+        from repro.scenarios import ExecutorError, register_executor
+
+        with pytest.raises(ExecutorError):
+            register_executor("serial", lambda workers: None)
+
+    def test_process_map_preserves_order(self):
+        from repro.scenarios import ProcessExecutor
+
+        result = ProcessExecutor(4).map(_square, list(range(12)))
+        assert result == [n * n for n in range(12)]
+
+    def test_serial_map(self):
+        from repro.scenarios import SerialExecutor
+
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+def _square(n: int) -> int:
+    return n * n

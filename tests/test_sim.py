@@ -61,6 +61,30 @@ class TestEventLoop:
         sim.run()
         assert seen == [5.0]
 
+    def test_schedule_at_past_time_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def late() -> None:
+            # At t=2.0, scheduling for t=1.0 is a past time: it must
+            # raise instead of silently clamping to "now".
+            try:
+                sim.schedule_at(1.0, lambda: None)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(2.0, late)
+        sim.run()
+        assert len(errors) == 1
+        assert "simulated time" in errors[0]
+
+    def test_schedule_at_now_is_allowed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
     def test_nested_scheduling(self):
         sim = Simulator()
         fired = []
@@ -238,6 +262,55 @@ class TestMedium:
     def test_neighbours(self):
         _, medium, _ = self._medium()
         assert medium.neighbours("a") == ["b"]
+
+
+class TestFrameTally:
+    def _wired_pair(self):
+        from repro.sim import FrameTally
+
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        tally = FrameTally(medium)
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        return sim, medium, tally
+
+    def test_matches_sniffer_aggregates(self):
+        from repro.sim import FrameTally
+
+        sim = Simulator()
+        medium = RadioMedium(sim)
+        sniffer = Sniffer(medium)
+        tally = FrameTally(medium)
+        for name in "ab":
+            medium.register(name, lambda *a: None)
+        medium.connect("a", "b")
+        medium.transmit("a", "b", bytes(10), {"kind": "query"})
+        medium.transmit("b", "a", bytes(25), {"kind": "response"})
+        medium.transmit("a", "b", bytes(40), {"kind": "query"})
+        sim.run()
+        assert tally.frame_count("a", "b") == sniffer.frame_count("a", "b") == 3
+        assert tally.bytes_on_link("a", "b") == sniffer.bytes_on_link("a", "b")
+        assert tally.by_kind() == sniffer.by_kind()
+        assert tally.max_frame() == sniffer.max_frame() == 40
+        assert tally.max_frame("response") == sniffer.max_frame("response") == 25
+
+    def test_empty_tally(self):
+        _, _, tally = self._wired_pair()
+        assert tally.frame_count("a", "b") == 0
+        assert tally.bytes_on_link("a", "b") == 0
+        assert tally.by_kind() == {}
+        assert tally.max_frame() == 0
+
+    def test_clear(self):
+        sim, medium, tally = self._wired_pair()
+        medium.transmit("a", "b", bytes(10), {})
+        sim.run()
+        assert tally.frame_count("a", "b") == 1
+        tally.clear()
+        assert tally.frame_count("a", "b") == 0
+        assert tally.by_kind() == {}
 
 
 class TestSniffer:
