@@ -20,11 +20,23 @@ Subcommands
     Print the Figure 5 / Figure 8 build-size tables.
 ``compress``
     Show the Section 7 CBOR compression for a given name.
+``serve``
+    Run the live DoC server on a real UDP socket (any live transport
+    profile: udp, dtls, coap, coaps, oscore).
+``loadtest``
+    Drive open- or closed-loop load against a live server and report
+    qps, latency percentiles, timeouts, and cache ratios (``--json``
+    for machine-readable output).
 
 Examples
 --------
 ::
 
+    python -m repro.cli serve --transport udp
+    python -m repro.cli serve --transport oscore --port 5853 --duration 30
+    python -m repro.cli loadtest --rate 50 --duration 2 --json
+    python -m repro.cli loadtest --transport oscore --mode closed \
+        --concurrency 16 --duration 5
     python -m repro.cli dissect --transport oscore
     python -m repro.cli dissect --sweep
     python -m repro.cli resolve --transport coaps --names 5
@@ -305,6 +317,124 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scheme(value: str):
+    from repro.doc import CachingScheme
+
+    try:
+        return CachingScheme(value.lower())
+    except ValueError:
+        known = ", ".join(s.value for s in CachingScheme)
+        raise SystemExit(
+            f"error: unknown caching scheme {value!r} (known: {known})"
+        ) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live import DocLiveServer
+
+    server = DocLiveServer(
+        transport=args.transport,
+        host=args.host,
+        port=args.port,
+        num_names=args.names,
+        dataset=args.dataset,
+        name_seed=args.name_seed,
+        scheme=_parse_scheme(args.cache_scheme),
+        seed=args.seed,
+        secret=args.secret.encode(),
+    )
+
+    async def run() -> None:
+        async with server:
+            host, port = server.endpoint
+            print(
+                f"serving DNS over {args.transport} on {host}:{port} "
+                f"({len(server.names)} names, scheme {args.cache_scheme})",
+                flush=True,
+            )
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    stats = server.stats()
+    print(f"served {stats.get('queries_handled', 0)} queries "
+          f"({stats['datagrams_received']} datagrams in, "
+          f"{stats['datagrams_sent']} out)")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.live import LiveResolver, build_names, generate_load
+    from repro.scenarios import WorkloadSpec
+
+    workload = WorkloadSpec(
+        arrival=args.arrival,
+        burst_on=args.burst_on,
+        burst_off=args.burst_off,
+        zipf_alpha=args.zipf,
+    )
+    names = build_names(
+        args.names, dataset=args.dataset, name_seed=args.name_seed
+    )
+    resolver = LiveResolver(
+        (args.host, args.port),
+        transport=args.transport,
+        scheme=_parse_scheme(args.cache_scheme),
+        cache_placement=args.client_cache,
+        seed=args.seed + 1,
+        secret=args.secret.encode(),
+        timeout=args.timeout,
+    )
+
+    async def run() -> dict:
+        async with resolver:
+            return await generate_load(
+                resolver,
+                names,
+                rate=args.rate,
+                duration=args.duration,
+                mode=args.mode,
+                concurrency=args.concurrency,
+                timeout=args.timeout,
+                seed=args.seed,
+                workload=workload,
+            )
+
+    report = asyncio.run(run())
+    if args.json is not None:
+        payload = json.dumps(report, indent=2, sort_keys=False)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"report written to {args.json}")
+    else:
+        latency = report["latency_ms"]
+        print(f"transport:     {report['transport']} ({report['mode']} loop)")
+        print(f"queries:       {report['queries']} in {report['elapsed_s']} s")
+        print(f"success rate:  {report['success_rate']:.2%} "
+              f"({report['timeouts']} timeouts)")
+        print(f"achieved qps:  {report['achieved_qps']}")
+        if latency["p50"] is not None:
+            print(f"latency p50:   {latency['p50']:.2f} ms")
+            print(f"latency p95:   {latency['p95']:.2f} ms")
+            print(f"latency p99:   {latency['p99']:.2f} ms")
+        for location, stats in sorted(report["cache"].items()):
+            print(f"cache {location:12s} hit-ratio {stats['hit_ratio']:.0%}")
+    return 0 if report["queries"] and report["success_rate"] > 0 else 1
+
+
 def _cmd_memory(args: argparse.Namespace) -> int:
     from repro.memmodel import fig5_builds, fig8_builds
 
@@ -435,6 +565,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.set_defaults(func=_cmd_experiment)
 
+    from repro.live.wiring import DEFAULT_LIVE_PORT, LIVE_TRANSPORTS
+
+    def add_live_common(sub) -> None:
+        # One shared default so a bare `serve` and a bare `loadtest`
+        # always speak the same protocol.
+        sub.add_argument(
+            "--transport", default="udp", choices=list(LIVE_TRANSPORTS),
+        )
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, default=DEFAULT_LIVE_PORT)
+        sub.add_argument(
+            "--names", type=int, default=50,
+            help="size of the name universe (server zone = loadgen names)",
+        )
+        sub.add_argument(
+            "--dataset", default=None,
+            help="draw names from a Section 3 dataset profile "
+                 "(yourthings, iotfinder, moniotr, ixp)",
+        )
+        sub.add_argument(
+            "--name-seed", type=int, default=7,
+            help="seed of the shared name universe (must match between "
+                 "serve and loadtest)",
+        )
+        sub.add_argument(
+            "--cache-scheme", default="eol-ttls",
+            help="TTL handling scheme (doh-like or eol-ttls)",
+        )
+        sub.add_argument("--seed", type=int, default=1)
+        sub.add_argument(
+            "--secret", default="repro-live-master-secret",
+            help="shared OSCORE master secret (oscore transport)",
+        )
+
+    serve = subparsers.add_parser(
+        "serve", help="live DoC server on a real UDP socket"
+    )
+    add_live_common(serve)
+    serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="stop after this many seconds (default: run until Ctrl-C)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="drive load against a live server"
+    )
+    add_live_common(loadtest)
+    loadtest.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-loop offered rate in queries/s",
+    )
+    loadtest.add_argument("--duration", type=float, default=2.0)
+    loadtest.add_argument(
+        "--mode", default="open", choices=["open", "closed"],
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop worker count",
+    )
+    loadtest.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-query deadline in seconds",
+    )
+    loadtest.add_argument(
+        "--arrival", default="poisson", choices=["poisson", "bursty"],
+        help="open-loop arrival process",
+    )
+    loadtest.add_argument("--burst-on", type=float, default=1.0)
+    loadtest.add_argument("--burst-off", type=float, default=4.0)
+    loadtest.add_argument(
+        "--zipf", type=float, default=None, metavar="ALPHA",
+        help="Zipf(α) name popularity (default: round-robin)",
+    )
+    loadtest.add_argument(
+        "--client-cache", default="none", metavar="SPEC",
+        help="client cache placement: +-joined among client-dns, "
+             "client-coap (or all/none)",
+    )
+    loadtest.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the JSON report (to stdout, or to PATH)",
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
+
     memory = subparsers.add_parser("memory", help="Figure 5/8 build sizes")
     memory.set_defaults(func=_cmd_memory)
 
@@ -446,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.live.wiring import LiveWiringError
     from repro.scenarios import ScenarioError
     from repro.transports.registry import (
         TransportCapabilityError,
@@ -457,7 +673,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except (
-        ScenarioError, TransportCapabilityError, UnknownTransportError
+        ScenarioError, TransportCapabilityError, UnknownTransportError,
+        LiveWiringError,
     ) as exc:
         # Misconfiguration (unknown names, bad spec keys) reads as a
         # CLI error; internal errors keep their tracebacks.

@@ -17,11 +17,10 @@ revalidation of stale entries.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sim.core import Event, Simulator
+from repro.sim.clock import Clock, Timer
 
 from .blockwise import Block, BlockAssembler, block_for
 from .cache import CoapCache
@@ -63,7 +62,7 @@ class _Exchange:
         self.on_response = on_response
         self.metadata = metadata
         self.transmission: Optional[TransmissionState] = None
-        self.timer: Optional[Event] = None
+        self.timer: Optional[Timer] = None
         self.acknowledged = False
         self.block1_body: Optional[bytes] = None
         self.block1_number = 0
@@ -78,7 +77,9 @@ class CoapClient:
     Parameters
     ----------
     sim:
-        The event loop (timers and RNG).
+        The runtime :class:`~repro.sim.clock.Clock` (timers and RNG) —
+        a :class:`~repro.sim.core.Simulator` for simulated runs or an
+        :class:`~repro.live.clock.AsyncioClock` for real sockets.
     socket:
         Object with ``sendto(payload, dst_addr, dst_port, metadata)``
         and an ``on_datagram`` callback attribute.
@@ -91,7 +92,7 @@ class CoapClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         params: ReliabilityParams = ReliabilityParams(),
         cache: Optional[CoapCache] = None,
@@ -372,7 +373,7 @@ class CoapServer:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         params: ReliabilityParams = ReliabilityParams(),
     ) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
-from repro.sim.core import Simulator
+from repro.sim.clock import Clock
 
 from .cache import CoapCache
 from .codes import Code
@@ -46,7 +46,7 @@ class ForwardProxy:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         server_socket,
         client_socket,
         origin: Tuple[str, int],

@@ -51,6 +51,8 @@ class ResolutionResult:
     rcode: int
     response: Message
     min_ttl: Optional[int] = None
+    #: True when served from the local DNS cache (no wire exchange).
+    from_cache: bool = False
 
 
 class StubResolver:

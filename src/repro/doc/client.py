@@ -34,7 +34,7 @@ from repro.oscore import (
     unprotect_response,
 )
 from repro.oscore.cacheable import protect_cacheable_request
-from repro.sim.core import Simulator
+from repro.sim.clock import Clock
 
 from . import cbor_format
 from .caching import CachingScheme, restore_ttls
@@ -62,7 +62,7 @@ class DocClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         server: Tuple[str, int],
         method: Code = Code.FETCH,

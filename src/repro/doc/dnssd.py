@@ -19,7 +19,6 @@ this repository:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -36,7 +35,7 @@ from repro.oscore.group import (
     unprotect_group_response,
 )
 from repro.oscore import OscoreError
-from repro.sim.core import Simulator
+from repro.sim.clock import Clock
 
 #: Link-local "all DoC-SD nodes" group (mirrors mDNS's ff02::fb).
 DNSSD_GROUP = "ff02::fb"
@@ -78,7 +77,7 @@ class DnsSdResponder:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         node,
         group_context: GroupContext,
         port: int = DNSSD_PORT,
@@ -171,7 +170,7 @@ class DnsSdClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         node,
         group_context: GroupContext,
         port: int = DNSSD_PORT,

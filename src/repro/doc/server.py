@@ -37,7 +37,7 @@ from repro.oscore.cacheable import (
     protect_cacheable_response,
     unprotect_deterministic_request,
 )
-from repro.sim.core import Simulator
+from repro.sim.clock import Clock
 
 from . import cbor_format
 from .caching import CachingScheme, prepare_response
@@ -50,7 +50,7 @@ class DocServer:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         resolver: RecursiveResolver,
         scheme: CachingScheme = CachingScheme.EOL_TTLS,

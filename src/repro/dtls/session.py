@@ -44,8 +44,11 @@ class DtlsSession:
     psk_store:
         identity → key mapping (server side).
     rng:
-        Source for the 32-byte randoms; inject a seeded
-        :class:`random.Random` for determinism.
+        Source for the 32-byte randoms. Every runtime construction
+        site passes its :class:`~repro.sim.clock.Clock`'s seeded RNG
+        (simulated or live), keeping handshakes replayable under the
+        run seed; the fallback is deterministic too so no code path
+        silently depends on process entropy.
     """
 
     def __init__(
@@ -59,7 +62,7 @@ class DtlsSession:
         if role not in ("client", "server"):
             raise ValueError("role must be 'client' or 'server'")
         self.role = role
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(0)
         self.records = RecordLayer()
         self.established = False
         random_bytes = bytes(self._rng.randrange(256) for _ in range(32))

@@ -1,0 +1,209 @@
+"""DoC load generation: measure real queries-per-second and latency.
+
+Drives a :class:`~repro.live.client.LiveResolver` against a live
+server in one of two disciplines:
+
+* **open loop** — arrivals follow a :class:`~repro.scenarios.WorkloadSpec`
+  arrival process (steady Poisson or on/off bursty) at the offered
+  rate, independent of response latency: the honest way to measure a
+  server under load;
+* **closed loop** — ``concurrency`` workers issue back-to-back
+  queries, measuring sustainable throughput at a fixed concurrency.
+
+Names are drawn from the workload's popularity model (round-robin or
+Zipf(α)) over the same deterministic universe the server built its
+zone from. The result is a JSON-ready report: achieved qps, latency
+percentiles (p50/p95/p99), timeout and failure counts, and client
+cache ratios.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenarios.scenario import WorkloadSpec
+
+from .client import LiveResolver
+from .wiring import LiveWiringError
+
+#: Schema version of the loadgen report (bump on breaking changes).
+REPORT_VERSION = 1
+
+#: Top-level keys every report carries, in emission order.
+REPORT_FIELDS = (
+    "report_version", "mode", "transport", "offered_rate_qps",
+    "concurrency", "duration_s", "elapsed_s", "queries", "succeeded",
+    "failed", "timeouts", "rcode_failures", "success_rate",
+    "achieved_qps", "latency_ms", "cache", "workload", "seed",
+)
+
+
+class LoadGenError(LiveWiringError):
+    """An inconsistent load-generation configuration.
+
+    Subclasses :class:`~repro.live.wiring.LiveWiringError` so the CLI
+    catches every live misconfiguration through one import-light base.
+    """
+
+
+def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
+    from repro.experiments.metrics import percentile
+
+    if not latencies_s:
+        return {
+            "p50": None, "p95": None, "p99": None,
+            "mean": None, "min": None, "max": None,
+        }
+    return {
+        "p50": round(percentile(latencies_s, 50) * 1000, 3),
+        "p95": round(percentile(latencies_s, 95) * 1000, 3),
+        "p99": round(percentile(latencies_s, 99) * 1000, 3),
+        "mean": round(sum(latencies_s) / len(latencies_s) * 1000, 3),
+        "min": round(min(latencies_s) * 1000, 3),
+        "max": round(max(latencies_s) * 1000, 3),
+    }
+
+
+async def generate_load(
+    resolver: LiveResolver,
+    names: Sequence[str],
+    rate: float = 50.0,
+    duration: float = 2.0,
+    mode: str = "open",
+    concurrency: int = 8,
+    timeout: Optional[float] = None,
+    seed: int = 1,
+    workload: Optional[WorkloadSpec] = None,
+) -> Dict[str, object]:
+    """Run one load-generation pass and return the report dict.
+
+    *resolver* must already be connected. *workload* carries the
+    arrival/popularity knobs (its ``query_rate``/``num_queries``/
+    ``num_names`` are overridden from *rate*, *duration*, and
+    *names* so one spec works for both simulated and live runs);
+    omitted, a steady-Poisson/round-robin spec is derived.
+    """
+    if not names:
+        raise LoadGenError("names must not be empty")
+    if duration <= 0:
+        raise LoadGenError("duration must be positive")
+    if mode not in ("open", "closed"):
+        raise LoadGenError(f"unknown load mode {mode!r} (open or closed)")
+    if mode == "open" and rate <= 0:
+        raise LoadGenError("rate must be positive in open-loop mode")
+    if mode == "closed" and concurrency < 1:
+        raise LoadGenError("concurrency must be >= 1 in closed-loop mode")
+
+    from dataclasses import replace
+
+    num_queries = max(1, round(rate * duration)) if mode == "open" else 1
+    base = workload if workload is not None else WorkloadSpec()
+    spec = replace(
+        base,
+        num_queries=num_queries,
+        num_names=len(names),
+        query_rate=rate if mode == "open" else base.query_rate,
+        start=0.0,
+    )
+
+    rng = random.Random(seed)
+    loop = asyncio.get_running_loop()
+    latencies: List[float] = []
+    outcomes = {
+        "succeeded": 0, "failed": 0, "timeouts": 0, "rcode_failures": 0,
+    }
+    last_success = {"at": None}
+    issued = 0
+
+    async def one_query(sequence_index: int) -> None:
+        nonlocal issued
+        issued += 1
+        name = names[spec.draw_name_index(rng, sequence_index)]
+        rtype = spec.draw_rtype(rng)
+        try:
+            result = await resolver.resolve(name, rtype, timeout=timeout)
+        except asyncio.TimeoutError:
+            outcomes["timeouts"] += 1
+            outcomes["failed"] += 1
+        except Exception:
+            outcomes["failed"] += 1
+        else:
+            if result.ok:
+                # A response is only a success when the name resolved:
+                # NXDOMAIN against a mismatched zone (e.g. differing
+                # --name-seed between serve and loadtest) must not
+                # read as a healthy run.
+                outcomes["succeeded"] += 1
+                latencies.append(result.rtt)
+                last_success["at"] = loop.time()
+            else:
+                outcomes["rcode_failures"] += 1
+                outcomes["failed"] += 1
+
+    started = loop.time()
+    if mode == "open":
+        arrivals = spec.arrival_times(rng)
+        tasks: List[asyncio.Task] = []
+        for index, at in enumerate(arrivals):
+            if at > duration:
+                break
+            delay = started + at - loop.time()
+            # Always yield, even when behind schedule: otherwise the
+            # created tasks never start and a backlog fires as one
+            # clump instead of at the offered arrival instants.
+            await asyncio.sleep(delay if delay > 0 else 0)
+            tasks.append(asyncio.ensure_future(one_query(index)))
+        if tasks:
+            await asyncio.gather(*tasks)
+    else:
+        deadline = started + duration
+        counter = iter(range(1 << 62))
+
+        async def worker() -> None:
+            while loop.time() < deadline:
+                await one_query(next(counter))
+
+        await asyncio.gather(*(worker() for _ in range(concurrency)))
+    elapsed = loop.time() - started
+
+    completed = outcomes["succeeded"] + outcomes["failed"]
+    # Throughput over the span in which successes actually landed —
+    # waiting out the timeouts of stragglers after the offered window
+    # must not dilute the rate the server demonstrably sustained.
+    success_span = (
+        last_success["at"] - started if last_success["at"] is not None else 0.0
+    )
+    report: Dict[str, object] = {
+        "report_version": REPORT_VERSION,
+        "mode": mode,
+        "transport": resolver.transport_name,
+        "offered_rate_qps": rate if mode == "open" else None,
+        "concurrency": concurrency if mode == "closed" else None,
+        "duration_s": duration,
+        "elapsed_s": round(elapsed, 3),
+        "queries": issued,
+        "succeeded": outcomes["succeeded"],
+        "failed": outcomes["failed"],
+        "timeouts": outcomes["timeouts"],
+        "rcode_failures": outcomes["rcode_failures"],
+        "success_rate": (
+            outcomes["succeeded"] / completed if completed else 0.0
+        ),
+        "achieved_qps": (
+            round(outcomes["succeeded"] / success_span, 3)
+            if success_span > 0 else 0.0
+        ),
+        "latency_ms": _latency_summary(latencies),
+        "cache": resolver.stats().get("caches", {}),
+        "workload": {
+            "names": len(names),
+            "arrival": spec.arrival,
+            "burst_on": spec.burst_on,
+            "burst_off": spec.burst_off,
+            "zipf_alpha": spec.zipf_alpha,
+        },
+        "seed": seed,
+    }
+    return report

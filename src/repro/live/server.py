@@ -1,0 +1,198 @@
+"""The live DoC server: real sockets under the sans-IO stack.
+
+:class:`DocLiveServer` hosts the reproduction's DNS serving stack on a
+wall-clock asyncio runtime. The protocol objects are the *same classes*
+the simulator drives — :class:`~repro.doc.DocServer`,
+:class:`~repro.transports.dns_over_udp.DnsOverUdpServer`, the DTLS
+server adapter — scheduled by an
+:class:`~repro.live.clock.AsyncioClock` and bound to a
+:class:`~repro.live.transport.LiveUdpTransport` instead of a simulated
+socket. Transport profiles map onto the registry's vocabulary:
+
+========== =====================================================
+``udp``    plain DNS over UDP (the unencrypted baseline)
+``dtls``   DNS over DTLS (in-network PSK handshake per client)
+``coap``   DNS over plain CoAP (FETCH/GET/POST on ``/dns``)
+``coaps``  DNS over CoAP over DTLS
+``oscore`` DNS over CoAP with OSCORE object security
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.doc.caching import CachingScheme
+
+from .clock import AsyncioClock
+from .transport import LiveUdpTransport
+from .wiring import (
+    DEFAULT_LIVE_PORT,
+    DEFAULT_PSK,
+    DEFAULT_PSK_IDENTITY,
+    DEFAULT_SECRET,
+    LiveWiringError,
+    build_names,
+    build_zone,
+    check_live_transport,
+    derive_oscore_pair,
+)
+
+
+class DocLiveServer:
+    """A resolver serving real UDP traffic on localhost or beyond.
+
+    Parameters
+    ----------
+    transport:
+        One of the live-capable registry profiles (``udp``, ``dtls``,
+        ``coap``, ``coaps``, ``oscore``).
+    host / port:
+        Bind address. The default port (5853) is unprivileged and
+        shared with the load generator's default.
+    num_names / dataset / name_seed / ttl:
+        The served zone: both sides of a live run derive the same name
+        universe from these (see :mod:`repro.live.wiring`).
+    scheme:
+        TTL↔Max-Age handling for the CoAP-based transports.
+    seed:
+        Seeds the runtime clock's RNG (MIDs, DTLS randoms, TTL draws),
+        making the server's protocol choices replayable.
+    secret / psk / psk_identity:
+        Security material; the client derives matching state from the
+        same values.
+    """
+
+    def __init__(
+        self,
+        transport: str = "coap",
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_LIVE_PORT,
+        num_names: int = 50,
+        dataset: Optional[str] = None,
+        name_seed: int = 7,
+        ttl: Tuple[int, int] = (300, 300),
+        scheme: CachingScheme = CachingScheme.EOL_TTLS,
+        seed: int = 1,
+        secret: bytes = DEFAULT_SECRET,
+        psk: bytes = DEFAULT_PSK,
+        psk_identity: bytes = DEFAULT_PSK_IDENTITY,
+        cache_capacity: int = 256,
+    ) -> None:
+        self.transport_name = check_live_transport(transport)
+        self.host = host
+        self.port = port
+        self.scheme = scheme
+        self.seed = seed
+        self._secret = secret
+        self._psk_store = {psk_identity: psk}
+        self._cache_capacity = cache_capacity
+        self.clock = AsyncioClock(seed=seed)
+        self.names = build_names(num_names, dataset=dataset, name_seed=name_seed)
+        self._zone = build_zone(self.names, ttl=ttl, rng=self.clock.rng)
+        self._socket: Optional[LiveUdpTransport] = None
+        self._server = None
+        self.resolver = None
+        self._final_stats: Optional[Dict[str, object]] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket and wire the stack; returns ``(host, port)``."""
+        from repro.dns import RecursiveResolver
+
+        if self._socket is not None:
+            raise LiveWiringError("server already started")
+        self.resolver = RecursiveResolver(
+            self._zone, cache_capacity=self._cache_capacity,
+            rng=self.clock.rng,
+        )
+        self._socket = await LiveUdpTransport.create(self.host, self.port)
+        self.host, self.port = self._socket.local_address
+        self._server = self._build_stack()
+        return (self.host, self.port)
+
+    async def stop(self) -> None:
+        if self._socket is not None:
+            # Snapshot the counters while the stack is still wired so
+            # post-shutdown reports see the final numbers.
+            self._final_stats = self.stats()
+            self._socket.close()
+            self._socket = None
+            self._server = None
+
+    async def __aenter__(self) -> "DocLiveServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- wiring -----------------------------------------------------------
+
+    def _build_stack(self):
+        name = self.transport_name
+        if name == "udp":
+            from repro.transports.dns_over_udp import DnsOverUdpServer
+
+            return DnsOverUdpServer(self.clock, self._socket, self.resolver)
+        if name == "dtls":
+            from repro.transports.dns_over_dtls import DnsOverDtlsServer
+
+            return DnsOverDtlsServer(
+                self.clock, self._socket, self.resolver,
+                psk_store=dict(self._psk_store),
+            )
+
+        from repro.doc import DocServer
+
+        socket = self._socket
+        oscore_context = None
+        if name == "coaps":
+            from repro.transports.dtls_adapter import DtlsServerAdapter
+
+            socket = DtlsServerAdapter(
+                self.clock, socket, psk_store=dict(self._psk_store)
+            )
+        elif name == "oscore":
+            oscore_context = derive_oscore_pair(self._secret)[1]
+        return DocServer(
+            self.clock, socket, self.resolver,
+            scheme=self.scheme, oscore_context=oscore_context,
+        )
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the CLI's shutdown report (JSON-serialisable)."""
+        if self._socket is None and getattr(self, "_final_stats", None):
+            return self._final_stats
+        stats: Dict[str, object] = {
+            "transport": self.transport_name,
+            "endpoint": list(self.endpoint),
+            "names": len(self.names),
+            "datagrams_received": (
+                self._socket.datagrams_received if self._socket else 0
+            ),
+            "datagrams_sent": (
+                self._socket.datagrams_sent if self._socket else 0
+            ),
+        }
+        server = self._server
+        if server is not None:
+            for attr in ("queries_handled", "validations_sent"):
+                value = getattr(server, attr, None)
+                if value is not None:
+                    stats[attr] = value
+        if self.resolver is not None:
+            cache = self.resolver.cache
+            stats["resolver_cache"] = {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "hit_ratio": cache.stats.hit_ratio,
+            }
+        return stats

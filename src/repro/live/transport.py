@@ -1,0 +1,135 @@
+"""Real UDP sockets with the simulated-socket surface.
+
+:class:`LiveUdpTransport` is the wall-clock counterpart of
+:class:`repro.stack.node.UdpSocket`: it exposes the exact
+``sendto(payload, dst_addr, dst_port, metadata)`` / ``on_datagram``
+contract the sans-IO stack is written against, but backed by an
+asyncio :class:`~asyncio.DatagramProtocol` on a real socket. CoAP
+endpoints, DoC clients/servers, and the DTLS adapters stack on top of
+it unchanged.
+
+The *metadata* dictionary is a simulation-side channel (frame tagging
+for the sniffer); on a real socket it has no wire representation, so
+outbound metadata is dropped and inbound callbacks receive a fresh
+empty dict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional, Tuple
+
+
+class LiveTransportError(Exception):
+    """Raised on transport misuse (sending before/after the socket is
+    open) or socket-level failures reported by the event loop."""
+
+
+class LiveUdpTransport(asyncio.DatagramProtocol):
+    """A bound UDP socket quacking like ``repro.stack.node.UdpSocket``.
+
+    Create with :meth:`create` (binds the socket and waits for it to be
+    ready). The socket stays open until :meth:`close`.
+    """
+
+    def __init__(
+        self, allowed_peer: Optional[Tuple[str, int]] = None
+    ) -> None:
+        self.on_datagram: Optional[Callable[[str, int, bytes, dict], None]] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._allowed_peer = allowed_peer
+        self._closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagrams_filtered = 0
+        self.datagrams_dropped_after_close = 0
+        self.last_error: Optional[Exception] = None
+
+    @classmethod
+    async def create(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        allowed_peer: Optional[Tuple[str, int]] = None,
+    ) -> "LiveUdpTransport":
+        """Bind a UDP socket on ``host:port`` (port 0 = ephemeral).
+
+        *allowed_peer* restricts the socket to one remote endpoint:
+        datagrams from any other source are dropped before they reach
+        the stack — client sockets talk to exactly one server, and an
+        unfiltered port would let any off-path host inject responses.
+        """
+        loop = asyncio.get_running_loop()
+        _transport, protocol = await loop.create_datagram_endpoint(
+            lambda: cls(allowed_peer=allowed_peer), local_addr=(host, port)
+        )
+        return protocol
+
+    # -- asyncio.DatagramProtocol ----------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+
+    def connection_lost(self, exc) -> None:
+        self._transport = None
+        self._closed = True
+        if exc is not None:
+            self.last_error = exc
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self._allowed_peer is not None and (
+            (addr[0], addr[1]) != self._allowed_peer
+        ):
+            self.datagrams_filtered += 1
+            return
+        self.datagrams_received += 1
+        if self.on_datagram is not None:
+            self.on_datagram(addr[0], addr[1], data, {})
+
+    def error_received(self, exc) -> None:
+        # ICMP errors (e.g. port unreachable) surface here; the stack's
+        # own retransmission timers handle the loss, so just record it.
+        self.last_error = exc
+
+    # -- UdpSocket surface ------------------------------------------------
+
+    @property
+    def local_address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        if self._transport is None:
+            raise LiveTransportError("socket is not open")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    @property
+    def port(self) -> int:
+        return self.local_address[1]
+
+    def sendto(
+        self,
+        payload: bytes,
+        dst_addr: str,
+        dst_port: int,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        """Send *payload* to ``dst_addr:dst_port`` (*metadata* is a
+        simulation-only channel and is not transmitted).
+
+        Sends after :meth:`close` are silently dropped (and counted):
+        the sans-IO stack's retransmission timers may legitimately
+        outlive the socket, and raising from inside a
+        ``loop.call_later`` callback would only spam the event loop's
+        unhandled-error log.
+        """
+        if self._transport is None:
+            if self._closed:
+                self.datagrams_dropped_after_close += 1
+                return
+            raise LiveTransportError("socket is not open")
+        self._transport.sendto(payload, (dst_addr, dst_port))
+        self.datagrams_sent += 1
+
+    def close(self) -> None:
+        self._closed = True
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

@@ -254,6 +254,37 @@ def aesccm_open(quick: bool) -> int:
     return ops
 
 
+# -- macro: live serving runtime -------------------------------------------
+
+
+@register(
+    "live_loopback",
+    "live DoC resolutions over real loopback UDP sockets (coap)",
+    unit="query",
+)
+def live_loopback(quick: bool) -> int:
+    import asyncio
+
+    from repro.live import DocLiveServer, LiveResolver
+
+    queries = 50 if quick else 300
+
+    async def run() -> int:
+        server = DocLiveServer(transport="coap", port=0, num_names=16)
+        async with server:
+            resolver = LiveResolver(server.endpoint, transport="coap")
+            async with resolver:
+                done = 0
+                for index in range(queries):
+                    await resolver.resolve(
+                        server.names[index % len(server.names)], timeout=10.0
+                    )
+                    done += 1
+                return done
+
+    return asyncio.run(run())
+
+
 # -- micro: simulator ------------------------------------------------------
 
 

@@ -45,6 +45,11 @@ SCENARIOS: Dict[str, Scenario] = {
         name="all-wireless", topology=TOPOLOGIES["all-wireless"]
     ),
     "burst": Scenario(name="burst", workload=WorkloadSpec(burst_size=5)),
+    "bursty": Scenario(
+        name="bursty",
+        workload=WorkloadSpec(arrival="bursty", burst_on=1.0, burst_off=4.0),
+    ),
+    "zipf": Scenario(name="zipf", workload=WorkloadSpec(zipf_alpha=1.0)),
     "mixed-records": Scenario(
         name="mixed-records",
         workload=WorkloadSpec(
@@ -91,7 +96,9 @@ def scenario_from_spec(
 
     Topology keys: ``hops``, ``clients``, ``loss``, ``retries``,
     ``wired``. Workload keys: ``queries``, ``names``, ``rate``,
-    ``burst``, ``records``, ``rtype`` (``a``/``aaaa``/``mixed``).
+    ``burst``, ``records``, ``rtype`` (``a``/``aaaa``/``mixed``),
+    ``arrival`` (``poisson``/``bursty``), ``burst-on``/``burst-off``
+    (seconds of the on/off modulation), ``zipf`` (the popularity α).
     Scenario keys: ``transport``, ``seed``, ``duration``, ``proxy``,
     ``cache`` (a ``+``-joined placement such as
     ``client-dns+client-coap+proxy``, or ``all``/``none`` — a placement
@@ -128,6 +135,14 @@ def scenario_from_spec(
             workload = replace(workload, burst_size=int(value))
         elif key == "records":
             workload = replace(workload, records_per_name=int(value))
+        elif key == "arrival":
+            workload = replace(workload, arrival=value.lower())
+        elif key == "burst-on":
+            workload = replace(workload, burst_on=float(value))
+        elif key == "burst-off":
+            workload = replace(workload, burst_off=float(value))
+        elif key == "zipf":
+            workload = replace(workload, zipf_alpha=float(value))
         elif key == "rtype":
             lowered = value.lower()
             if lowered == "mixed":

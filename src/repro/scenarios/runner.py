@@ -49,18 +49,27 @@ def _cell_key(
     return key
 
 
-def build_workload_zone(workload: WorkloadSpec, rng):
+def build_workload_zone(workload: WorkloadSpec, rng, names=None):
     """Authoritative data for a workload: ``num_names`` 24-character
     names, each holding ``records_per_name`` records of every record
-    type in the mix (so any drawn query type resolves)."""
+    type in the mix (so any drawn query type resolves).
+
+    *names* overrides the template-generated universe (the live
+    runtime passes its shared name list) while keeping the address
+    layout — and therefore the answers — identical to simulated runs.
+    """
     from repro.dns import RecordType, Zone
     from repro.dns.enums import DNSClass
     from repro.dns.rdata import AAAAData, AData
     from repro.dns.zone import ZoneRecord
 
+    if names is None:
+        names = [
+            NAME_TEMPLATE.format(index=index)
+            for index in range(workload.num_names)
+        ]
     zone = Zone()
-    for index in range(workload.num_names):
-        name = NAME_TEMPLATE.format(index=index)
+    for index, name in enumerate(names):
         ttl = rng.randint(*workload.ttl)
         for record_index in range(workload.records_per_name):
             for rtype in workload.record_types:
@@ -261,7 +270,9 @@ class ScenarioRunner:
         def issue(index: int) -> None:
             client_index = index % len(clients)
             client = clients[client_index]
-            name = NAME_TEMPLATE.format(index=index % workload.num_names)
+            name = NAME_TEMPLATE.format(
+                index=workload.draw_name_index(sim.rng, index)
+            )
             rtype = workload.draw_rtype(sim.rng)
             outcome = QueryOutcome(
                 name=name,

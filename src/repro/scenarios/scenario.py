@@ -145,6 +145,10 @@ class TopologySpec:
         )
 
 
+#: Arrival-process names accepted by :attr:`WorkloadSpec.arrival`.
+_ARRIVALS = ("poisson", "bursty")
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Query workload driven against the scenario's clients.
@@ -154,6 +158,16 @@ class WorkloadSpec:
     draw resolves. ``burst_size > 1`` switches from steady Poisson
     arrivals to bursts: arrival instants stay Poisson but each instant
     issues a whole burst back-to-back (one query per client round-robin).
+
+    ``arrival`` selects the arrival process: steady ``"poisson"``
+    (default) or ``"bursty"`` — an on/off modulated Poisson process
+    (``burst_on`` seconds of elevated-rate arrivals, ``burst_off``
+    seconds of silence, same long-run average rate). ``zipf_alpha``
+    turns on Zipf(α) name popularity: queries draw names by popularity
+    rank instead of cycling through them round-robin. Both simulated
+    sweeps (:class:`~repro.scenarios.ScenarioRunner`) and the live
+    load generator (:mod:`repro.live.loadgen`) honour these knobs, so
+    one spec describes a workload on either substrate.
     """
 
     num_queries: int = 50
@@ -164,6 +178,10 @@ class WorkloadSpec:
     burst_size: int = 1
     ttl: Tuple[int, int] = (300, 300)
     start: float = 0.1
+    arrival: str = "poisson"
+    burst_on: float = 1.0
+    burst_off: float = 4.0
+    zipf_alpha: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_queries < 1:
@@ -180,27 +198,72 @@ class WorkloadSpec:
             raise ScenarioError("rtype_mix weights must be positive")
         if self.ttl[0] > self.ttl[1]:
             raise ScenarioError(f"ttl range reversed: {self.ttl}")
+        if self.arrival not in _ARRIVALS:
+            raise ScenarioError(
+                f"unknown arrival process {self.arrival!r} "
+                f"(known: {', '.join(_ARRIVALS)})"
+            )
+        if self.burst_on <= 0:
+            raise ScenarioError("burst_on must be positive")
+        if self.burst_off < 0:
+            raise ScenarioError("burst_off must be >= 0")
+        if self.zipf_alpha is not None and self.zipf_alpha < 0:
+            raise ScenarioError("zipf_alpha must be >= 0")
 
     @property
     def record_types(self) -> Tuple[int, ...]:
         return tuple(rtype for rtype, _ in self.rtype_mix)
 
+    def _instants(self, rng: random.Random, count: int) -> List[float]:
+        from repro.sim import bursty_arrival_times, poisson_arrival_times
+
+        if self.arrival == "bursty":
+            return bursty_arrival_times(
+                rng, self.query_rate, count,
+                on_duration=self.burst_on, off_duration=self.burst_off,
+                start=self.start,
+            )
+        return poisson_arrival_times(
+            rng, self.query_rate, count, start=self.start
+        )
+
     def arrival_times(self, rng: random.Random) -> List[float]:
         """The run's query arrival instants (one per query)."""
-        from repro.sim import poisson_arrival_times
-
         if self.burst_size == 1:
-            return poisson_arrival_times(
-                rng, self.query_rate, self.num_queries, start=self.start
-            )
-        instants = poisson_arrival_times(
-            rng,
-            self.query_rate,
-            math.ceil(self.num_queries / self.burst_size),
-            start=self.start,
+            return self._instants(rng, self.num_queries)
+        instants = self._instants(
+            rng, math.ceil(self.num_queries / self.burst_size)
         )
         times = [t for t in instants for _ in range(self.burst_size)]
         return times[: self.num_queries]
+
+    def draw_name_index(self, rng: random.Random, sequence_index: int) -> int:
+        """The name (by index) that query *sequence_index* asks for.
+
+        Without ``zipf_alpha`` this is the legacy round-robin walk over
+        the name universe (no RNG draw, bit-identical to historical
+        runs); with it, a Zipf(α) popularity draw.
+        """
+        if self.zipf_alpha is None:
+            return sequence_index % self.num_names
+        import bisect
+        from itertools import accumulate
+
+        from repro.sim import zipf_weights
+
+        # Cache the cumulative distribution: one O(n) accumulate per
+        # spec, then O(log n) per draw — this sits on the loadgen hot
+        # path. Consumes exactly one rng.random() per draw, the same
+        # stream rng.choices() would.
+        cumulative = getattr(self, "_zipf_cumulative", None)
+        if cumulative is None:
+            cumulative = list(
+                accumulate(zipf_weights(self.num_names, self.zipf_alpha))
+            )
+            object.__setattr__(self, "_zipf_cumulative", cumulative)
+        return bisect.bisect(
+            cumulative, rng.random() * cumulative[-1], 0, self.num_names - 1
+        )
 
     def draw_rtype(self, rng: random.Random) -> int:
         """One record type from the mix (no RNG draw for pure mixes)."""

@@ -8,12 +8,18 @@ frame sniffer standing in for the testbed's ``sniffer_aggregator``
 (:mod:`repro.sim.workload`).
 """
 
+from .clock import Clock, Timer
 from .core import Event, Simulator
 from .medium import RadioLink, RadioMedium
 from .trace import FrameRecord, FrameTally, Sniffer
-from .workload import poisson_arrival_times
+from .workload import (
+    bursty_arrival_times,
+    poisson_arrival_times,
+    zipf_weights,
+)
 
 __all__ = [
+    "Clock",
     "Event",
     "FrameRecord",
     "FrameTally",
@@ -21,5 +27,8 @@ __all__ = [
     "RadioMedium",
     "Simulator",
     "Sniffer",
+    "Timer",
+    "bursty_arrival_times",
     "poisson_arrival_times",
+    "zipf_weights",
 ]

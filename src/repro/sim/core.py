@@ -42,6 +42,11 @@ class Event:
 class Simulator:
     """The event loop.
 
+    Implements the :class:`repro.sim.clock.Clock` protocol (``now`` /
+    ``schedule`` / ``schedule_at`` / ``rng``) on virtual time; the
+    protocol stack built against it also runs unchanged on the
+    wall-clock :class:`repro.live.clock.AsyncioClock`.
+
     Parameters
     ----------
     seed:

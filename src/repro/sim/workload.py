@@ -1,13 +1,23 @@
-"""Workload generation: the paper's Poisson query process.
+"""Workload generation: arrival processes and name popularity.
 
 Section 5.1: "The query rate is Poisson-distributed with λ = 5
-queries/s" across the clients, for 50 names per run.
+queries/s" across the clients, for 50 names per run. Beyond that
+baseline this module provides the scenario-diversity knobs shared by
+the simulated sweeps and the live load generator
+(:mod:`repro.live.loadgen`):
+
+* :func:`bursty_arrival_times` — an on/off modulated Poisson process
+  (exponential arrivals during ON periods, silence during OFF), the
+  classic model for duty-cycled sensor traffic;
+* :func:`zipf_weights` / :func:`sample_zipf` — Zipf(α) name
+  popularity, the standard skew of real DNS workloads (a few hot
+  names, a long cold tail).
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Sequence
 
 
 def poisson_arrival_times(
@@ -27,3 +37,63 @@ def poisson_arrival_times(
         current += rng.expovariate(rate)
         times.append(current)
     return times
+
+
+def bursty_arrival_times(
+    rng: random.Random,
+    rate: float,
+    count: int,
+    on_duration: float,
+    off_duration: float,
+    start: float = 0.0,
+) -> List[float]:
+    """*count* arrivals of an on/off modulated Poisson process.
+
+    Time alternates between ON windows of *on_duration* seconds and
+    OFF windows of *off_duration* seconds (the first window starts ON
+    at *start*). During ON windows arrivals are Poisson with an
+    elevated rate of ``rate * (on + off) / on`` so the long-run average
+    rate stays *rate* — the same offered load as the steady process,
+    concentrated into bursts. OFF windows produce no arrivals.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if on_duration <= 0:
+        raise ValueError("on_duration must be positive")
+    if off_duration < 0:
+        raise ValueError("off_duration must be non-negative")
+    period = on_duration + off_duration
+    on_rate = rate * period / on_duration
+    times: List[float] = []
+    current = start
+    while len(times) < count:
+        current += rng.expovariate(on_rate)
+        # Fold the candidate into the ON portion of its period: any
+        # arrival landing inside an OFF window is deferred past it.
+        offset = (current - start) % period
+        if offset >= on_duration:
+            current += period - offset
+            continue
+        times.append(current)
+    return times
+
+
+def zipf_weights(count: int, alpha: float) -> List[float]:
+    """Unnormalised Zipf(α) weights for ranks ``1..count``.
+
+    Rank *k* gets weight ``k ** -alpha``; ``alpha = 0`` degenerates to
+    the uniform distribution. Typical DNS popularity skews sit around
+    ``alpha ≈ 0.9–1.1``.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    return [(k + 1) ** -alpha for k in range(count)]
+
+
+def sample_zipf(rng: random.Random, weights: Sequence[float]) -> int:
+    """One rank index (0-based) drawn from precomputed Zipf weights."""
+    return rng.choices(range(len(weights)), weights=weights, k=1)[0]

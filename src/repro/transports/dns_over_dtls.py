@@ -11,7 +11,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.coap.reliability import ReliabilityParams
 from repro.dns import DNSCache, RecursiveResolver
-from repro.sim.core import Simulator
+from repro.sim.clock import Clock
 
 from .dtls_adapter import DtlsClientAdapter, DtlsServerAdapter
 from .dns_over_udp import DnsOverUdpClient, DnsOverUdpServer
@@ -24,7 +24,7 @@ class DnsOverDtlsClient(DnsOverUdpClient):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         udp_socket,
         server: Tuple[str, int],
         psk: bytes = b"secretPSK",
@@ -45,7 +45,7 @@ class DnsOverDtlsServer(DnsOverUdpServer):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         udp_socket,
         resolver: RecursiveResolver,
         psk_store: Optional[Dict[bytes, bytes]] = None,

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.coap.reliability import ReliabilityParams, TransmissionState
 from repro.dns import DNSCache, Message, Question, RecursiveResolver, make_query
 from repro.dns.resolver import ResolutionResult, StubResolver
-from repro.sim.core import Event, Simulator
+from repro.sim.clock import Clock, Timer
 
 DNS_PORT = 53
 
@@ -25,7 +25,7 @@ class _Pending:
     wire: bytes
     on_result: Callable[[Optional[ResolutionResult], Optional[Exception]], None]
     transmission: TransmissionState
-    timer: Optional[Event] = None
+    timer: Optional[Timer] = None
     done: bool = False
 
 
@@ -38,7 +38,7 @@ class DnsOverUdpClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         server: Tuple[str, int],
         params: ReliabilityParams = ReliabilityParams(),
@@ -74,6 +74,7 @@ class DnsOverUdpClient:
                 rcode=cached.flags.rcode,
                 response=cached,
                 min_ttl=cached.min_ttl(),
+                from_cache=True,
             )
             self.sim.schedule(0.0, on_result, result, None)
             return
@@ -138,7 +139,7 @@ class DnsOverUdpServer:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         resolver: RecursiveResolver,
         response_delay: float = 0.0,
@@ -147,6 +148,7 @@ class DnsOverUdpServer:
         self.socket = socket
         self.resolver = resolver
         self.response_delay = response_delay
+        self.queries_handled = 0
         socket.on_datagram = self._on_datagram
 
     def _on_datagram(self, src_addr: str, src_port: int, data: bytes, metadata: dict) -> None:
@@ -154,6 +156,7 @@ class DnsOverUdpServer:
             query = Message.decode(data)
         except ValueError:
             return
+        self.queries_handled += 1
         response = self.resolver.resolve(query, self.sim.now)
         wire = response.encode()
 

@@ -17,7 +17,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.dtls import DtlsError, DtlsSession
 from repro.dtls.session import establish_pair
-from repro.sim.core import Simulator
+from repro.sim.clock import Clock
 
 
 #: RFC 6347 §4.2.4: initial retransmission timer 1 s, doubling up to a
@@ -39,7 +39,7 @@ class DtlsClientAdapter:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         server: Tuple[str, int],
         psk: bytes = b"secretPSK",
@@ -156,7 +156,7 @@ class DtlsServerAdapter:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         socket,
         psk_store: Optional[Dict[bytes, bytes]] = None,
     ) -> None:

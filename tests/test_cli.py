@@ -121,3 +121,61 @@ def test_resolve_scenario_flag(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_serve_bounded_duration(capsys):
+    assert main([
+        "serve", "--transport", "udp", "--port", "0", "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving DNS over udp" in out
+    assert "served 0 queries" in out
+
+
+def test_loadtest_against_inline_server(capsys):
+    # Serve and load in one process: the server runs in a background
+    # thread with its own event loop, the loadtest CLI in this one.
+    import asyncio
+    import json
+    import threading
+
+    from repro.live import DocLiveServer
+
+    endpoint = {}
+    ready = threading.Event()
+    done = threading.Event()
+
+    def serve() -> None:
+        async def run() -> None:
+            server = DocLiveServer(transport="coap", port=0, num_names=8)
+            async with server:
+                endpoint["port"] = server.endpoint[1]
+                ready.set()
+                while not done.is_set():
+                    await asyncio.sleep(0.02)
+
+        asyncio.run(run())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10)
+    try:
+        assert main([
+            "loadtest", "--transport", "coap",
+            "--port", str(endpoint["port"]),
+            "--names", "8", "--rate", "80", "--duration", "0.4",
+            "--timeout", "5", "--json",
+        ]) == 0
+    finally:
+        done.set()
+        thread.join(timeout=10)
+    report = json.loads(capsys.readouterr().out)
+    assert report["success_rate"] >= 0.95
+    assert report["latency_ms"]["p50"] is not None
+
+
+def test_loadtest_unknown_scheme_is_cli_error(capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "loadtest", "--cache-scheme", "bogus", "--duration", "0.1",
+        ])
