@@ -5,60 +5,76 @@ Clients repeatedly query 8 names (4 AAAA records each, TTLs of 2-8 s)
 through a caching CoAP forward proxy. Under the DoH-like scheme, TTL
 aging changes the payload and breaks ETag revalidation; under EOL TTLs
 the representation is stable and 2.03 Valid keeps full responses off
-the constrained links. Cache placement is a `CachingSpec`, and every
-location reports the unified per-location stats of `repro.cache`.
+the constrained links.
+
+Runs go through the unified ``repro.api`` façade: each configuration
+is a ``RunSpec`` and every measurement below is read from the
+versioned Report's stable dotted metric names (link utilisation under
+``sim.link.*``, per-location cache stats under ``sim.cache.*`` /
+``cache.*``).
 
 Run:  python examples/caching_proxy.py
 """
 
+from repro.api import RunSpec, run
 from repro.doc import CachingScheme
-from repro.scenarios import CachingSpec, Scenario, ScenarioRunner, WorkloadSpec
+from repro.scenarios import CachingSpec, Scenario, WorkloadSpec
 
 
-def run(scheme: CachingScheme, placement: str):
+def caching_run(scheme: str, placement: str):
     scenario = Scenario(
         name=f"caching-study/{placement}",
         transport="coap",
         workload=WorkloadSpec(
             num_queries=50, num_names=8, records_per_name=4, ttl=(2, 8)
         ),
-        scheme=scheme,
+        scheme=CachingScheme(scheme),
         use_proxy=True,
         caching=CachingSpec.from_placement(placement),
         seed=7,
     )
-    return ScenarioRunner().run(scenario)
+    return run(RunSpec.from_scenario(scenario))
 
 
 def main() -> None:
     print("scenario                         frames@1hop  bytes@1hop  "
           "proxy-hits  revalidations")
-    scenarios = [
-        ("opaque forwarder", CachingScheme.EOL_TTLS, "none"),
-        ("proxy + DoH-like", CachingScheme.DOH_LIKE, "proxy"),
-        ("proxy + EOL TTLs", CachingScheme.EOL_TTLS, "proxy"),
+    configurations = [
+        ("opaque forwarder", "eol-ttls", "none"),
+        ("proxy + DoH-like", "doh-like", "proxy"),
+        ("proxy + EOL TTLs", "eol-ttls", "proxy"),
     ]
-    results = {}
-    for label, scheme, placement in scenarios:
-        result = run(scheme, placement)
-        results[label] = result
+    reports = {}
+    for label, scheme, placement in configurations:
+        report = caching_run(scheme, placement)
+        reports[label] = report
+        metrics = report.metrics
         print(
-            f"{label:32s} {result.link.frames_1hop:11d} "
-            f"{result.link.bytes_1hop:11d} {result.proxy_cache_hits:11d} "
-            f"{result.proxy_revalidations:13d}"
+            f"{label:32s} {metrics['sim.link.frames_1hop']:11d} "
+            f"{metrics['sim.link.bytes_1hop']:11d} "
+            f"{metrics.get('sim.cache.proxy.hits', 0):11d} "
+            f"{metrics.get('sim.cache.proxy.validations', 0):13d}"
         )
 
     print("\nper-location cache stats (proxy + EOL TTLs):")
-    for location, stats in sorted(results["proxy + EOL TTLs"].cache_stats.items()):
+    metrics = reports["proxy + EOL TTLs"].metrics
+    locations = sorted({
+        key.rsplit(".", 1)[0]
+        for key in metrics
+        if ".cache." in key or key.startswith("cache.")
+    })
+    for location in locations:
+        name = location.split("cache.", 1)[1]
         print(
-            f"  {location:10s} hits {stats.hits:3d}  stale {stats.stale_hits:3d}  "
-            f"validations {stats.validations:3d}  "
-            f"failures {stats.validation_failures:3d}  "
-            f"hit-ratio {stats.hit_ratio:.0%}"
+            f"  {name:10s} hits {metrics[f'{location}.hits']:3d}  "
+            f"stale {metrics[f'{location}.stale_hits']:3d}  "
+            f"validations {metrics[f'{location}.validations']:3d}  "
+            f"failures {metrics[f'{location}.validation_failures']:3d}  "
+            f"hit-ratio {metrics[f'{location}.hit_ratio']:.0%}"
         )
 
-    opaque = results["opaque forwarder"].link.bytes_1hop
-    eol = results["proxy + EOL TTLs"].link.bytes_1hop
+    opaque = reports["opaque forwarder"].metrics["sim.link.bytes_1hop"]
+    eol = reports["proxy + EOL TTLs"].metrics["sim.link.bytes_1hop"]
     print(
         f"\nEOL TTLs + proxy moves {opaque - eol} bytes "
         f"({100 * (opaque - eol) / opaque:.0f}%) off the bottleneck link."

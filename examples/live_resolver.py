@@ -12,7 +12,7 @@ Run:  python examples/live_resolver.py
 
 import asyncio
 
-from repro.live import DocLiveServer, LiveResolver, generate_load
+from repro.live import DocLiveServer, LiveResolver, generate_report
 
 
 async def main() -> None:
@@ -52,21 +52,24 @@ async def main() -> None:
 
             # A one-second open-loop load test against the OSCORE
             # server, Zipf-popular names hitting the client DNS cache.
+            # generate_report returns the unified repro.api Report —
+            # the same document `repro run ...,substrate=live` emits.
             from repro.scenarios import WorkloadSpec
 
-            report = await generate_load(
+            report = await generate_report(
                 resolver, server.names, rate=100.0, duration=1.0,
                 timeout=5.0, workload=WorkloadSpec(zipf_alpha=1.0),
             )
-        latency = report["latency_ms"]
-        print(f"loadtest: {report['queries']} queries, "
-              f"{report['success_rate']:.0%} ok, "
-              f"{report['achieved_qps']:.0f} qps")
-        print(f"latency:  p50 {latency['p50']:.2f} ms   "
-              f"p95 {latency['p95']:.2f} ms   p99 {latency['p99']:.2f} ms")
-        caches = report["cache"].get("client_dns")
-        if caches:
-            print(f"client DNS cache hit ratio: {caches['hit_ratio']:.0%}")
+        metrics = report.metrics
+        print(f"loadtest: {metrics['queries.issued']} queries, "
+              f"{metrics['queries.success_rate']:.0%} ok, "
+              f"{metrics['throughput.qps']:.0f} qps")
+        print(f"latency:  p50 {metrics['latency.p50_ms']:.2f} ms   "
+              f"p95 {metrics['latency.p95_ms']:.2f} ms   "
+              f"p99 {metrics['latency.p99_ms']:.2f} ms")
+        hit_ratio = metrics.get("cache.client_dns.hit_ratio")
+        if hit_ratio is not None:
+            print(f"client DNS cache hit ratio: {hit_ratio:.0%}")
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ the IoT: DNS over CoAP" (Lenders et al., CoNEXT 2023).
 The package implements DNS over CoAP (DoC) and every substrate the
 paper's evaluation depends on, in pure Python:
 
+* ``repro.api``       — the unified façade: RunSpec → versioned Report
 * ``repro.doc``       — the DoC client/server, caching schemes, CBOR format
 * ``repro.coap``      — CoAP incl. FETCH, block-wise, caches, proxy
 * ``repro.oscore``    — OSCORE object security (RFC 8613)
@@ -21,8 +22,16 @@ paper's evaluation depends on, in pure Python:
 * ``repro.quicmodel`` — DNS-over-QUIC numerical comparison (Figure 9)
 * ``repro.datasets``  — synthetic Section 3 datasets
 * ``repro.experiments`` — the evaluation harness
+* ``repro.live``      — wall-clock asyncio serving + load generation
 
-Quickstart::
+Quickstart (the unified façade — one RunSpec, either substrate)::
+
+    from repro.api import RunSpec, run
+
+    report = run(RunSpec.from_spec("transport=coap,queries=20"))
+    print(report.metrics["latency.p95_ms"])
+
+Hands-on stack quickstart::
 
     from repro.sim import Simulator
     from repro.stack import build_figure2_topology

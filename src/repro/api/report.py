@@ -1,0 +1,439 @@
+"""The unified, versioned result document of the ``repro.api`` façade.
+
+One :class:`Report` describes the outcome of one run regardless of the
+substrate that produced it: a discrete-event simulation
+(:class:`~repro.scenarios.ScenarioRunner`), or a wall-clock
+serve+loadtest pairing (:mod:`repro.live`). Metric names are **stable
+dotted identifiers** shared by both substrates:
+
+``queries.*``
+    ``issued``, ``succeeded``, ``failed``, ``timeouts``,
+    ``rcode_failures``, ``success_rate``.
+``latency.*``
+    ``p50_ms``, ``p95_ms``, ``p99_ms``, ``mean_ms``, ``max_ms``
+    (``null`` when no query succeeded).
+``throughput.qps``
+    Successful resolutions per second over the span successes landed in.
+``cache.<location>.*``
+    Per-location cache counters and ratios for the *client-side* cache
+    locations the run's spec enabled (``client_dns``, ``client_coap``):
+    ``hits``, ``misses``, ``stale_hits``, ``validations``,
+    ``validation_failures``, ``hit_ratio``, ``stale_ratio``,
+    ``validation_ratio``.
+
+Everything only one substrate can measure is **explicitly namespaced**
+under ``sim.*`` (link frames/bytes, resolver/proxy cache stats) or
+``live.*`` (wall-clock elapsed time, offered rate, loop mode, server
+counters). Two Reports produced from the same
+:class:`~repro.api.spec.RunSpec` on different substrates therefore
+carry identical non-namespaced key sets and diff directly.
+
+This module is import-light on purpose (stdlib only at module level):
+:mod:`repro.live.loadgen` and :mod:`repro.perf` both import the shared
+:data:`REPORT_VERSION` / :func:`provenance` stamp from here without
+pulling in the scenario engine.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+#: Schema version shared by every JSON document the toolkit emits
+#: (unified Reports, the loadgen report, ``experiment --sweep --json``,
+#: and ``repro.perf`` reports). Bump on breaking changes. Version 2
+#: introduced the unified Report; version 1 was the loadgen-only report.
+REPORT_VERSION = 2
+
+#: The two substrates a RunSpec can execute on.
+SUBSTRATES = ("sim", "live")
+
+#: Sub-metrics every cache location reports, in emission order.
+CACHE_METRICS = (
+    "hits", "misses", "stale_hits", "validations", "validation_failures",
+    "hit_ratio", "stale_ratio", "validation_ratio",
+)
+
+#: Cache locations that live on the client side — the only locations
+#: both substrates can observe, hence the only non-namespaced ones.
+CLIENT_CACHE_LOCATIONS = ("client_dns", "client_coap")
+
+#: Latency quantile keys of the common vocabulary (milliseconds).
+LATENCY_METRICS = ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms")
+
+
+class ReportError(ValueError):
+    """A malformed or version-incompatible report document."""
+
+
+@lru_cache(maxsize=1)
+def _git_commit() -> str:
+    """The repository commit this process runs from (or ``unknown``)."""
+    try:
+        import os
+
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def provenance() -> Dict[str, str]:
+    """The shared provenance stamp: interpreter, platform, git commit.
+
+    One function for every JSON artifact so reports from different
+    subsystems (api, loadgen, sweep, perf) stay attributable to the
+    same build the same way.
+    """
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git": _git_commit(),
+    }
+
+
+def latency_metrics(latencies_s: Sequence[float]) -> Dict[str, Optional[float]]:
+    """The common ``latency.*`` values (ms) from raw seconds samples."""
+    if not latencies_s:
+        return {f"latency.{key}": None for key in LATENCY_METRICS}
+    from repro.experiments.metrics import percentile
+
+    return {
+        "latency.p50_ms": round(percentile(latencies_s, 50) * 1000, 3),
+        "latency.p95_ms": round(percentile(latencies_s, 95) * 1000, 3),
+        "latency.p99_ms": round(percentile(latencies_s, 99) * 1000, 3),
+        "latency.mean_ms": round(
+            sum(latencies_s) / len(latencies_s) * 1000, 3
+        ),
+        "latency.max_ms": round(max(latencies_s) * 1000, 3),
+    }
+
+
+def _cache_location_metrics(prefix: str, stats) -> Dict[str, object]:
+    """One location's :data:`CACHE_METRICS` from a ``CacheStats``-like
+    object (attribute access) or a plain mapping."""
+    values: Dict[str, object] = {}
+    for key in CACHE_METRICS:
+        if isinstance(stats, dict):
+            values[f"{prefix}.{key}"] = stats.get(key, 0)
+        else:
+            values[f"{prefix}.{key}"] = getattr(stats, key)
+    return values
+
+
+@dataclass
+class Report:
+    """One run's outcome, versioned and substrate-agnostic.
+
+    ``spec`` is the JSON-ready description of the
+    :class:`~repro.api.spec.RunSpec` that produced the run; ``metrics``
+    maps the stable dotted names documented in the module docstring to
+    scalars. ``raw`` keeps the substrate-native result object (an
+    :class:`~repro.experiments.resolution.ExperimentResult`, a list of
+    them, or the loadgen dict) for Python callers — it is never
+    serialised and does not participate in equality.
+    """
+
+    substrate: str
+    spec: Dict[str, object]
+    metrics: Dict[str, object]
+    report_version: int = REPORT_VERSION
+    provenance: Dict[str, str] = field(default_factory=provenance)
+    raw: object = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.substrate not in SUBSTRATES:
+            raise ReportError(
+                f"unknown substrate {self.substrate!r} "
+                f"(known: {', '.join(SUBSTRATES)})"
+            )
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """The JSON document (plain dict, ``json.dumps``-ready as-is)."""
+        return {
+            "report_version": self.report_version,
+            "substrate": self.substrate,
+            "spec": self.spec,
+            "provenance": self.provenance,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Report":
+        """Rebuild a Report from :meth:`to_json` output."""
+        if not isinstance(payload, dict):
+            raise ReportError(f"report must be an object, got {type(payload)}")
+        missing = [
+            key
+            for key in ("report_version", "substrate", "spec", "metrics")
+            if key not in payload
+        ]
+        if missing:
+            raise ReportError(f"report is missing keys: {', '.join(missing)}")
+        version = payload["report_version"]
+        if not isinstance(version, int) or version < 1:
+            raise ReportError(f"bad report_version: {version!r}")
+        return cls(
+            substrate=payload["substrate"],
+            spec=dict(payload["spec"]),
+            metrics=dict(payload["metrics"]),
+            report_version=version,
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+    # -- accessors ---------------------------------------------------------
+
+    def common_metrics(self) -> Dict[str, object]:
+        """The substrate-agnostic (non-namespaced) metric subset."""
+        return {
+            key: value
+            for key, value in self.metrics.items()
+            if not key.startswith(("sim.", "live."))
+        }
+
+    def __getitem__(self, key: str) -> object:
+        return self.metrics[key]
+
+
+# -- substrate converters --------------------------------------------------
+
+#: Error-name fragments classified as timeouts (sim outcomes record the
+#: raising exception's type name).
+_TIMEOUT_MARKERS = ("timeout",)
+
+#: Error-name fragments classified as response-code failures.
+_RCODE_MARKERS = ("rcode", "nxdomain", "servfail", "docerror")
+
+
+def _classify_error(error_name: str) -> str:
+    lowered = error_name.lower()
+    if any(marker in lowered for marker in _TIMEOUT_MARKERS):
+        return "timeout"
+    if any(marker in lowered for marker in _RCODE_MARKERS):
+        return "rcode"
+    return "other"
+
+
+def report_from_experiment_result(
+    results,
+    spec: Optional[Dict[str, object]] = None,
+) -> Report:
+    """Build the unified Report from simulation output.
+
+    *results* is one :class:`~repro.experiments.resolution.ExperimentResult`
+    or a list of them (repeated runs pool their samples: latencies and
+    counters aggregate, cache stats merge per location).
+    """
+    from repro.cache import CacheStats
+
+    single = not isinstance(results, (list, tuple))
+    pooled = [results] if single else list(results)
+    if not pooled:
+        raise ReportError("cannot report on zero experiment results")
+
+    issued = succeeded = timeouts = rcode_failures = 0
+    latencies: List[float] = []
+    qps_values: List[float] = []
+    link_totals = {
+        "frames_1hop": 0, "frames_2hop": 0,
+        "bytes_1hop": 0, "bytes_2hop": 0,
+        "queries_frames": 0, "responses_frames": 0,
+    }
+    cache_pool: Dict[str, CacheStats] = {}
+    for result in pooled:
+        issued += len(result.outcomes)
+        run_succeeded = 0
+        # Every repetition restarts the simulated clock, so throughput
+        # must be derived per run (first arrival -> last success) and
+        # averaged — the same aggregation the live substrate applies to
+        # its per-repeat achieved qps.
+        first_issue: Optional[float] = None
+        last_done: Optional[float] = None
+        for outcome in result.outcomes:
+            if outcome.resolution_time is not None:
+                run_succeeded += 1
+                latencies.append(outcome.resolution_time)
+                done = outcome.issued_at + outcome.resolution_time
+                last_done = done if last_done is None else max(last_done, done)
+            elif outcome.error:
+                kind = _classify_error(outcome.error)
+                if kind == "timeout":
+                    timeouts += 1
+                elif kind == "rcode":
+                    rcode_failures += 1
+            if first_issue is None or outcome.issued_at < first_issue:
+                first_issue = outcome.issued_at
+        succeeded += run_succeeded
+        span = (
+            last_done - first_issue
+            if last_done is not None and first_issue is not None
+            else 0.0
+        )
+        qps_values.append(run_succeeded / span if span > 0 else 0.0)
+        for key in link_totals:
+            link_totals[key] += getattr(result.link, key)
+        for location, stats in result.cache_stats.items():
+            cache_pool.setdefault(
+                location, CacheStats()
+            ).merge(stats)
+
+    metrics: Dict[str, object] = {
+        "queries.issued": issued,
+        "queries.succeeded": succeeded,
+        "queries.failed": issued - succeeded,
+        "queries.timeouts": timeouts,
+        "queries.rcode_failures": rcode_failures,
+        "queries.success_rate": succeeded / issued if issued else 0.0,
+    }
+    metrics.update(latency_metrics(latencies))
+    metrics["throughput.qps"] = round(
+        sum(qps_values) / len(qps_values), 3
+    )
+    # Client-side cache locations are the common vocabulary; everything
+    # only the simulator can see (resolver, proxy) is sim-namespaced.
+    for location in sorted(cache_pool):
+        stats = cache_pool[location]
+        normalized = location.replace("-", "_")
+        if normalized in CLIENT_CACHE_LOCATIONS:
+            metrics.update(
+                _cache_location_metrics(f"cache.{normalized}", stats)
+            )
+        else:
+            metrics.update(
+                _cache_location_metrics(f"sim.cache.{normalized}", stats)
+            )
+    for key, value in link_totals.items():
+        metrics[f"sim.link.{key}"] = value
+    metrics["sim.repeats"] = len(pooled)
+    return Report(
+        substrate="sim",
+        spec=spec if spec is not None else {},
+        metrics=metrics,
+        raw=results if not single else pooled[0],
+    )
+
+
+def report_from_loadgen(
+    reports,
+    spec: Optional[Dict[str, object]] = None,
+    server_stats: Optional[Dict[str, object]] = None,
+) -> Report:
+    """Build the unified Report from live load-generation output.
+
+    *reports* is one :func:`~repro.live.loadgen.generate_load` report
+    dict or a list of them (repeats pool: counters sum, latency
+    quantiles recompute from the pooled ``latencies_ms`` samples when
+    present, falling back to the single report's summary otherwise).
+    *server_stats* optionally attaches the paired
+    :class:`~repro.live.server.DocLiveServer` counters under
+    ``live.server.*``.
+    """
+    single = not isinstance(reports, (list, tuple))
+    pooled = [reports] if single else list(reports)
+    if not pooled:
+        raise ReportError("cannot report on zero loadgen reports")
+
+    counters = {
+        "queries": 0, "succeeded": 0, "failed": 0,
+        "timeouts": 0, "rcode_failures": 0,
+    }
+    latencies_ms: List[float] = []
+    have_samples = all("latencies_ms" in report for report in pooled)
+    elapsed = 0.0
+    qps_values: List[float] = []
+    cache_pool: Dict[str, Dict[str, float]] = {}
+    for report in pooled:
+        for key in counters:
+            counters[key] += report[key]
+        elapsed += report["elapsed_s"]
+        qps_values.append(report["achieved_qps"])
+        if have_samples:
+            latencies_ms.extend(report["latencies_ms"])
+        for location, stats in report.get("cache", {}).items():
+            pool = cache_pool.setdefault(location, {})
+            for key in ("hits", "misses", "stale_hits", "validations",
+                        "validation_failures"):
+                pool[key] = pool.get(key, 0) + stats.get(key, 0)
+
+    completed = counters["succeeded"] + counters["failed"]
+    metrics: Dict[str, object] = {
+        "queries.issued": counters["queries"],
+        "queries.succeeded": counters["succeeded"],
+        "queries.failed": counters["failed"],
+        "queries.timeouts": counters["timeouts"],
+        "queries.rcode_failures": counters["rcode_failures"],
+        "queries.success_rate": (
+            counters["succeeded"] / completed if completed else 0.0
+        ),
+    }
+    if have_samples:
+        metrics.update(latency_metrics([ms / 1000 for ms in latencies_ms]))
+    else:
+        summary = pooled[0]["latency_ms"]
+        for key in LATENCY_METRICS:
+            metrics[f"latency.{key}"] = summary[key.replace("_ms", "")]
+    metrics["throughput.qps"] = (
+        round(sum(qps_values) / len(qps_values), 3) if qps_values else 0.0
+    )
+    for location in sorted(cache_pool):
+        pool = cache_pool[location]
+        hits, misses = pool.get("hits", 0), pool.get("misses", 0)
+        stale = pool.get("stale_hits", 0)
+        validations = pool.get("validations", 0)
+        lookups = hits + misses + stale
+        # Recompute the derived ratios from the pooled counters with
+        # the exact repro.cache.CacheStats definitions (in particular,
+        # validation_ratio is validations *per stale hit*) so sim and
+        # live values of the same metric mean the same thing.
+        pool["hit_ratio"] = hits / lookups if lookups else 0.0
+        pool["stale_ratio"] = stale / lookups if lookups else 0.0
+        pool["validation_ratio"] = validations / stale if stale else 0.0
+        metrics.update(_cache_location_metrics(f"cache.{location}", pool))
+
+    first = pooled[0]
+    metrics["live.mode"] = first["mode"]
+    metrics["live.offered_rate_qps"] = first["offered_rate_qps"]
+    metrics["live.concurrency"] = first["concurrency"]
+    metrics["live.elapsed_s"] = round(elapsed, 3)
+    metrics["live.repeats"] = len(pooled)
+    if server_stats:
+        for key in ("queries_handled", "datagrams_received",
+                    "datagrams_sent", "validations_sent"):
+            if key in server_stats:
+                metrics[f"live.server.{key}"] = server_stats[key]
+        resolver_cache = server_stats.get("resolver_cache")
+        if isinstance(resolver_cache, dict):
+            for key, value in resolver_cache.items():
+                metrics[f"live.cache.resolver.{key}"] = value
+    return Report(
+        substrate="live",
+        spec=spec if spec is not None else {},
+        metrics=metrics,
+        raw=reports if not single else pooled[0],
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """``python -m repro.api.report`` — print the provenance stamp."""
+    import json
+
+    print(json.dumps(
+        {"report_version": REPORT_VERSION, "provenance": provenance()},
+        indent=2,
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""``repro.api.run``: one RunSpec in, one Report out, either substrate.
+
+The sim path compiles the spec to a
+:class:`~repro.scenarios.ScenarioRunner` execution (repeats fan out
+over the :mod:`~repro.scenarios.executors` backends); the live path
+compiles it to a serve+loadtest pairing — a loopback
+:class:`~repro.live.server.DocLiveServer` (or an externally provided
+endpoint) driven by :func:`~repro.live.loadgen.generate_load` through a
+:class:`~repro.live.client.LiveResolver`. Both paths emit the same
+versioned :class:`~repro.api.report.Report`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .report import Report, report_from_experiment_result, report_from_loadgen
+from .spec import ApiError, RunSpec
+
+
+def run(spec: Union[RunSpec, str], *, _config=None) -> Report:
+    """Execute *spec* (a :class:`RunSpec` or a spec string) and return
+    its :class:`~repro.api.report.Report`.
+
+    ``_config`` is the legacy-adapter hook: when
+    :func:`~repro.experiments.resolution.run_resolution_experiment`
+    delegates here it passes its :class:`ExperimentConfig` through so
+    the underlying :class:`ExperimentResult` (``report.raw``) stays
+    bit-identical to the pre-façade output.
+    """
+    if isinstance(spec, str):
+        spec = RunSpec.from_spec(spec)
+    if spec.substrate == "sim":
+        return _run_sim(spec, _config=_config)
+    if _config is not None:
+        raise ApiError("_config applies to the sim substrate only")
+    return _run_live(spec)
+
+
+def _run_sim(spec: RunSpec, _config=None) -> Report:
+    from repro.scenarios.executors import get_executor
+    from repro.scenarios.runner import ScenarioRunner
+
+    if spec.repeats == 1:
+        result = ScenarioRunner().run(
+            spec.to_scenario(), _config, frame_capture="records"
+        )
+        return report_from_experiment_result(result, spec=spec.to_dict())
+    scenarios = [spec.to_scenario(seed) for seed in spec.repeat_seeds()]
+    results = get_executor(None, spec.workers).map(
+        _run_one_scenario, scenarios
+    )
+    return report_from_experiment_result(results, spec=spec.to_dict())
+
+
+def _run_one_scenario(scenario):
+    """Module-level so the process executor can pickle it."""
+    from repro.scenarios.runner import ScenarioRunner
+
+    return ScenarioRunner().run(scenario, frame_capture="counts")
+
+
+def _run_live(spec: RunSpec) -> Report:
+    import asyncio
+
+    return asyncio.run(_run_live_async(spec))
+
+
+async def _run_live_async(spec: RunSpec) -> Report:
+    """The serve+loadtest pairing, one pass per repeat.
+
+    Self-serving runs restart the server per repetition so each repeat
+    is an independent measurement (and OSCORE sender sequences restart
+    cleanly, see :class:`~repro.live.client.LiveResolver`).
+    """
+    reports = []
+    server_stats = None
+    for seed in spec.repeat_seeds():
+        report, stats = await _live_once(spec, seed)
+        reports.append(report)
+        server_stats = _merge_server_stats(server_stats, stats)
+    unified = report_from_loadgen(
+        reports if spec.repeats > 1 else reports[0],
+        spec=spec.to_dict(),
+        server_stats=server_stats,
+    )
+    return unified
+
+
+def _merge_server_stats(merged, stats):
+    """Accumulate per-repeat server counters (each repeat runs a fresh
+    loopback server, so `live.server.*` must sum across them)."""
+    if stats is None:
+        return merged
+    if merged is None:
+        return dict(stats)
+    for key in ("queries_handled", "validations_sent",
+                "datagrams_received", "datagrams_sent"):
+        if key in stats:
+            merged[key] = merged.get(key, 0) + stats[key]
+    cache = stats.get("resolver_cache")
+    if isinstance(cache, dict):
+        pooled = merged.setdefault("resolver_cache", {"hits": 0, "misses": 0})
+        for key in ("hits", "misses"):
+            pooled[key] = pooled.get(key, 0) + cache.get(key, 0)
+        lookups = pooled["hits"] + pooled["misses"]
+        pooled["hit_ratio"] = pooled["hits"] / lookups if lookups else 0.0
+    return merged
+
+
+async def _live_once(spec: RunSpec, seed: int):
+    from repro.live.client import LiveResolver
+    from repro.live.loadgen import generate_load
+    from repro.live.server import DocLiveServer
+    from repro.live.wiring import build_names
+
+    scenario = spec.to_scenario(seed)
+    workload = scenario.workload
+    options = spec.live
+    rate = workload.query_rate
+    duration = workload.num_queries / rate
+
+    server: Optional[DocLiveServer] = None
+    if options.host is None:
+        server = DocLiveServer(
+            transport=scenario.transport,
+            host="127.0.0.1",
+            port=options.port,
+            num_names=workload.num_names,
+            dataset=options.dataset,
+            name_seed=options.name_seed,
+            ttl=workload.ttl,
+            scheme=scenario.scheme,
+            seed=seed,
+        )
+        await server.start()
+        endpoint = server.endpoint
+        names = server.names
+    else:
+        endpoint = (options.host, options.port)
+        names = build_names(
+            workload.num_names,
+            dataset=options.dataset,
+            name_seed=options.name_seed,
+        )
+    try:
+        resolver = LiveResolver(
+            endpoint,
+            transport=scenario.transport,
+            scheme=scenario.scheme,
+            cache_placement=spec.client_cache_placement(),
+            block_size=scenario.block_size,
+            seed=seed + 1,
+            timeout=options.timeout,
+        )
+        async with resolver:
+            report = await generate_load(
+                resolver,
+                names,
+                rate=rate,
+                duration=duration,
+                mode=options.mode,
+                concurrency=options.concurrency,
+                timeout=options.timeout,
+                seed=seed,
+                workload=workload,
+                include_latencies=True,
+            )
+        stats = server.stats() if server is not None else None
+    finally:
+        if server is not None:
+            await server.stop()
+    return report, stats

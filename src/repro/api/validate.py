@@ -1,0 +1,57 @@
+"""``python -m repro.api.validate SCHEMA FILE [FILE...]`` — validate
+JSON artifacts against the checked-in report schema.
+
+The CI workflow runs this over the live-smoke and perf-smoke artifacts
+so any drift between what the toolkit emits and what
+``tests/report_schema.json`` promises fails the build. Exit status: 0
+when every file validates, 1 on the first validation failure, 2 on
+unreadable inputs or a malformed schema.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from .schema import SchemaError, ValidationError, load_schema, validate
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) < 2:
+        print(
+            "usage: python -m repro.api.validate SCHEMA FILE [FILE...]",
+            file=sys.stderr,
+        )
+        return 2
+    schema_path, *files = args
+    try:
+        schema = load_schema(schema_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load schema {schema_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                instance = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            validate(instance, schema)
+        except ValidationError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            status = 1
+        except SchemaError as exc:
+            print(f"error: malformed schema: {exc}", file=sys.stderr)
+            return 2
+        else:
+            print(f"ok   {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

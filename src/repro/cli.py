@@ -2,6 +2,11 @@
 
 Subcommands
 -----------
+``run``
+    The unified façade: execute one :class:`repro.api.RunSpec` —
+    ``"[preset][,key=value]..."`` including ``substrate=sim|live``,
+    ``repeats=N``, ``workers=N`` — on either substrate and print (or
+    ``--json``-emit) the versioned unified Report.
 ``dissect``
     Print the Figure 6 per-layer packet dissection for one transport
     (any registry profile, including the modeled QUIC), or for every
@@ -15,7 +20,9 @@ Subcommands
     (transport × topology × loss × cache-placement × scheme) sweep
     (``--sweep``). ``--cache-placement``/``--cache-scheme`` pick the
     Section 6.1 caching configuration; with ``--sweep`` they accept
-    comma-separated lists and become grid axes.
+    comma-separated lists and become grid axes. ``--json`` emits the
+    same unified Report JSON as ``run`` and ``loadtest`` (a sweep
+    emits per-cell Reports keyed by string grid coordinates).
 ``memory``
     Print the Figure 5 / Figure 8 build-size tables.
 ``compress``
@@ -32,6 +39,9 @@ Examples
 --------
 ::
 
+    python -m repro.cli run one-hop,transport=coap,queries=20
+    python -m repro.cli run transport=coap,queries=50,substrate=live --json
+    python -m repro.cli run figure7,repeats=5,workers=4 --json report.json
     python -m repro.cli serve --transport udp
     python -m repro.cli serve --transport oscore --port 5853 --duration 30
     python -m repro.cli loadtest --rate 50 --duration 2 --json
@@ -104,6 +114,68 @@ def _merged_scenario(args: argparse.Namespace, flags, defaults):
     if overrides:
         scenario = scenario_from_spec(",".join(overrides), base=scenario)
     return scenario
+
+
+def _emit_json(payload: dict, dest: str) -> None:
+    """Write *payload* to stdout (``dest == "-"``) or to a file."""
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=False)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {dest}")
+
+
+def _print_report(report) -> None:
+    """Human summary of a unified Report (shared by ``run`` and
+    ``experiment``)."""
+    metrics = report.metrics
+    spec = report.spec
+    print(f"substrate:        {report.substrate}")
+    print(f"transport:        {spec.get('transport', '?')}")
+    print(f"queries:          {metrics['queries.issued']}")
+    print(f"success rate:     {metrics['queries.success_rate']:.2%} "
+          f"({metrics['queries.timeouts']} timeouts, "
+          f"{metrics['queries.rcode_failures']} rcode failures)")
+    p50 = metrics["latency.p50_ms"]
+    if p50 is not None:
+        print(f"latency p50:      {p50:.2f} ms")
+        print(f"latency p95:      {metrics['latency.p95_ms']:.2f} ms")
+        print(f"latency p99:      {metrics['latency.p99_ms']:.2f} ms")
+        print(f"latency mean/max: {metrics['latency.mean_ms']:.2f} / "
+              f"{metrics['latency.max_ms']:.2f} ms")
+    print(f"throughput:       {metrics['throughput.qps']} qps")
+    locations = sorted({
+        key.split(".")[1]
+        for key in metrics
+        if key.startswith("cache.")
+    })
+    for location in locations:
+        print(f"cache {location:12s} hit-ratio "
+              f"{metrics[f'cache.{location}.hit_ratio']:.0%}  "
+              f"hits {metrics[f'cache.{location}.hits']}  "
+              f"validations {metrics[f'cache.{location}.validations']}")
+    if report.substrate == "sim":
+        print(f"frames @1hop:     {metrics['sim.link.frames_1hop']}")
+        print(f"frames @2hop:     {metrics['sim.link.frames_2hop']}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec, run
+
+    spec = RunSpec.from_spec(args.spec)
+    report = run(spec)
+    if args.json is not None:
+        _emit_json(report.to_json(), args.json)
+    else:
+        _print_report(report)
+    return 0 if (
+        report.metrics["queries.issued"]
+        and report.metrics["queries.success_rate"] > 0
+    ) else 1
 
 
 def _print_dissections(dissections) -> None:
@@ -255,6 +327,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             schemes=schemes,
             workers=args.workers,
         )
+        if args.json is not None:
+            _emit_json(sweep.to_json(), args.json)
+            return 0
         cache_axes = placements is not None or schemes is not None
         header = (f"{'transport':10s} {'topology':14s} {'loss':>5s} "
                   f"{'success':>8s} {'median':>9s} {'p95':>9s} "
@@ -296,7 +371,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(row)
         return 0
 
-    result = runner.run(scenario)
+    # The single run flows through the unified façade: the Report is
+    # what --json emits, its raw ExperimentResult what the legacy
+    # human-readable summary is printed from.
+    from repro.api import RunSpec
+    from repro.api import run as api_run
+
+    report = api_run(RunSpec.from_scenario(scenario))
+    if args.json is not None:
+        _emit_json(report.to_json(), args.json)
+        return 0
+    result = report.raw
     times = result.resolution_times
     print(f"transport:        {scenario.transport}")
     print(f"queries:          {len(result.outcomes)}")
@@ -370,9 +455,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _loadtest_report(args: argparse.Namespace, workload, report):
+    """The unified Report for one ``loadtest`` pass: the loadgen dict
+    plus the RunSpec description reconstructed from the CLI flags."""
+    from dataclasses import replace
+
+    from repro.api import LiveOptions, RunSpec
+    from repro.api.report import report_from_loadgen
+    from repro.scenarios import CachingSpec, Scenario
+
+    spec = RunSpec(
+        scenario=Scenario(
+            name="loadtest",
+            transport=args.transport,
+            workload=replace(
+                workload,
+                num_queries=max(1, report["queries"]),
+                num_names=args.names,
+                query_rate=(
+                    args.rate if args.mode == "open" else workload.query_rate
+                ),
+            ),
+            scheme=_parse_scheme(args.cache_scheme),
+            # `--client-cache all` means "every cache the live client
+            # has" — strip the proxy bit the placement vocabulary would
+            # otherwise imply (the resolver accepts it the same way).
+            caching=replace(
+                CachingSpec.from_placement(args.client_cache), proxy=False
+            ),
+        ),
+        substrate="live",
+        seed=args.seed,
+        live=LiveOptions(
+            host=args.host, port=args.port, mode=args.mode,
+            concurrency=args.concurrency, timeout=args.timeout,
+            dataset=args.dataset, name_seed=args.name_seed,
+        ),
+    )
+    return report_from_loadgen(report, spec=spec.to_dict())
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import asyncio
-    import json
 
     from repro.live import LiveResolver, build_names, generate_load
     from repro.scenarios import WorkloadSpec
@@ -412,13 +536,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     report = asyncio.run(run())
     if args.json is not None:
-        payload = json.dumps(report, indent=2, sort_keys=False)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
-            print(f"report written to {args.json}")
+        # The machine-readable output is the unified Report — the same
+        # document `repro run` and `experiment --json` emit — with the
+        # flat loadgen dict available as its raw form.
+        _emit_json(_loadtest_report(args, workload, report).to_json(),
+                   args.json)
     else:
         latency = report["latency_ms"]
         print(f"transport:     {report['transport']} ({report['mode']} loop)")
@@ -489,6 +611,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="DNS over CoAP reproduction toolkit"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run",
+        help="run a unified RunSpec on either substrate (repro.api)",
+    )
+    run.add_argument(
+        "spec", metavar="SPEC",
+        help="run spec: scenario keys plus substrate=sim|live, "
+             "repeats=N, workers=N, live-host/live-port/mode/"
+             "concurrency/timeout, e.g. "
+             "'one-hop,transport=coap,queries=20,substrate=live'",
+    )
+    run.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the unified Report JSON (to stdout, or to PATH)",
+    )
+    run.set_defaults(func=_cmd_run)
 
     dissect = subparsers.add_parser("dissect", help="Figure 6 packet dissection")
     dissect.add_argument(
@@ -562,6 +701,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="sweep: run grid cells on N worker processes "
              "(default 1 = in-process serial; results are identical)",
+    )
+    experiment.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the unified Report JSON instead of the table "
+             "(a sweep emits per-cell Reports keyed by grid "
+             "coordinates; to stdout, or to PATH)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

@@ -38,7 +38,13 @@ __all__ = [
 
 @dataclass
 class ExperimentConfig:
-    """Parameters of one testbed run (the paper's Figure 2 setup)."""
+    """Parameters of one testbed run (the paper's Figure 2 setup).
+
+    .. deprecated::
+        Kept as a paper-shaped adapter; prefer describing runs with a
+        :class:`repro.api.RunSpec` (see :meth:`to_run_spec`) and
+        consuming the unified :class:`repro.api.Report`.
+    """
 
     transport: str = "coap"          # any simulatable registry profile
     method: Code = Code.FETCH
@@ -103,6 +109,18 @@ class ExperimentConfig:
             seed=self.seed,
             run_duration=self.run_duration,
         )
+
+    def to_run_spec(self) -> "RunSpec":
+        """The equivalent :class:`repro.api.RunSpec` (sim substrate).
+
+        The migration hook of the deprecated paper-shaped config:
+        ``repro.api.run(config.to_run_spec())`` returns the unified
+        Report whose ``raw`` field is the classic
+        :class:`ExperimentResult`.
+        """
+        from repro.api import RunSpec
+
+        return RunSpec.from_scenario(self.to_scenario())
 
 
 @dataclass
@@ -187,10 +205,20 @@ def build_zone(config: ExperimentConfig, rng) -> Zone:
 
 
 def run_resolution_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one run and gather its measurements."""
-    from repro.scenarios import ScenarioRunner
+    """Execute one run and gather its measurements.
 
-    return ScenarioRunner().run(config.to_scenario(), _config=config)
+    .. deprecated::
+        This is now a thin adapter over the :mod:`repro.api` façade —
+        it builds a sim-substrate :class:`~repro.api.RunSpec` from the
+        config and unwraps the unified Report's raw result, which stays
+        bit-identical to the historical output. New code should call
+        :func:`repro.api.run` and consume the
+        :class:`~repro.api.Report` directly.
+    """
+    from repro.api import run
+
+    report = run(config.to_run_spec(), _config=config)
+    return report.raw
 
 
 def run_repeated(

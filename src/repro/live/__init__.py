@@ -37,6 +37,7 @@ _EXPORTS = {
     "REPORT_VERSION": ".loadgen",
     "LoadGenError": ".loadgen",
     "generate_load": ".loadgen",
+    "generate_report": ".loadgen",
     "DocLiveServer": ".server",
     "LiveTransportError": ".transport",
     "LiveUdpTransport": ".transport",

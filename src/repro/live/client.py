@@ -312,12 +312,18 @@ class LiveResolver:
         def pool(location: str, cache) -> None:
             if cache is None:
                 return
+            # The full per-location vocabulary of repro.cache.CacheStats
+            # — the same counters/ratios the simulated runner reports,
+            # so sim and live cache metrics diff key-for-key.
             caches[location] = {
                 "hits": cache.stats.hits,
                 "misses": cache.stats.misses,
                 "stale_hits": cache.stats.stale_hits,
                 "validations": cache.stats.validations,
+                "validation_failures": cache.stats.validation_failures,
                 "hit_ratio": cache.stats.hit_ratio,
+                "stale_ratio": cache.stats.stale_ratio,
+                "validation_ratio": cache.stats.validation_ratio,
             }
 
         stub = getattr(client, "stub", None)

@@ -23,21 +23,30 @@ import asyncio
 import random
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.report import REPORT_VERSION, provenance
 from repro.scenarios.scenario import WorkloadSpec
 
 from .client import LiveResolver
 from .wiring import LiveWiringError
 
-#: Schema version of the loadgen report (bump on breaking changes).
-REPORT_VERSION = 1
-
-#: Top-level keys every report carries, in emission order.
+#: Top-level keys every report carries, in emission order. The version
+#: and provenance stamps are the toolkit-wide ones from
+#: :mod:`repro.api.report`.
 REPORT_FIELDS = (
-    "report_version", "mode", "transport", "offered_rate_qps",
-    "concurrency", "duration_s", "elapsed_s", "queries", "succeeded",
-    "failed", "timeouts", "rcode_failures", "success_rate",
-    "achieved_qps", "latency_ms", "cache", "workload", "seed",
+    "report_version", "provenance", "mode", "transport",
+    "offered_rate_qps", "concurrency", "duration_s", "elapsed_s",
+    "queries", "succeeded", "failed", "timeouts", "rcode_failures",
+    "success_rate", "achieved_qps", "latency_ms", "cache", "workload",
+    "seed",
 )
+
+__all__ = [
+    "LoadGenError",
+    "REPORT_FIELDS",
+    "REPORT_VERSION",
+    "generate_load",
+    "generate_report",
+]
 
 
 class LoadGenError(LiveWiringError):
@@ -76,6 +85,7 @@ async def generate_load(
     timeout: Optional[float] = None,
     seed: int = 1,
     workload: Optional[WorkloadSpec] = None,
+    include_latencies: bool = False,
 ) -> Dict[str, object]:
     """Run one load-generation pass and return the report dict.
 
@@ -84,6 +94,10 @@ async def generate_load(
     ``num_names`` are overridden from *rate*, *duration*, and
     *names* so one spec works for both simulated and live runs);
     omitted, a steady-Poisson/round-robin spec is derived.
+
+    *include_latencies* appends the raw per-query ``latencies_ms``
+    samples to the report (beyond :data:`REPORT_FIELDS`) — what lets
+    :mod:`repro.api` pool quantiles across repeated passes.
     """
     if not names:
         raise LoadGenError("names must not be empty")
@@ -177,6 +191,7 @@ async def generate_load(
     )
     report: Dict[str, object] = {
         "report_version": REPORT_VERSION,
+        "provenance": provenance(),
         "mode": mode,
         "transport": resolver.transport_name,
         "offered_rate_qps": rate if mode == "open" else None,
@@ -206,4 +221,29 @@ async def generate_load(
         },
         "seed": seed,
     }
+    if include_latencies:
+        report["latencies_ms"] = [round(s * 1000, 3) for s in latencies]
     return report
+
+
+async def generate_report(
+    resolver: LiveResolver,
+    names: Sequence[str],
+    spec: Optional[Dict[str, object]] = None,
+    server_stats: Optional[Dict[str, object]] = None,
+    **kwargs,
+) -> "Report":
+    """Run one pass and return the unified :class:`repro.api.Report`
+    (the native vocabulary of the façade; :func:`generate_load` keeps
+    returning the flat loadgen dict, available as ``report.raw``).
+
+    *spec* stamps the Report's run description (a
+    :meth:`repro.api.RunSpec.to_dict` document); *server_stats*
+    attaches the paired server's counters under ``live.server.*``.
+    Remaining keyword arguments pass through to :func:`generate_load`.
+    """
+    from repro.api.report import report_from_loadgen
+
+    kwargs.setdefault("include_latencies", True)
+    report = await generate_load(resolver, names, **kwargs)
+    return report_from_loadgen(report, spec=spec, server_stats=server_stats)

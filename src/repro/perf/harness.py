@@ -228,9 +228,18 @@ def build_report(
     *baseline* is a previously-written report; when given, each result
     gains the baseline's timing plus a measured speedup factor
     (``baseline best / current best``) under ``comparison``.
+
+    The report carries the toolkit-wide ``report_version`` +
+    provenance stamp from :mod:`repro.api.report` (the same one the
+    unified Reports and the loadgen report use), alongside its own
+    ``schema`` marker and the legacy flat ``python``/``platform`` keys.
     """
+    from repro.api.report import REPORT_VERSION, provenance
+
     report = {
         "schema": "repro.perf/1",
+        "report_version": REPORT_VERSION,
+        "provenance": provenance(),
         "created_unix": int(time.time()),
         "python": platform.python_version(),
         "platform": platform.platform(),

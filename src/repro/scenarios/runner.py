@@ -83,6 +83,13 @@ def build_workload_zone(workload: WorkloadSpec, rng, names=None):
     return zone
 
 
+# Module-level so SweepCell.metrics() stops re-importing per call —
+# but placed *below* the symbols `repro.experiments.resolution` pulls
+# from this module: the two modules import each other, and only this
+# ordering keeps both import directions cycle-safe.
+from repro.experiments.metrics import percentile  # noqa: E402
+
+
 @dataclass
 class SweepCell:
     """One grid point and its result.
@@ -109,6 +116,18 @@ class SweepCell:
             self.placement, self.scheme,
         )
 
+    @property
+    def key_string(self) -> str:
+        """The grid coordinate as a stable ``/``-joined string — the
+        JSON-object key of :meth:`SweepResult.to_json` (tuples cannot
+        key a JSON object)."""
+        parts = [self.transport, self.topology, f"{self.loss:g}"]
+        if self.placement is not None:
+            parts.append(self.placement)
+        if self.scheme is not None:
+            parts.append(self.scheme)
+        return "/".join(parts)
+
     def metrics(self) -> Dict[str, float]:
         """The per-cell summary a sweep table reports.
 
@@ -117,8 +136,6 @@ class SweepCell:
         ratios under ``<location>_...`` keys (locations: ``client_dns``,
         ``client_coap``, ``proxy``, ``resolver``).
         """
-        from repro.experiments.metrics import percentile
-
         result = self.result
         times = result.resolution_times
         metrics = {
@@ -126,6 +143,8 @@ class SweepCell:
             "success_rate": result.success_rate,
             "median_s": percentile(times, 50) if times else float("nan"),
             "p95_s": percentile(times, 95) if times else float("nan"),
+            "p99_s": percentile(times, 99) if times else float("nan"),
+            "mean_s": sum(times) / len(times) if times else float("nan"),
             "max_s": max(times) if times else float("nan"),
             "frames_1hop": result.link.frames_1hop,
             "frames_2hop": result.link.frames_2hop,
@@ -143,6 +162,20 @@ class SweepCell:
             metrics[f"{prefix}_stale_ratio"] = stats.stale_ratio
             metrics[f"{prefix}_validation_ratio"] = stats.validation_ratio
         return metrics
+
+    def report(self) -> "Report":
+        """This cell's result as a unified :class:`repro.api.Report`.
+
+        The Report's spec records the cell's fully-derived scenario, so
+        a sweep serialises as self-describing per-cell documents.
+        """
+        from repro.api.report import report_from_experiment_result
+        from repro.api.spec import RunSpec
+
+        return report_from_experiment_result(
+            self.result,
+            spec=RunSpec.from_scenario(self.scenario).to_dict(),
+        )
 
 
 class SweepResult:
@@ -184,8 +217,35 @@ class SweepResult:
             ) from None
 
     def metrics(self) -> Dict[Tuple, Dict[str, float]]:
-        """Per-cell metric dictionaries keyed by grid coordinates."""
+        """Per-cell metric dictionaries keyed by grid coordinates.
+
+        Tuple keys are the Python-side accessor; they cannot serialise
+        to JSON — use :meth:`to_json` for that.
+        """
         return {cell.key: cell.metrics() for cell in self.cells}
+
+    def reports(self) -> Dict[str, "Report"]:
+        """Per-cell unified Reports keyed by string grid coordinates."""
+        return {cell.key_string: cell.report() for cell in self.cells}
+
+    def to_json(self) -> Dict[str, object]:
+        """The sweep as one ``json.dumps``-ready document.
+
+        ``cells`` maps each cell's :attr:`~SweepCell.key_string` grid
+        coordinate to its unified Report JSON; the envelope carries the
+        shared ``report_version`` + provenance stamp.
+        """
+        from repro.api.report import REPORT_VERSION, provenance
+
+        return {
+            "report_version": REPORT_VERSION,
+            "kind": "sweep",
+            "provenance": provenance(),
+            "cells": {
+                cell.key_string: cell.report().to_json()
+                for cell in self.cells
+            },
+        }
 
 
 class ScenarioRunner:
@@ -347,6 +407,24 @@ class ScenarioRunner:
             ),
             scenario=scenario,
             cache_stats=cache_stats,
+        )
+
+    def run_report(
+        self,
+        scenario: Scenario,
+        *,
+        frame_capture: str = "records",
+    ) -> "Report":
+        """Execute one scenario and return the unified
+        :class:`repro.api.Report` (the native result vocabulary of the
+        façade; :meth:`run` keeps returning the raw
+        :class:`ExperimentResult` for metric-level consumers)."""
+        from repro.api.report import report_from_experiment_result
+        from repro.api.spec import RunSpec
+
+        result = self.run(scenario, frame_capture=frame_capture)
+        return report_from_experiment_result(
+            result, spec=RunSpec.from_scenario(scenario).to_dict()
         )
 
     def sweep(

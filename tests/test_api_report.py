@@ -1,0 +1,478 @@
+"""The unified ``repro.api`` façade: RunSpec, Report, schema, parity.
+
+Covers the acceptance criteria of the API-redesign PR: one RunSpec
+executes on both substrates with identical non-namespaced metric key
+sets, every emitted JSON document validates against the checked-in
+``tests/report_schema.json``, and the legacy ``ExperimentConfig`` path
+stays bit-identical to a direct ScenarioRunner execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    Report,
+    ReportError,
+    REPORT_VERSION,
+    RunSpec,
+    provenance,
+    report_from_experiment_result,
+    run,
+)
+from repro.api.schema import (
+    SchemaError,
+    ValidationError,
+    is_valid,
+    load_schema,
+    validate,
+)
+
+SCHEMA_PATH = pathlib.Path(__file__).parent / "report_schema.json"
+SCHEMA = load_schema(str(SCHEMA_PATH))
+
+#: One small scenario shared by the sim/live parity tests: a transport
+#: both substrates can run, a client-side cache, no proxy.
+PARITY_SPEC = "transport=coap,queries=8,loss=0.0,rate=100,cache=client-dns"
+
+
+def run_sim(spec_text: str = PARITY_SPEC, **overrides) -> Report:
+    return run(RunSpec.from_spec(spec_text, base=RunSpec(**overrides)))
+
+
+# -- RunSpec ---------------------------------------------------------------
+
+
+class TestRunSpec:
+    def test_from_spec_parses_api_keys(self):
+        spec = RunSpec.from_spec(
+            "one-hop,transport=oscore,queries=12,substrate=live,"
+            "repeats=3,workers=2,mode=closed,concurrency=4,timeout=2.5"
+        )
+        assert spec.substrate == "live"
+        assert spec.repeats == 3
+        assert spec.workers == 2
+        assert spec.live.mode == "closed"
+        assert spec.live.concurrency == 4
+        assert spec.live.timeout == 2.5
+        assert spec.scenario.transport == "oscore"
+        assert spec.scenario.workload.num_queries == 12
+        assert spec.scenario.topology.name == "one-hop"
+
+    def test_from_spec_defaults_to_sim(self):
+        spec = RunSpec.from_spec("figure7")
+        assert spec.substrate == "sim"
+        assert spec.repeats == 1
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ApiError):
+            RunSpec.from_spec("substrate=quantum")
+
+    def test_live_rejects_non_live_transport(self):
+        # quic is model-only; the scenario layer rejects it before the
+        # substrate check can.
+        from repro.scenarios import ScenarioError
+
+        with pytest.raises(ScenarioError):
+            RunSpec.from_spec("transport=quic,substrate=live")
+
+    def test_live_rejects_proxy_placement(self):
+        with pytest.raises(ApiError):
+            RunSpec.from_spec("transport=coap,cache=proxy,substrate=live")
+
+    def test_live_rejects_explicit_proxy_cache_without_forwarder(self):
+        # An explicit placement naming the proxy must not silently
+        # degrade to a client-only live run even when the scenario's
+        # use_proxy flag is off.
+        from repro.scenarios import CachingSpec, Scenario
+
+        scenario = Scenario(
+            transport="coap",
+            caching=CachingSpec.from_placement("proxy+client-dns"),
+        )
+        with pytest.raises(ApiError):
+            RunSpec(scenario=scenario, substrate="live")
+        # ...while the implicit caching_spec default (proxy=True but no
+        # caching given, no forwarder) stays accepted.
+        assert RunSpec(
+            scenario=Scenario(transport="coap"), substrate="live"
+        ).client_cache_placement() == "none"
+
+    def test_repeat_seeds_match_run_repeated_spacing(self):
+        spec = RunSpec.from_spec("seed=7,repeats=3")
+        assert spec.repeat_seeds() == [7, 1007, 2007]
+
+    def test_client_cache_placement_strips_proxy(self):
+        spec = RunSpec.from_spec("transport=coap,cache=all,proxy=false")
+        assert spec.client_cache_placement() == "client-dns+client-coap"
+        assert RunSpec.from_spec("").client_cache_placement() == "none"
+
+    def test_to_dict_is_json_ready(self):
+        payload = RunSpec.from_spec("figure7,cache=client-coap").to_dict()
+        json.dumps(payload)
+        assert payload["topology"]["loss"] == 0.25
+        assert payload["caching"]["placement"] == "client-coap"
+
+
+# -- Report ----------------------------------------------------------------
+
+
+class TestReport:
+    def test_round_trip(self):
+        report = run_sim()
+        clone = Report.from_json(
+            json.loads(json.dumps(report.to_json()))
+        )
+        assert clone == Report.from_json(report.to_json())
+        assert clone.metrics == report.metrics
+        assert clone.spec == report.spec
+        assert clone.substrate == report.substrate
+        assert clone.report_version == REPORT_VERSION
+
+    def test_from_json_rejects_missing_keys(self):
+        with pytest.raises(ReportError):
+            Report.from_json({"substrate": "sim"})
+        with pytest.raises(ReportError):
+            Report.from_json({
+                "report_version": "two", "substrate": "sim",
+                "spec": {}, "metrics": {},
+            })
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ReportError):
+            Report(substrate="testbed", spec={}, metrics={})
+
+    def test_sim_report_metrics_and_schema(self):
+        report = run_sim()
+        metrics = report.metrics
+        assert metrics["queries.issued"] == 8
+        assert metrics["queries.success_rate"] == 1.0
+        assert metrics["latency.p50_ms"] <= metrics["latency.p95_ms"]
+        assert metrics["sim.link.frames_1hop"] > 0
+        assert "cache.client_dns.hit_ratio" in metrics
+        validate(report.to_json(), SCHEMA)
+
+    def test_raw_keeps_native_result_and_skips_equality(self):
+        from repro.experiments.resolution import ExperimentResult
+
+        report = run_sim()
+        assert isinstance(report.raw, ExperimentResult)
+        assert Report.from_json(report.to_json()).raw is None
+        assert Report.from_json(report.to_json()) == Report.from_json(
+            report.to_json()
+        )
+
+    def test_provenance_stamp_shape(self):
+        stamp = provenance()
+        assert set(stamp) == {"python", "platform", "git"}
+        assert all(isinstance(value, str) for value in stamp.values())
+
+    def test_repeats_pool_samples(self):
+        single = run_sim("queries=4,loss=0.0")
+        pooled = run(RunSpec.from_spec("queries=4,loss=0.0,repeats=3"))
+        assert pooled.metrics["sim.repeats"] == 3
+        assert pooled.metrics["queries.issued"] == 3 * single.metrics[
+            "queries.issued"
+        ]
+        assert isinstance(pooled.raw, list) and len(pooled.raw) == 3
+
+    def test_pooled_qps_averages_per_run_rates(self):
+        # Every repetition restarts the simulated clock; pooling must
+        # average the per-run rates, not divide the pooled count by a
+        # single run's span (which would inflate qps ~linearly with
+        # repeats).
+        spec_text = "queries=6,loss=0.0,transport=udp"
+        pooled = run(RunSpec.from_spec(spec_text + ",repeats=3"))
+        singles = [
+            run(RunSpec.from_spec(spec_text, base=RunSpec(seed=seed)))
+            for seed in RunSpec.from_spec(spec_text + ",repeats=3").repeat_seeds()
+        ]
+        mean_qps = sum(r.metrics["throughput.qps"] for r in singles) / 3
+        assert pooled.metrics["throughput.qps"] == pytest.approx(
+            mean_qps, abs=0.01
+        )
+
+    def test_loadgen_pooled_cache_ratios_match_cachestats_semantics(self):
+        from repro.api import report_from_loadgen
+
+        base = {
+            "mode": "open", "offered_rate_qps": 10.0, "concurrency": None,
+            "elapsed_s": 1.0, "achieved_qps": 10.0,
+            "queries": 10, "succeeded": 10, "failed": 0,
+            "timeouts": 0, "rcode_failures": 0,
+            "latency_ms": {"p50": 1, "p95": 1, "p99": 1,
+                           "mean": 1, "min": 1, "max": 1},
+            "latencies_ms": [1.0] * 10,
+            "cache": {"client_dns": {
+                "hits": 4, "misses": 4, "stale_hits": 2, "validations": 2,
+                "validation_failures": 0,
+            }},
+        }
+        report = report_from_loadgen([base, base])
+        metrics = report.metrics
+        # CacheStats semantics: hit/stale ratios over lookups,
+        # validation_ratio per *stale hit* (not per lookup).
+        assert metrics["cache.client_dns.hit_ratio"] == pytest.approx(0.4)
+        assert metrics["cache.client_dns.stale_ratio"] == pytest.approx(0.2)
+        assert metrics["cache.client_dns.validation_ratio"] == pytest.approx(
+            1.0
+        )
+        assert metrics["queries.issued"] == 20
+
+
+# -- the acceptance criterion: one spec, two substrates --------------------
+
+
+class TestSubstrateParity:
+    def test_sim_and_live_reports_have_identical_common_keys(self):
+        sim_report = run(RunSpec.from_spec(PARITY_SPEC))
+        live_report = run(
+            RunSpec.from_spec(PARITY_SPEC + ",substrate=live,timeout=5")
+        )
+        assert sim_report.substrate == "sim"
+        assert live_report.substrate == "live"
+        assert (
+            sorted(sim_report.common_metrics())
+            == sorted(live_report.common_metrics())
+        )
+        validate(sim_report.to_json(), SCHEMA)
+        validate(live_report.to_json(), SCHEMA)
+        # Both substrates resolved real queries against the same
+        # deterministic name universe.
+        assert live_report.metrics["queries.succeeded"] > 0
+        assert live_report.metrics["live.elapsed_s"] > 0
+
+    def test_live_repeats_sum_server_counters(self):
+        # Each live repeat restarts the loopback server; the pooled
+        # Report must sum the per-repeat server counters, not keep only
+        # the final instance's (which would undercount by ~repeats x).
+        report = run(RunSpec.from_spec(
+            "transport=udp,queries=5,rate=100,substrate=live,"
+            "timeout=5,repeats=2"
+        ))
+        metrics = report.metrics
+        assert metrics["live.repeats"] == 2
+        # Open-loop arrivals beyond the offered window are truncated,
+        # so issued can fall slightly short of 2 x num_queries — but it
+        # must pool both repeats, and the summed server-side counters
+        # must cover every client-side success.
+        assert metrics["queries.issued"] > 5
+        assert (
+            metrics["live.server.queries_handled"]
+            >= metrics["queries.succeeded"]
+        )
+
+    def test_live_report_namespaces_server_counters(self):
+        live_report = run(
+            RunSpec.from_spec(
+                "transport=udp,queries=6,rate=100,substrate=live,timeout=5"
+            )
+        )
+        assert live_report.metrics["live.server.queries_handled"] >= 0
+        assert "live.cache.resolver.hit_ratio" in live_report.metrics
+        validate(live_report.to_json(), SCHEMA)
+
+
+# -- legacy adapter stays bit-identical ------------------------------------
+
+
+class TestLegacyAdapter:
+    def test_run_resolution_experiment_bit_identical(self):
+        from repro.experiments import ExperimentConfig, run_resolution_experiment
+        from repro.scenarios import ScenarioRunner
+
+        config = ExperimentConfig(
+            transport="coap", num_queries=10, loss=0.1, seed=5
+        )
+        via_api = run_resolution_experiment(config)
+        direct = ScenarioRunner().run(config.to_scenario(), _config=config)
+        assert via_api.config is config
+        assert via_api.outcomes == direct.outcomes
+        assert via_api.link == direct.link
+        assert via_api.client_events == direct.client_events
+        assert via_api.cache_stats == direct.cache_stats
+        assert via_api.proxy_cache_hits == direct.proxy_cache_hits
+
+    def test_to_run_spec_round_trips_scenario(self):
+        from repro.experiments import ExperimentConfig
+
+        config = ExperimentConfig(transport="oscore", num_queries=3)
+        spec = config.to_run_spec()
+        assert spec.substrate == "sim"
+        assert spec.scenario == config.to_scenario()
+
+
+# -- sweeps ----------------------------------------------------------------
+
+
+class TestSweepJson:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.scenarios import Scenario, ScenarioRunner, WorkloadSpec
+
+        base = Scenario(workload=WorkloadSpec(num_queries=4))
+        return ScenarioRunner().sweep(
+            base=base, transports=("udp", "coap"),
+            topologies=("one-hop",), losses=(0.0,),
+        )
+
+    def test_metrics_keeps_tuple_accessor(self, sweep):
+        metrics = sweep.metrics()
+        assert ("udp", "one-hop", 0.0) in metrics
+        with pytest.raises(TypeError):
+            json.dumps(metrics)  # tuple keys are Python-only, by design
+
+    def test_cell_metrics_gain_p99_and_mean(self, sweep):
+        for cell in sweep:
+            metrics = cell.metrics()
+            assert metrics["median_s"] <= metrics["p95_s"] <= metrics["p99_s"]
+            assert metrics["p99_s"] <= metrics["max_s"]
+            assert metrics["median_s"] <= metrics["mean_s"] <= metrics["max_s"]
+
+    def test_to_json_uses_string_grid_keys(self, sweep):
+        payload = sweep.to_json()
+        json.dumps(payload)  # serialisable as-is
+        assert payload["report_version"] == REPORT_VERSION
+        assert sorted(payload["cells"]) == ["coap/one-hop/0", "udp/one-hop/0"]
+        validate(payload, SCHEMA)
+
+    def test_cell_reports_are_unified(self, sweep):
+        reports = sweep.reports()
+        report = reports["udp/one-hop/0"]
+        assert report.substrate == "sim"
+        assert report.spec["transport"] == "udp"
+        assert report.metrics["queries.issued"] == 4
+
+
+# -- perf harness stamp ----------------------------------------------------
+
+
+def test_perf_report_carries_shared_stamp_and_validates():
+    from repro.perf.harness import BenchResult, build_report
+
+    result = BenchResult(
+        name="noop", description="noop", unit="ops", repeats=1, warmup=0,
+        times_s=[0.001], units=10,
+    )
+    report = build_report([result], quick=True)
+    assert report["report_version"] == REPORT_VERSION
+    assert report["provenance"] == provenance()
+    validate(report, SCHEMA)
+
+
+def test_loadgen_shares_the_report_version():
+    from repro.api.report import REPORT_VERSION as shared
+    from repro.live.loadgen import REPORT_VERSION as loadgen_version
+
+    assert loadgen_version == shared
+
+
+# -- the schema validator itself -------------------------------------------
+
+
+class TestSchemaValidator:
+    def test_rejects_wrong_type_with_path(self):
+        schema = {
+            "type": "object",
+            "properties": {"n": {"type": "integer"}},
+        }
+        with pytest.raises(ValidationError) as excinfo:
+            validate({"n": "three"}, schema)
+        assert "$['n']" in str(excinfo.value)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ValidationError):
+            validate(True, {"type": "integer"})
+
+    def test_additional_properties_false(self):
+        schema = {"type": "object", "properties": {},
+                  "additionalProperties": False}
+        with pytest.raises(ValidationError):
+            validate({"surprise": 1}, schema)
+
+    def test_pattern_properties_apply(self):
+        schema = {
+            "type": "object",
+            "patternProperties": {"^x\\.": {"type": "number"}},
+            "additionalProperties": False,
+        }
+        validate({"x.a": 1.5}, schema)
+        with pytest.raises(ValidationError):
+            validate({"x.a": "nope"}, schema)
+        with pytest.raises(ValidationError):
+            validate({"y.a": 1.5}, schema)
+
+    def test_one_of_requires_exactly_one_match(self):
+        schema = {"oneOf": [{"type": "integer"}, {"type": "number"}]}
+        with pytest.raises(ValidationError):
+            validate(3, schema)  # matches both branches
+        validate(3.5, schema)
+
+    def test_local_ref_resolution(self):
+        schema = {
+            "$defs": {"positive": {"type": "number", "minimum": 0}},
+            "$ref": "#/$defs/positive",
+        }
+        validate(2.0, schema)
+        with pytest.raises(ValidationError):
+            validate(-1.0, schema)
+
+    def test_unknown_keyword_is_loud(self):
+        with pytest.raises(SchemaError):
+            validate(1, {"type": "integer", "exclusiveMaximum": 3})
+
+    def test_is_valid_wrapper(self):
+        assert is_valid({"report": 1}, {"type": "object"})
+        assert not is_valid([], {"type": "object"})
+
+    def test_validate_cli_on_real_artifacts(self, tmp_path, capsys):
+        from repro.api.validate import main
+
+        report = run_sim("queries=4,loss=0.0")
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(report.to_json()))
+        bad = tmp_path / "bad.json"
+        payload = report.to_json()
+        payload["metrics"]["bogus key"] = 1
+        bad.write_text(json.dumps(payload))
+        assert main([str(SCHEMA_PATH), str(good)]) == 0
+        assert main([str(SCHEMA_PATH), str(good), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "bogus key" in err
+
+
+def test_schema_is_valid_draft7_and_agrees_with_jsonschema():
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.Draft7Validator.check_schema(SCHEMA)
+    report = run_sim("queries=4,loss=0.0").to_json()
+    jsonschema.validate(report, SCHEMA)
+    validate(report, SCHEMA)
+
+
+# -- the live loadgen Report entry point -----------------------------------
+
+
+def test_generate_report_returns_unified_report():
+    from repro.live import DocLiveServer, LiveResolver, generate_report
+
+    async def body():
+        server = DocLiveServer(transport="udp", port=0, num_names=8)
+        async with server:
+            async with LiveResolver(server.endpoint, transport="udp") as r:
+                return await generate_report(
+                    r, server.names,
+                    server_stats=server.stats(),
+                    rate=100.0, duration=0.2, timeout=5.0, seed=5,
+                )
+
+    report = asyncio.run(asyncio.wait_for(body(), timeout=20))
+    assert isinstance(report, Report)
+    assert report.substrate == "live"
+    assert report.metrics["queries.issued"] > 0
+    assert "latencies_ms" in report.raw
+    validate(report.to_json(), SCHEMA)

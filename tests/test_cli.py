@@ -170,8 +170,75 @@ def test_loadtest_against_inline_server(capsys):
         done.set()
         thread.join(timeout=10)
     report = json.loads(capsys.readouterr().out)
-    assert report["success_rate"] >= 0.95
-    assert report["latency_ms"]["p50"] is not None
+    # --json now emits the unified Report document.
+    assert report["substrate"] == "live"
+    assert report["metrics"]["queries.success_rate"] >= 0.95
+    assert report["metrics"]["latency.p50_ms"] is not None
+    assert report["spec"]["transport"] == "coap"
+
+
+def test_run_sim_human_summary(capsys):
+    assert main(["run", "one-hop,transport=coap,queries=6,loss=0.0"]) == 0
+    out = capsys.readouterr().out
+    assert "substrate:        sim" in out
+    assert "latency p50:" in out
+
+
+def test_run_emits_report_json(capsys):
+    import json
+
+    assert main([
+        "run", "one-hop,transport=udp,queries=6,loss=0.0", "--json",
+    ]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["substrate"] == "sim"
+    assert report["metrics"]["queries.issued"] == 6
+    assert report["spec"]["topology"]["name"] == "one-hop"
+
+
+def test_run_live_substrate_self_serves(capsys):
+    import json
+
+    assert main([
+        "run",
+        "transport=udp,queries=6,loss=0.0,rate=100,substrate=live,timeout=5",
+        "--json",
+    ]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["substrate"] == "live"
+    assert report["metrics"]["queries.succeeded"] > 0
+
+
+def test_run_bad_spec_is_cli_error(capsys):
+    assert main(["run", "substrate=quantum"]) == 2
+    assert "substrate" in capsys.readouterr().err
+
+
+def test_experiment_json_emits_report(capsys):
+    import json
+
+    assert main([
+        "experiment", "--transport", "udp", "--queries", "6",
+        "--loss", "0.0", "--json",
+    ]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["substrate"] == "sim"
+    assert report["metrics"]["queries.issued"] == 6
+
+
+def test_experiment_sweep_json_uses_string_grid_keys(capsys):
+    import json
+
+    assert main([
+        "experiment", "--sweep", "--transports", "udp,coap",
+        "--topologies", "one-hop", "--losses", "0.0", "--queries", "4",
+        "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "sweep"
+    assert sorted(payload["cells"]) == ["coap/one-hop/0", "udp/one-hop/0"]
+    cell = payload["cells"]["udp/one-hop/0"]
+    assert cell["metrics"]["queries.issued"] == 4
 
 
 def test_loadtest_unknown_scheme_is_cli_error(capsys):
