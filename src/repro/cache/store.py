@@ -123,6 +123,8 @@ class KeyedCache:
         self._entry_factory = entry_factory
         self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
         self._expiry = ExpiryIndex(self._current_expiry)
+        # Decided once: only FIFO leaves recency untouched on hits.
+        self._refresh_recency = policy is not EvictionPolicy.FIFO
         self.stats = stats if stats is not None else CacheStats()
 
     # -- introspection ----------------------------------------------------
@@ -163,21 +165,24 @@ class KeyedCache:
         ``keep_stale``) returns the expired entry for revalidation;
         ``MISS`` returns ``None``.
         """
-        entry = self._entries.get(key)
+        entries = self._entries
+        entry = entries.get(key)
         if entry is None:
+            # Short-circuit: a miss is one dict probe and a counter —
+            # no recency churn and no expiry-index work.
             self.stats.misses += 1
             return None, LookupState.MISS
-        if entry.is_fresh(now):
-            if self._policy is not EvictionPolicy.FIFO:
-                self._entries.move_to_end(key)
+        if now < entry.stored_at + entry.lifetime:
+            if self._refresh_recency:
+                entries.move_to_end(key)
             self.stats.hits += 1
             return entry, LookupState.HIT
         if self._keep_stale:
-            if self._policy is not EvictionPolicy.FIFO:
-                self._entries.move_to_end(key)
+            if self._refresh_recency:
+                entries.move_to_end(key)
             self.stats.stale_hits += 1
             return entry, LookupState.STALE
-        del self._entries[key]
+        del entries[key]
         self.stats.misses += 1
         return None, LookupState.MISS
 

@@ -21,7 +21,7 @@ b'\\x82kexample.org\\x18\\x1c'
 {1: b'key'}
 """
 
-from .encoder import CBOREncodeError, dumps
+from .encoder import CBOREncodeError, dump_into, dumps
 from .decoder import CBORDecodeError, loads, loads_prefix
 from .types import Tag, Simple, UNDEFINED
 
@@ -31,6 +31,7 @@ __all__ = [
     "Simple",
     "Tag",
     "UNDEFINED",
+    "dump_into",
     "dumps",
     "loads",
     "loads_prefix",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Tuple
 
+from repro.net.buffers import BufReader, Buffer
 from .types import Simple, Tag
 
 _BREAK = object()
@@ -14,37 +15,34 @@ class CBORDecodeError(ValueError):
     """Raised on malformed or truncated CBOR input."""
 
 
-class _Decoder:
-    def __init__(self, data: bytes) -> None:
-        self._data = data
-        self._pos = 0
+class _Decoder(BufReader):
+    """A :class:`BufReader` walking CBOR items in place.
 
-    @property
-    def pos(self) -> int:
-        return self._pos
+    The input buffer (``bytes`` or ``memoryview``) is never copied as a
+    whole and never mutated; byte/text strings are materialised exactly
+    once when they become decoded values.
+    """
 
-    def _take(self, count: int) -> bytes:
-        if self._pos + count > len(self._data):
-            raise CBORDecodeError("truncated CBOR input")
-        chunk = self._data[self._pos : self._pos + count]
-        self._pos += count
-        return chunk
+    __slots__ = ()
+
+    def __init__(self, data: Buffer) -> None:
+        super().__init__(data, error=CBORDecodeError)
 
     def _argument(self, info: int) -> int:
         if info < 24:
             return info
         if info == 24:
-            return self._take(1)[0]
+            return self.u8()
         if info == 25:
-            return int.from_bytes(self._take(2), "big")
+            return self.u16()
         if info == 26:
-            return int.from_bytes(self._take(4), "big")
+            return self.u32()
         if info == 27:
-            return int.from_bytes(self._take(8), "big")
+            return self.u64()
         raise CBORDecodeError(f"reserved additional info {info}")
 
     def decode_item(self, allow_break: bool = False) -> Any:
-        initial = self._take(1)[0]
+        initial = self.u8()
         major, info = initial >> 5, initial & 0x1F
 
         if initial == 0xFF:
@@ -72,23 +70,23 @@ class _Decoder:
         if info == 31:  # indefinite length: concatenation of definite chunks
             chunks = []
             while True:
-                initial = self._take(1)[0]
+                initial = self.u8()
                 if initial == 0xFF:
                     break
                 major, chunk_info = initial >> 5, initial & 0x1F
                 expected = 3 if text else 2
                 if major != expected or chunk_info == 31:
                     raise CBORDecodeError("invalid indefinite string chunk")
-                chunks.append(self._take(self._argument(chunk_info)))
+                chunks.append(self.take(self._argument(chunk_info)))
             data = b"".join(chunks)
         else:
-            data = self._take(self._argument(info))
+            data = self.take(self._argument(info))
         if text:
             try:
-                return data.decode("utf-8")
+                return str(data, "utf-8")
             except UnicodeDecodeError as exc:
                 raise CBORDecodeError("invalid UTF-8 in text string") from exc
-        return data
+        return bytes(data)
 
     def _decode_array(self, info: int) -> list:
         if info == 31:
@@ -133,24 +131,28 @@ class _Decoder:
         if info == 23:
             return Simple(23)
         if info == 24:
-            value = self._take(1)[0]
+            value = self.u8()
             if value < 32:
                 raise CBORDecodeError("invalid two-byte simple value")
             return Simple(value)
         if info == 25:
-            return struct.unpack(">e", self._take(2))[0]
+            return struct.unpack(">e", self.take(2))[0]
         if info == 26:
-            return struct.unpack(">f", self._take(4))[0]
+            return struct.unpack(">f", self.take(4))[0]
         if info == 27:
-            return struct.unpack(">d", self._take(8))[0]
+            return struct.unpack(">d", self.take(8))[0]
         if info < 20:
             return Simple(info)
         raise CBORDecodeError(f"invalid simple/float info {info}")
 
 
-def loads(data: bytes) -> Any:
-    """Decode a single CBOR item, requiring all input to be consumed."""
-    decoder = _Decoder(bytes(data))
+def loads(data: Buffer) -> Any:
+    """Decode a single CBOR item, requiring all input to be consumed.
+
+    Accepts ``bytes | memoryview`` and parses in place — no whole-input
+    copy is made, and the input is never mutated.
+    """
+    decoder = _Decoder(data)
     value = decoder.decode_item()
     if decoder.pos != len(data):
         raise CBORDecodeError(
@@ -159,12 +161,12 @@ def loads(data: bytes) -> Any:
     return value
 
 
-def loads_prefix(data: bytes) -> Tuple[Any, int]:
+def loads_prefix(data: Buffer) -> Tuple[Any, int]:
     """Decode one CBOR item from the front of *data*.
 
     Returns the decoded value and the number of bytes consumed, allowing
     streams of concatenated CBOR items to be processed.
     """
-    decoder = _Decoder(bytes(data))
+    decoder = _Decoder(data)
     value = decoder.decode_item()
     return value, decoder.pos

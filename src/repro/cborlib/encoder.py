@@ -2,6 +2,11 @@
 
 Integers use the shortest form, map keys are sorted bytewise by their
 encoded form, and indefinite-length items are never produced.
+
+Encoding appends into one ``bytearray`` end to end (:func:`dump_into`);
+:func:`dumps` is the materialising wrapper. Only map entries need
+intermediate buffers, because deterministic ordering sorts by encoded
+key bytes.
 """
 
 from __future__ import annotations
@@ -26,28 +31,27 @@ class CBOREncodeError(ValueError):
     """Raised when a value cannot be represented in CBOR."""
 
 
-def _head(major: int, argument: int) -> bytes:
-    """Encode the initial byte(s): major type plus shortest-form argument."""
+def _head_into(out: bytearray, major: int, argument: int) -> None:
+    """Append the initial byte(s): major type plus shortest-form argument."""
     if argument < 0:
         raise CBOREncodeError("argument must be non-negative")
     mt = major << 5
     if argument < 24:
-        return bytes([mt | argument])
-    if argument < 0x100:
-        return bytes([mt | 24, argument])
-    if argument < 0x10000:
-        return bytes([mt | 25]) + argument.to_bytes(2, "big")
-    if argument < 0x100000000:
-        return bytes([mt | 26]) + argument.to_bytes(4, "big")
-    if argument < 0x10000000000000000:
-        return bytes([mt | 27]) + argument.to_bytes(8, "big")
-    raise CBOREncodeError("integer too large for CBOR head")
-
-
-def _encode_int(value: int) -> bytes:
-    if value >= 0:
-        return _head(_MT_UNSIGNED, value)
-    return _head(_MT_NEGATIVE, -1 - value)
+        out.append(mt | argument)
+    elif argument < 0x100:
+        out.append(mt | 24)
+        out.append(argument)
+    elif argument < 0x10000:
+        out.append(mt | 25)
+        out += argument.to_bytes(2, "big")
+    elif argument < 0x100000000:
+        out.append(mt | 26)
+        out += argument.to_bytes(4, "big")
+    elif argument < 0x10000000000000000:
+        out.append(mt | 27)
+        out += argument.to_bytes(8, "big")
+    else:
+        raise CBOREncodeError("integer too large for CBOR head")
 
 
 def _encode_float(value: float) -> bytes:
@@ -70,43 +74,58 @@ def _encode_float(value: float) -> bytes:
     return b"\xfb" + struct.pack(">d", value)
 
 
-def _encode(value: Any) -> bytes:
+def dump_into(out: bytearray, value: Any) -> None:
+    """Append the deterministic CBOR encoding of *value* to *out*."""
     if value is False:
-        return b"\xf4"
-    if value is True:
-        return b"\xf5"
-    if value is None:
-        return b"\xf6"
-    if isinstance(value, int):
-        return _encode_int(value)
-    if isinstance(value, float):
-        return _encode_float(value)
-    if isinstance(value, (bytes, bytearray, memoryview)):
-        data = bytes(value)
-        return _head(_MT_BYTES, len(data)) + data
-    if isinstance(value, str):
+        out.append(0xF4)
+    elif value is True:
+        out.append(0xF5)
+    elif value is None:
+        out.append(0xF6)
+    elif isinstance(value, int):
+        if value >= 0:
+            _head_into(out, _MT_UNSIGNED, value)
+        else:
+            _head_into(out, _MT_NEGATIVE, -1 - value)
+    elif isinstance(value, float):
+        out += _encode_float(value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        _head_into(out, _MT_BYTES, len(value))
+        out += value
+    elif isinstance(value, str):
         data = value.encode("utf-8")
-        return _head(_MT_TEXT, len(data)) + data
-    if isinstance(value, (list, tuple)):
-        out = [_head(_MT_ARRAY, len(value))]
-        out.extend(_encode(item) for item in value)
-        return b"".join(out)
-    if isinstance(value, dict):
-        encoded_pairs = sorted(
-            (_encode(k), _encode(v)) for k, v in value.items()
-        )
-        out = [_head(_MT_MAP, len(value))]
-        for key, val in encoded_pairs:
-            out.append(key)
-            out.append(val)
-        return b"".join(out)
-    if isinstance(value, Tag):
-        return _head(_MT_TAG, value.number) + _encode(value.value)
-    if isinstance(value, Simple):
+        _head_into(out, _MT_TEXT, len(data))
+        out += data
+    elif isinstance(value, (list, tuple)):
+        _head_into(out, _MT_ARRAY, len(value))
+        for item in value:
+            dump_into(out, item)
+    elif isinstance(value, dict):
+        # Deterministic maps sort entries by the encoded key bytes, so
+        # each pair is encoded into its own scratch before the sort.
+        encoded_pairs = []
+        for key, val in value.items():
+            key_buf = bytearray()
+            dump_into(key_buf, key)
+            val_buf = bytearray()
+            dump_into(val_buf, val)
+            encoded_pairs.append((bytes(key_buf), bytes(val_buf)))
+        encoded_pairs.sort()
+        _head_into(out, _MT_MAP, len(value))
+        for key_bytes, val_bytes in encoded_pairs:
+            out += key_bytes
+            out += val_bytes
+    elif isinstance(value, Tag):
+        _head_into(out, _MT_TAG, value.number)
+        dump_into(out, value.value)
+    elif isinstance(value, Simple):
         if value.value < 24:
-            return bytes([(_MT_SIMPLE << 5) | value.value])
-        return bytes([(_MT_SIMPLE << 5) | 24, value.value])
-    raise CBOREncodeError(f"cannot encode {type(value).__name__} in CBOR")
+            out.append((_MT_SIMPLE << 5) | value.value)
+        else:
+            out.append((_MT_SIMPLE << 5) | 24)
+            out.append(value.value)
+    else:
+        raise CBOREncodeError(f"cannot encode {type(value).__name__} in CBOR")
 
 
 def dumps(value: Any) -> bytes:
@@ -117,4 +136,6 @@ def dumps(value: Any) -> bytes:
     CBOREncodeError
         If the value (or a nested element) has no CBOR representation.
     """
-    return _encode(value)
+    out = bytearray()
+    dump_into(out, value)
+    return bytes(out)

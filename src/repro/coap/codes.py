@@ -88,6 +88,10 @@ class Code(enum.IntEnum):
         return f"{self.code_class}.{self.detail:02d}"
 
 
+#: Decode-path lookup table: the ``Code(...)`` enum constructor costs
+#: close to a microsecond per call; a dict hit is ~20x cheaper.
+CODE_BY_VALUE = {int(member): member for member in Code}
+
 #: Methods whose responses are cacheable when they arrive with a
 #: freshness indication (RFC 7252 §5.6; FETCH per RFC 8132 §2.1 when
 #: the response would be reusable for the same body). POST responses

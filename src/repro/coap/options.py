@@ -180,11 +180,23 @@ def encode_options(options: Iterable[Tuple[int, bytes]]) -> bytes:
     return bytes(out)
 
 
-def decode_options(data: bytes, offset: int = 0) -> Tuple[List[Tuple[int, bytes]], int]:
+def decode_options(data, offset: int = 0) -> Tuple[List[Tuple[int, bytes]], int]:
     """Parse options starting at *offset*.
 
-    Returns the option list and the offset of the payload (just past the
-    0xFF payload marker if present, else end of data).
+    *data* may be ``bytes`` or a ``memoryview`` and is never mutated;
+    option values are materialised to owned ``bytes``. Returns the
+    option list and the offset of the payload (just past the 0xFF
+    payload marker if present, else end of data).
+    """
+    options, payload_offset = _decode_options(data, offset)
+    return list(options), payload_offset
+
+
+def _decode_options(data, offset: int = 0) -> Tuple[Tuple[Tuple[int, bytes], ...], int]:
+    """:func:`decode_options` returning the tuple the hot path stores.
+
+    ``CoapMessage.decode`` keeps options as a tuple; building it here
+    skips a list-to-tuple copy per message.
     """
     options: List[Tuple[int, bytes]] = []
     number = 0
@@ -196,7 +208,7 @@ def decode_options(data: bytes, offset: int = 0) -> Tuple[List[Tuple[int, bytes]
             offset += 1
             if offset >= size:
                 raise OptionError("payload marker with empty payload")
-            return options, offset
+            return tuple(options), offset
         offset += 1
         delta = byte >> 4
         length = byte & 0x0F
@@ -232,4 +244,4 @@ def decode_options(data: bytes, offset: int = 0) -> Tuple[List[Tuple[int, bytes]
             raise OptionError("truncated option value")
         append((number, bytes(data[offset:end])))
         offset = end
-    return options, size
+    return tuple(options), size

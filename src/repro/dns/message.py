@@ -11,13 +11,19 @@ manipulations, both provided here:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
-from .enums import DNSClass, Opcode, Rcode, RecordType
+from repro.net.buffers import Buffer, materialize
+from .enums import _RECORD_TYPE_BY_VALUE, DNSClass, Opcode, Rcode, RecordType
 from .name import decode_name, encode_name
 from .rdata import decode_rdata
+
+_HEADER = struct.Struct("!HHHHHH")
+_QUESTION_FIXED = struct.Struct("!HH")
+_RECORD_FIXED = struct.Struct("!HHIH")
 
 
 class MessageError(ValueError):
@@ -53,17 +59,24 @@ class Flags:
 
     @classmethod
     def decode(cls, value: int) -> "Flags":
-        return cls(
-            qr=bool(value & 0x8000),
-            opcode=(value >> 11) & 0xF,
-            aa=bool(value & 0x0400),
-            tc=bool(value & 0x0200),
-            rd=bool(value & 0x0100),
-            ra=bool(value & 0x0080),
-            ad=bool(value & 0x0020),
-            cd=bool(value & 0x0010),
-            rcode=value & 0xF,
-        )
+        return _decode_flags(value)
+
+
+@lru_cache(maxsize=1024)
+def _decode_flags(value: int) -> Flags:
+    # Real traffic uses a handful of distinct flag words; memoising
+    # skips the nine-field frozen-dataclass build on the decode path.
+    return Flags(
+        qr=bool(value & 0x8000),
+        opcode=(value >> 11) & 0xF,
+        aa=bool(value & 0x0400),
+        tc=bool(value & 0x0200),
+        rd=bool(value & 0x0100),
+        ra=bool(value & 0x0080),
+        ad=bool(value & 0x0020),
+        cd=bool(value & 0x0010),
+        rcode=value & 0xF,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -230,43 +243,46 @@ class Message:
         return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes) -> "Message":
-        """Parse a wire-format DNS message.
+    def decode(cls, data: Buffer) -> "Message":
+        """Parse a wire-format DNS message from ``bytes | memoryview``.
 
         Decoding is a pure function of the wire bytes and a message is
         immutable all the way down (frozen dataclasses over tuples), so
         results are memoised: caching schemes decode the same response
         bytes many times over (revalidations, retransmissions, shared
-        zone data).
+        zone data). The input is materialised exactly once here — the
+        memo key must own its bytes — and never mutated.
         """
-        return _decode_cached(bytes(data))
+        return _decode_cached(materialize(data))
 
     @classmethod
     def _decode(cls, data: bytes) -> "Message":
-        if len(data) < 12:
+        size = len(data)
+        if size < 12:
             raise MessageError("message shorter than header")
-        msg_id = int.from_bytes(data[0:2], "big")
-        flags = Flags.decode(int.from_bytes(data[2:4], "big"))
-        counts = [int.from_bytes(data[4 + 2 * i : 6 + 2 * i], "big") for i in range(4)]
+        msg_id, flags_raw, qdcount, ancount, nscount, arcount = (
+            _HEADER.unpack_from(data)
+        )
+        flags = _decode_flags(flags_raw)
         offset = 12
 
+        rtype_of = _RECORD_TYPE_BY_VALUE.get
         questions: List[Question] = []
-        for _ in range(counts[0]):
+        for _ in range(qdcount):
             name, offset = decode_name(data, offset)
-            if offset + 4 > len(data):
+            if offset + 4 > size:
                 raise MessageError("truncated question")
-            rtype = int.from_bytes(data[offset : offset + 2], "big")
-            rclass = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            rtype, rclass = _QUESTION_FIXED.unpack_from(data, offset)
             offset += 4
-            questions.append(
-                Question(name, RecordType.from_value(rtype), rclass)
-            )
+            questions.append(Question(name, rtype_of(rtype, rtype), rclass))
 
+        decode_record = cls._decode_record
         sections: List[List[ResourceRecord]] = [[], [], []]
-        for section_index, count in enumerate(counts[1:]):
+        for section, count in zip(sections, (ancount, nscount, arcount)):
+            record_append = section.append
             for _ in range(count):
-                record, offset = cls._decode_record(data, offset)
-                sections[section_index].append(record)
+                record, offset = decode_record(data, offset)
+                record_append(record)
 
         return cls(
             id=msg_id,
@@ -282,10 +298,7 @@ class Message:
         name, offset = decode_name(data, offset)
         if offset + 10 > len(data):
             raise MessageError("truncated resource record")
-        rtype = int.from_bytes(data[offset : offset + 2], "big")
-        rclass = int.from_bytes(data[offset + 2 : offset + 4], "big")
-        ttl = int.from_bytes(data[offset + 4 : offset + 8], "big")
-        rdlength = int.from_bytes(data[offset + 8 : offset + 10], "big")
+        rtype, rclass, ttl, rdlength = _RECORD_FIXED.unpack_from(data, offset)
         offset += 10
         if offset + rdlength > len(data):
             raise MessageError("truncated rdata")

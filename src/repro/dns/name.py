@@ -106,24 +106,30 @@ def encode_name(
     return bytes(out)
 
 
-def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+def decode_name(data, offset: int) -> Tuple[str, int]:
     """Decode a wire-format name from *data* starting at *offset*.
 
-    Returns the presentation-format name (without trailing dot, ``""``
-    for the root) and the offset just past the name's first encoding
-    (i.e. past the pointer if the name was compressed).
+    *data* may be ``bytes`` or a ``memoryview``; it is only indexed and
+    read, never mutated. Returns the presentation-format name (without
+    trailing dot, ``""`` for the root) and the offset just past the
+    name's first encoding (i.e. past the pointer if the name was
+    compressed).
     """
     labels: List[str] = []
+    label_append = labels.append
+    size = len(data)
     jumps = 0
     end_offset = -1
     position = offset
     decoded_length = 0
     while True:
-        if position >= len(data):
+        if position >= size:
             raise NameError_("truncated name")
         length = data[position]
-        if length & 0xC0 == 0xC0:
-            if position + 1 >= len(data):
+        if length & 0xC0:
+            if length & 0xC0 != 0xC0:
+                raise NameError_(f"reserved label type 0x{length:02x}")
+            if position + 1 >= size:
                 raise NameError_("truncated compression pointer")
             target = ((length & 0x3F) << 8) | data[position + 1]
             if end_offset < 0:
@@ -135,15 +141,16 @@ def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
             if jumps > 128:
                 raise NameError_("compression pointer loop")
             continue
-        if length & 0xC0:
-            raise NameError_(f"reserved label type 0x{length:02x}")
         position += 1
         if length == 0:
             break
-        if position + length > len(data):
+        next_position = position + length
+        if next_position > size:
             raise NameError_("truncated label")
-        labels.append(data[position : position + length].decode("ascii", "replace"))
-        position += length
+        # ``str(buffer, ...)`` decodes straight from the buffer, so the
+        # label slice is the only intermediate and works for views too.
+        label_append(str(data[position:next_position], "ascii", "replace"))
+        position = next_position
         decoded_length += length + 1
         if decoded_length > MAX_NAME_LENGTH:
             raise NameError_("decoded name too long")

@@ -11,9 +11,14 @@ Each rdata class provides:
 from __future__ import annotations
 
 import ipaddress
+import struct
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Tuple
+
+_SOA_FIXED = struct.Struct("!IIIII")
+_SRV_FIXED = struct.Struct("!HHH")
+_PARAM_FIXED = struct.Struct("!HH")
 
 from repro.net.ipv6 import address_from_packed, packed_address
 from .enums import RecordType
@@ -27,7 +32,7 @@ def _packed_v4(address: str) -> bytes:
 
 @lru_cache(maxsize=8192)
 def _v4_from_packed(packed: bytes) -> str:
-    return str(ipaddress.IPv4Address(packed))
+    return "%d.%d.%d.%d" % tuple(packed)
 
 
 class RdataError(ValueError):
@@ -133,11 +138,7 @@ class SOAData:
         rname, offset = decode_name(data, offset)
         if offset + 20 > len(data):
             raise RdataError("truncated SOA rdata")
-        fields = [
-            int.from_bytes(data[offset + i * 4 : offset + (i + 1) * 4], "big")
-            for i in range(5)
-        ]
-        return cls(mname, rname, *fields)
+        return cls(mname, rname, *_SOA_FIXED.unpack_from(data, offset))
 
 
 @dataclass(frozen=True)
@@ -197,9 +198,7 @@ class SRVData:
     def decode(cls, data: bytes, offset: int, rdlength: int) -> "SRVData":
         if rdlength < 7:
             raise RdataError("truncated SRV rdata")
-        priority = int.from_bytes(data[offset : offset + 2], "big")
-        weight = int.from_bytes(data[offset + 2 : offset + 4], "big")
-        port = int.from_bytes(data[offset + 4 : offset + 6], "big")
+        priority, weight, port = _SRV_FIXED.unpack_from(data, offset)
         target, _ = decode_name(data, offset + 6)
         return cls(priority, weight, port, target)
 
@@ -229,15 +228,16 @@ class HTTPSData:
 
     @classmethod
     def decode(cls, data: bytes, offset: int, rdlength: int) -> "HTTPSData":
+        if rdlength < 2:
+            raise RdataError("truncated HTTPS rdata")
         end = offset + rdlength
-        priority = int.from_bytes(data[offset : offset + 2], "big")
+        (priority,) = struct.unpack_from("!H", data, offset)
         target, offset = decode_name(data, offset + 2)
         params: List[Tuple[int, bytes]] = []
         while offset < end:
             if offset + 4 > end:
                 raise RdataError("truncated SvcParam")
-            key = int.from_bytes(data[offset : offset + 2], "big")
-            length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            key, length = _PARAM_FIXED.unpack_from(data, offset)
             offset += 4
             if offset + length > end:
                 raise RdataError("truncated SvcParam value")
@@ -269,8 +269,7 @@ class OPTData:
         while offset < end:
             if offset + 4 > end:
                 raise RdataError("truncated EDNS option")
-            code = int.from_bytes(data[offset : offset + 2], "big")
-            length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+            code, length = _PARAM_FIXED.unpack_from(data, offset)
             offset += 4
             if offset + length > end:
                 raise RdataError("truncated EDNS option value")

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.cache import EvictionPolicy, KeyedCache, LookupState
 from repro.coap.codes import Code
 from repro.coap.endpoint import CoapServer
 from repro.coap.message import CoapMessage
-from repro.coap.options import ContentFormat, OptionNumber
+from repro.coap.options import ContentFormat, OptionNumber, encode_uint
 from repro.coap.reliability import ReliabilityParams
 from repro.coap.uri import base64url_decode
 from repro.dns import Message, Question, RecursiveResolver
@@ -60,6 +61,7 @@ class DocServer:
         params: ReliabilityParams = ReliabilityParams(),
         upstream_delay: float = 0.0,
         sort_records: bool = False,
+        fastpath_capacity: int = 0,
     ) -> None:
         self.sim = sim
         self.resolver = resolver
@@ -77,6 +79,18 @@ class DocServer:
         self._echo_values: Dict[bytes, bytes] = {}
         self.queries_handled = 0
         self.validations_sent = 0
+        # Fast-path response cache: canonical request identity →
+        # prebuilt response template; only MID/token/Max-Age differ
+        # between hits. Opt-in (capacity 0 disables) so simulation
+        # results — which observe resolver-cache statistics — stay
+        # bit-identical unless a scenario asks for it.
+        self._fastpath: Optional[KeyedCache] = (
+            KeyedCache(fastpath_capacity, policy=EvictionPolicy.LRU)
+            if fastpath_capacity > 0
+            else None
+        )
+        self.fastpath_hits = 0
+        self.fastpath_misses = 0
 
     # -- plain CoAP -------------------------------------------------------------
 
@@ -176,6 +190,49 @@ class DocServer:
         return Message.decode(request.payload), int(ContentFormat.DNS_MESSAGE)
 
     def _process(self, request: CoapMessage) -> CoapMessage:
+        """Resolve one request, via the fast path when it is cache-hot.
+
+        The fast path keys on the canonical request identity — method,
+        options (including any validation ETags), and payload — and
+        replays a prebuilt response template with only MID, token, and
+        Max-Age patched in: a hot query never touches the resolver and
+        never re-prepares its payload.
+        """
+        cache = self._fastpath
+        if cache is None:
+            return self._resolve(request)
+        now = self.sim.now
+        key = (int(request.code), request.options, request.payload)
+        entry, state = cache.lookup(key, now)
+        if state is LookupState.HIT:
+            self.fastpath_hits += 1
+            self.queries_handled += 1
+            code, options, payload = entry.value
+            if code is Code.VALID:
+                self.validations_sent += 1
+            base = request.make_response(code, payload=payload)
+            remaining = encode_uint(entry.remaining(now))
+            max_age_number = int(OptionNumber.MAX_AGE)
+            patched = tuple(
+                (number, remaining if number == max_age_number else value)
+                for number, value in options
+            )
+            return CoapMessage(
+                base.mtype, code, base.mid, base.token, patched, payload
+            )
+        self.fastpath_misses += 1
+        response = self._resolve(request)
+        max_age = response.max_age
+        if response.code in (Code.CONTENT, Code.VALID) and max_age:
+            cache.store(
+                key,
+                (response.code, response.options, response.payload),
+                float(max_age),
+                now,
+            )
+        return response
+
+    def _resolve(self, request: CoapMessage) -> CoapMessage:
         if request.code not in (Code.FETCH, Code.GET, Code.POST):
             return request.make_response(Code.METHOD_NOT_ALLOWED)
         try:

@@ -13,10 +13,16 @@ implicit 4-byte write IV is derived from the key block, and the AAD is
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.crypto import AEADError, AES_128_CCM_8
+
+# type(1) version(2) epoch(2) seq_hi(4) seq_lo(2) length(2); the 6-byte
+# sequence number is reassembled from the 4+2 split.
+_RECORD_HEADER = struct.Struct("!B2sHIHH")
+_LENGTH_AT_11 = struct.Struct("!H")
 
 #: DTLS 1.2 wire version ({254, 253} = 1's complement of 1.2).
 DTLS_1_2 = (254, 253)
@@ -35,6 +41,10 @@ class ContentType(enum.IntEnum):
     ALERT = 21
     HANDSHAKE = 22
     APPLICATION_DATA = 23
+
+
+_CONTENT_TYPE_BY_VALUE = {int(member): member for member in ContentType}
+_DTLS_1_2_BYTES = bytes(DTLS_1_2)
 
 
 @dataclass(frozen=True)
@@ -142,20 +152,24 @@ class RecordLayer:
         body = explicit + ciphertext
         return plain.header(len(body)) + body
 
-    def open(self, record: bytes) -> DtlsPlaintext:
-        """Parse (and decrypt, if protected) one wire record."""
+    def open(self, record) -> DtlsPlaintext:
+        """Parse (and decrypt, if protected) one wire record.
+
+        *record* may be ``bytes`` or a ``memoryview`` (e.g. a zero-copy
+        slice from :func:`split_records`); it is never mutated, and the
+        fragment is materialised once.
+        """
         if len(record) < RECORD_HEADER_LEN:
             raise DtlsError("record shorter than header")
-        try:
-            content_type = ContentType(record[0])
-        except ValueError as exc:
-            raise DtlsError(f"unknown content type {record[0]}") from exc
-        version = (record[1], record[2])
-        if version != DTLS_1_2:
-            raise DtlsError(f"unsupported version {version}")
-        epoch = int.from_bytes(record[3:5], "big")
-        sequence = int.from_bytes(record[5:11], "big")
-        length = int.from_bytes(record[11:13], "big")
+        ctype_raw, version, epoch, seq_hi, seq_lo, length = (
+            _RECORD_HEADER.unpack_from(record)
+        )
+        content_type = _CONTENT_TYPE_BY_VALUE.get(ctype_raw)
+        if content_type is None:
+            raise DtlsError(f"unknown content type {ctype_raw}")
+        if version != _DTLS_1_2_BYTES:
+            raise DtlsError(f"unsupported version {tuple(version)}")
+        sequence = (seq_hi << 16) | seq_lo
         body = record[13 : 13 + length]
         if len(body) != length:
             raise DtlsError("truncated record body")
@@ -167,11 +181,12 @@ class RecordLayer:
             raise DtlsError(f"no read keys for epoch {epoch}")
         if len(body) < EXPLICIT_NONCE_LEN + CCM8_TAG_LEN:
             raise DtlsError("protected record too short")
-        explicit, ciphertext = body[:EXPLICIT_NONCE_LEN], body[EXPLICIT_NONCE_LEN:]
+        explicit = bytes(body[:EXPLICIT_NONCE_LEN])
+        ciphertext = body[EXPLICIT_NONCE_LEN:]
         nonce = self._read_state.iv + explicit
         plaintext_length = len(ciphertext) - CCM8_TAG_LEN
         aad = (
-            bytes(explicit)
+            explicit
             + bytes([content_type, *DTLS_1_2])
             + plaintext_length.to_bytes(2, "big")
         )
@@ -186,17 +201,23 @@ class RecordLayer:
         return DtlsPlaintext(content_type, epoch, sequence, fragment)
 
 
-def split_records(datagram: bytes) -> List[bytes]:
-    """Split a datagram into the records it concatenates."""
+def split_records(datagram) -> List[bytes]:
+    """Split a datagram into the records it concatenates.
+
+    Slices have the input's type: ``bytes`` in, ``bytes`` out;
+    ``memoryview`` in, zero-copy views out (each directly consumable by
+    :meth:`RecordLayer.open`).
+    """
     records = []
+    size = len(datagram)
     offset = 0
-    while offset < len(datagram):
-        if offset + RECORD_HEADER_LEN > len(datagram):
+    while offset < size:
+        if offset + RECORD_HEADER_LEN > size:
             raise DtlsError("trailing bytes do not form a record")
-        length = int.from_bytes(datagram[offset + 11 : offset + 13], "big")
+        (length,) = _LENGTH_AT_11.unpack_from(datagram, offset + 11)
         end = offset + RECORD_HEADER_LEN + length
-        if end > len(datagram):
+        if end > size:
             raise DtlsError("record extends past datagram")
-        records.append(bytes(datagram[offset:end]))
+        records.append(datagram[offset:end])
         offset = end
     return records

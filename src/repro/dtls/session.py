@@ -97,7 +97,9 @@ class DtlsSession:
     def handle_datagram(self, datagram: bytes) -> SessionEvents:
         """Process one incoming datagram (handshake or application)."""
         events = SessionEvents()
-        for record in split_records(datagram):
+        # A memoryview makes per-record slicing zero-copy; RecordLayer
+        # materialises each fragment exactly once after decryption.
+        for record in split_records(memoryview(datagram)):
             plaintext = self.records.open(record)
             if plaintext.content_type == ContentType.APPLICATION_DATA:
                 events.app_data.append(plaintext.fragment)

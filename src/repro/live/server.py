@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 from repro.doc.caching import CachingScheme
 
 from .clock import AsyncioClock
-from .transport import LiveUdpTransport
+from .transport import LiveUdpTransport, mmsg_support
 from .wiring import (
     DEFAULT_LIVE_PORT,
     DEFAULT_PSK,
@@ -78,6 +78,7 @@ class DocLiveServer:
         psk: bytes = DEFAULT_PSK,
         psk_identity: bytes = DEFAULT_PSK_IDENTITY,
         cache_capacity: int = 256,
+        fastpath_capacity: int = 512,
     ) -> None:
         self.transport_name = check_live_transport(transport)
         self.host = host
@@ -87,6 +88,9 @@ class DocLiveServer:
         self._secret = secret
         self._psk_store = {psk_identity: psk}
         self._cache_capacity = cache_capacity
+        # Wire-level response cache for cache-hot queries; live serving
+        # defaults it on (capacity 512), pass 0 to disable.
+        self._fastpath_capacity = fastpath_capacity
         self.clock = AsyncioClock(seed=seed)
         self.names = build_names(num_names, dataset=dataset, name_seed=name_seed)
         self._zone = build_zone(self.names, ttl=ttl, rng=self.clock.rng)
@@ -163,6 +167,7 @@ class DocLiveServer:
         return DocServer(
             self.clock, socket, self.resolver,
             scheme=self.scheme, oscore_context=oscore_context,
+            fastpath_capacity=self._fastpath_capacity,
         )
 
     # -- observability ----------------------------------------------------
@@ -181,10 +186,23 @@ class DocLiveServer:
             "datagrams_sent": (
                 self._socket.datagrams_sent if self._socket else 0
             ),
+            "io": {
+                "batched": bool(self._socket and self._socket.batched),
+                "recv_bursts": self._socket.recv_bursts if self._socket else 0,
+                "largest_burst": (
+                    self._socket.largest_burst if self._socket else 0
+                ),
+                "mmsg": mmsg_support(),
+            },
         }
         server = self._server
         if server is not None:
-            for attr in ("queries_handled", "validations_sent"):
+            for attr in (
+                "queries_handled",
+                "validations_sent",
+                "fastpath_hits",
+                "fastpath_misses",
+            ):
                 value = getattr(server, attr, None)
                 if value is not None:
                     stats[attr] = value

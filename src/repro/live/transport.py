@@ -3,10 +3,21 @@
 :class:`LiveUdpTransport` is the wall-clock counterpart of
 :class:`repro.stack.node.UdpSocket`: it exposes the exact
 ``sendto(payload, dst_addr, dst_port, metadata)`` / ``on_datagram``
-contract the sans-IO stack is written against, but backed by an
-asyncio :class:`~asyncio.DatagramProtocol` on a real socket. CoAP
-endpoints, DoC clients/servers, and the DTLS adapters stack on top of
-it unchanged.
+contract the sans-IO stack is written against, but backed by a real
+socket on the asyncio event loop. CoAP endpoints, DoC clients/servers,
+and the DTLS adapters stack on top of it unchanged.
+
+Datagram I/O is batched where the platform allows it. The preferred
+path registers the socket directly with the event loop
+(``loop.add_reader``) and drains it in bursts: one readiness callback
+receives up to ``batch_size`` datagrams before yielding back to the
+loop, instead of one callback per datagram as
+:class:`asyncio.DatagramProtocol` delivers. ``socket.recvmmsg`` /
+``sendmmsg`` are used when the running interpreter exposes them
+(CPython does not, as of 3.12 — see :func:`mmsg_support`); otherwise
+the burst loop falls back to plain non-blocking ``recvfrom``. Event
+loops without ``add_reader`` (e.g. the Windows proactor) fall back to
+the per-datagram :class:`asyncio.DatagramProtocol` path.
 
 The *metadata* dictionary is a simulation-side channel (frame tagging
 for the sniffer); on a real socket it has no wire representation, so
@@ -17,7 +28,25 @@ empty dict.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Optional, Tuple
+import socket
+from typing import Callable, Dict, Optional, Tuple
+
+#: Upper bound on one UDP payload read (larger than any DoC datagram).
+_RECV_SIZE = 65535
+
+
+def mmsg_support() -> Dict[str, bool]:
+    """Which multi-message syscalls this interpreter exposes.
+
+    CPython's :mod:`socket` module wraps ``recvmsg``/``sendmsg`` but
+    not the Linux batch variants ``recvmmsg``/``sendmmsg``, so both
+    flags are ``False`` on stock CPython; the transport then batches at
+    the event-loop level (burst draining) instead of the syscall level.
+    """
+    return {
+        "recvmmsg": hasattr(socket.socket, "recvmmsg"),
+        "sendmmsg": hasattr(socket.socket, "sendmmsg"),
+    }
 
 
 class LiveTransportError(Exception):
@@ -29,7 +58,8 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
     """A bound UDP socket quacking like ``repro.stack.node.UdpSocket``.
 
     Create with :meth:`create` (binds the socket and waits for it to be
-    ready). The socket stays open until :meth:`close`.
+    ready). The socket stays open until :meth:`close`. ``batched``
+    reports which I/O path is active.
     """
 
     def __init__(
@@ -37,12 +67,19 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
     ) -> None:
         self.on_datagram: Optional[Callable[[str, int, bytes, dict], None]] = None
         self._transport: Optional[asyncio.DatagramTransport] = None
+        self._sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._batch_size = 1
         self._allowed_peer = allowed_peer
         self._closed = False
+        self.batched = False
         self.datagrams_sent = 0
         self.datagrams_received = 0
         self.datagrams_filtered = 0
         self.datagrams_dropped_after_close = 0
+        self.send_buffer_drops = 0
+        self.recv_bursts = 0
+        self.largest_burst = 0
         self.last_error: Optional[Exception] = None
 
     @classmethod
@@ -51,6 +88,7 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         host: str = "127.0.0.1",
         port: int = 0,
         allowed_peer: Optional[Tuple[str, int]] = None,
+        batch_size: int = 64,
     ) -> "LiveUdpTransport":
         """Bind a UDP socket on ``host:port`` (port 0 = ephemeral).
 
@@ -58,12 +96,84 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         datagrams from any other source are dropped before they reach
         the stack — client sockets talk to exactly one server, and an
         unfiltered port would let any off-path host inject responses.
+
+        *batch_size* caps how many datagrams one readiness callback
+        drains before yielding to the event loop (fairness bound);
+        ``batch_size <= 1`` forces the per-datagram protocol path.
         """
         loop = asyncio.get_running_loop()
-        _transport, protocol = await loop.create_datagram_endpoint(
-            lambda: cls(allowed_peer=allowed_peer), local_addr=(host, port)
+        protocol = cls(allowed_peer=allowed_peer)
+        if batch_size > 1 and protocol._open_batched(loop, host, port, batch_size):
+            return protocol
+        _transport, bound = await loop.create_datagram_endpoint(
+            lambda: protocol, local_addr=(host, port)
         )
+        assert bound is protocol
         return protocol
+
+    # -- batched reader path ----------------------------------------------
+
+    def _open_batched(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        host: str,
+        port: int,
+        batch_size: int,
+    ) -> bool:
+        """Bind a non-blocking socket on the loop's reader interface.
+
+        Returns ``False`` (after cleaning up) when the platform cannot
+        do it — unresolvable address family or a loop without
+        ``add_reader`` — so :meth:`create` can fall back to the
+        :class:`asyncio.DatagramProtocol` per-datagram path.
+        """
+        try:
+            family, type_, proto, _, sockaddr = socket.getaddrinfo(
+                host, port, type=socket.SOCK_DGRAM, proto=socket.IPPROTO_UDP
+            )[0]
+            sock = socket.socket(family, type_, proto)
+        except OSError:
+            return False
+        try:
+            sock.setblocking(False)
+            sock.bind(sockaddr)
+            loop.add_reader(sock.fileno(), self._drain_ready)
+        except (NotImplementedError, OSError):
+            sock.close()
+            return False
+        self._sock = sock
+        self._loop = loop
+        self._batch_size = batch_size
+        self.batched = True
+        return True
+
+    def _drain_ready(self) -> None:
+        """One readiness tick: drain up to ``batch_size`` datagrams.
+
+        ``add_reader`` is level-triggered, so stopping at the cap is
+        safe — leftover datagrams re-arm the callback on the next loop
+        iteration, which keeps one chatty peer from starving timers.
+        """
+        sock = self._sock
+        if sock is None:
+            return
+        recvfrom = sock.recvfrom
+        received = self.datagram_received
+        burst = 0
+        for _ in range(self._batch_size):
+            try:
+                data, addr = recvfrom(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                self.last_error = exc
+                break
+            burst += 1
+            received(data, addr)
+        if burst:
+            self.recv_bursts += 1
+            if burst > self.largest_burst:
+                self.largest_burst = burst
 
     # -- asyncio.DatagramProtocol ----------------------------------------
 
@@ -96,6 +206,8 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
     @property
     def local_address(self) -> Tuple[str, int]:
         """The bound ``(host, port)``."""
+        if self._sock is not None:
+            return self._sock.getsockname()[:2]
         if self._transport is None:
             raise LiveTransportError("socket is not open")
         return self._transport.get_extra_info("sockname")[:2]
@@ -120,6 +232,20 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         ``loop.call_later`` callback would only spam the event loop's
         unhandled-error log.
         """
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.sendto(payload, (dst_addr, dst_port))
+            except (BlockingIOError, InterruptedError):
+                # Kernel send buffer full: UDP semantics allow the drop;
+                # the stack's retransmissions recover what matters.
+                self.send_buffer_drops += 1
+                return
+            except OSError as exc:
+                self.last_error = exc
+                return
+            self.datagrams_sent += 1
+            return
         if self._transport is None:
             if self._closed:
                 self.datagrams_dropped_after_close += 1
@@ -130,6 +256,15 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
 
     def close(self) -> None:
         self._closed = True
+        if self._sock is not None:
+            if self._loop is not None:
+                try:
+                    self._loop.remove_reader(self._sock.fileno())
+                except (NotImplementedError, OSError):
+                    pass
+            self._sock.close()
+            self._sock = None
+            self._loop = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None

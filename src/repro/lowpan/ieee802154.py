@@ -7,8 +7,11 @@ leaving 104 bytes of the 127-byte PDU for the 6LoWPAN payload.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from functools import lru_cache
+
+_ADDR_FIELDS = struct.Struct("<HQQ")  # PAN ID, destination, source
 
 #: Maximum PHY payload (PDU) of IEEE 802.15.4 (Table 2b).
 FRAME_MAX_PDU = 127
@@ -68,27 +71,35 @@ class MacFrame:
         """Per-frame 6LoWPAN capacity: 127 - header(21) - FCS(2) = 104."""
         return _MAX_PAYLOAD
 
+    def encode_into(self, out: bytearray) -> None:
+        """Append the PDU bytes (header, payload, FCS placeholder) to *out*.
+
+        The FCS trailer is a placeholder (computed by hardware); the
+        per-link address fields come from a cache — only the sequence
+        number changes frame to frame.
+        """
+        out += _FCF_BYTES
+        out.append(self.seq & 0xFF)
+        out += _address_fields(self.pan_id, self.dst, self.src)
+        out += self.payload
+        out += b"\x00\x00"
+
     def encode(self) -> bytes:
         """Wire format including the FCS placeholder (PDU bytes)."""
-        # FCS placeholder trailer (computed by hardware); the per-link
-        # address fields come from a cache — only the sequence number
-        # changes frame to frame.
-        return (
-            _FCF_BYTES
-            + bytes((self.seq & 0xFF,))
-            + _address_fields(self.pan_id, self.dst, self.src)
-            + self.payload
-            + b"\x00\x00"
-        )
+        out = bytearray()
+        self.encode_into(out)
+        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes) -> "MacFrame":
+    def decode(cls, data) -> "MacFrame":
+        """Parse a frame from ``bytes | memoryview`` (input never mutated)."""
         if len(data) < _MAC_HEADER_LEN + FCS_LEN:
             raise ValueError("frame shorter than MAC header")
+        pan_id, dst, src = _ADDR_FIELDS.unpack_from(data, 3)
         return cls(
-            src=int.from_bytes(data[13:21], "little"),
-            dst=int.from_bytes(data[5:13], "little"),
+            src=src,
+            dst=dst,
             seq=data[2],
-            payload=bytes(data[_MAC_HEADER_LEN:-FCS_LEN]),
-            pan_id=int.from_bytes(data[3:5], "little"),
+            payload=bytes(data[_MAC_HEADER_LEN : len(data) - FCS_LEN]),
+            pan_id=pan_id,
         )

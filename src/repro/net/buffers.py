@@ -1,0 +1,195 @@
+"""Zero-copy parse cursors and reusable encode buffers.
+
+The wire codecs (DNS, CoAP, CBOR, 6LoWPAN, DTLS) share two hot-path
+conventions, both provided here:
+
+* **Decode** works over a flat byte buffer — ``bytes`` or
+  ``memoryview`` — indexed in place. Multi-byte fields come out of
+  ``struct.unpack_from`` (or :class:`BufReader` where a cursor reads
+  better than explicit offsets), and sub-slices stay views until a
+  value is *stored* in a decoded object, at which point it is
+  materialised exactly once with ``bytes(...)``. Decoders never mutate
+  their input.
+* **Encode** appends into a single ``bytearray`` end to end
+  (``encode_into(out, ...)`` style). For per-tick paths that encode at
+  a high rate, :func:`scratch` hands out a cleared, reusable buffer so
+  steady-state encoding allocates nothing but the final ``bytes()``.
+
+Nothing here imports from the codec packages, so every codec may import
+from this module without cycles.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple, Type, Union
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U48 = struct.Struct("!IH")
+_U64 = struct.Struct("!Q")
+
+unpack_u16 = _U16.unpack_from
+unpack_u32 = _U32.unpack_from
+
+
+def as_view(data: Buffer) -> memoryview:
+    """A flat ``uint8`` :class:`memoryview` over *data*, without copying.
+
+    Accepts ``bytes``, ``bytearray``, ``memoryview`` (re-cast to a flat
+    byte view if needed), or anything else exposing the buffer protocol.
+    """
+    view = data if type(data) is memoryview else memoryview(data)
+    if view.ndim != 1 or view.itemsize != 1:
+        view = view.cast("B")
+    return view
+
+
+def materialize(data: Buffer) -> bytes:
+    """*data* as ``bytes``, copying only when it is not already bytes.
+
+    This is the single boundary materialisation decoders perform before
+    storing a value (or memoising on it); ``bytes`` input passes through
+    untouched.
+    """
+    return data if type(data) is bytes else bytes(data)
+
+
+class BufReader:
+    """A bounds-checked forward cursor over a byte buffer.
+
+    All reads advance the cursor; underflow raises the ``error`` class
+    the reader was constructed with (a :class:`ValueError` subclass per
+    codec), never ``IndexError``/``struct.error``. Slices returned by
+    :meth:`take` are views into the underlying buffer — call
+    :meth:`take_bytes` for an owned copy at a storage boundary.
+    """
+
+    __slots__ = ("data", "pos", "end", "error")
+
+    def __init__(
+        self,
+        data: Buffer,
+        pos: int = 0,
+        end: int | None = None,
+        error: Type[ValueError] = ValueError,
+    ) -> None:
+        self.data = data
+        self.pos = pos
+        self.end = len(data) if end is None else end
+        self.error = error
+
+    def __len__(self) -> int:
+        return self.end - self.pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= self.end
+
+    def need(self, count: int) -> None:
+        if self.pos + count > self.end:
+            raise self.error(
+                f"need {count} byte(s) at offset {self.pos}, "
+                f"have {self.end - self.pos}"
+            )
+
+    def u8(self) -> int:
+        if self.pos >= self.end:
+            raise self.error(f"need 1 byte at offset {self.pos}, have 0")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def peek_u8(self) -> int:
+        if self.pos >= self.end:
+            raise self.error(f"need 1 byte at offset {self.pos}, have 0")
+        return self.data[self.pos]
+
+    def u16(self) -> int:
+        self.need(2)
+        (value,) = _U16.unpack_from(self.data, self.pos)
+        self.pos += 2
+        return value
+
+    def u32(self) -> int:
+        self.need(4)
+        (value,) = _U32.unpack_from(self.data, self.pos)
+        self.pos += 4
+        return value
+
+    def u48(self) -> int:
+        self.need(6)
+        high, low = _U48.unpack_from(self.data, self.pos)
+        self.pos += 6
+        return (high << 16) | low
+
+    def u64(self) -> int:
+        self.need(8)
+        (value,) = _U64.unpack_from(self.data, self.pos)
+        self.pos += 8
+        return value
+
+    def uint(self, count: int) -> int:
+        """A big-endian unsigned integer of *count* bytes."""
+        self.need(count)
+        value = int.from_bytes(self.data[self.pos : self.pos + count], "big")
+        self.pos += count
+        return value
+
+    def take(self, count: int) -> Buffer:
+        """The next *count* bytes as a zero-copy slice (view for views)."""
+        self.need(count)
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def take_bytes(self, count: int) -> bytes:
+        """The next *count* bytes materialised as owned ``bytes``."""
+        self.need(count)
+        chunk = materialize(self.data[self.pos : self.pos + count])
+        self.pos += count
+        return chunk
+
+    def skip(self, count: int) -> None:
+        self.need(count)
+        self.pos += count
+
+    def rest(self) -> Buffer:
+        """Everything from the cursor to the end, as a zero-copy slice."""
+        chunk = self.data[self.pos : self.end]
+        self.pos = self.end
+        return chunk
+
+    def rest_bytes(self) -> bytes:
+        """Everything from the cursor to the end, materialised."""
+        return materialize(self.rest())
+
+
+# -- reusable encode buffers ----------------------------------------------
+
+_SCRATCH: Dict[str, bytearray] = {}
+
+
+def scratch(tag: str) -> bytearray:
+    """A cleared, reusable ``bytearray`` for the call site named *tag*.
+
+    The buffer keeps its capacity across calls, so a steady-state encode
+    path reuses one allocation instead of growing a fresh ``bytearray``
+    per message. **Not reentrant**: each tag must be used by one encode
+    at a time (true of the single-threaded sim and the asyncio live
+    stack); never hold a reference across calls for the same tag.
+    """
+    buf = _SCRATCH.get(tag)
+    if buf is None:
+        buf = bytearray()
+        _SCRATCH[tag] = buf
+    else:
+        del buf[:]
+    return buf
+
+
+def scratch_tags() -> Tuple[str, ...]:
+    """The tags with live scratch buffers (introspection/tests)."""
+    return tuple(_SCRATCH)

@@ -11,8 +11,11 @@ per-frame operations before these caches existed.
 from __future__ import annotations
 
 import ipaddress
+import struct
 from dataclasses import dataclass, field
 from functools import lru_cache
+
+_HEXTETS = struct.Struct("!8H")
 
 IPV6_HEADER_LEN = 40
 NEXT_HEADER_UDP = 17
@@ -34,13 +37,38 @@ def packed_address(address: str) -> bytes:
 @lru_cache(maxsize=8192)
 def address_from_int(value: int) -> str:
     """Canonical presentation form of a 128-bit value (memoised)."""
-    return str(ipaddress.IPv6Address(value))
+    return address_from_packed(value.to_bytes(16, "big"))
 
 
 @lru_cache(maxsize=8192)
 def address_from_packed(packed: bytes) -> str:
-    """Canonical presentation form of 16 network-order bytes (memoised)."""
-    return str(ipaddress.IPv6Address(packed))
+    """Canonical presentation form of 16 network-order bytes (memoised).
+
+    A direct RFC 5952 formatter: lowercase hextets without leading
+    zeros and the leftmost longest run of two or more zero hextets
+    compressed to ``::``. Byte-identical to ``str(IPv6Address(...))``
+    (property-tested) but several times faster — AAAA rdata decoding
+    made the ``ipaddress`` round-trip the hottest part of cache-miss
+    DNS decodes.
+    """
+    hextets = _HEXTETS.unpack(packed)
+    best_start = -1
+    best_len = 0
+    run_start = -1
+    for index in range(8):
+        if hextets[index] == 0:
+            if run_start < 0:
+                run_start = index
+            if index - run_start + 1 > best_len:
+                best_start = run_start
+                best_len = index - run_start + 1
+        else:
+            run_start = -1
+    if best_len < 2:
+        return "%x:%x:%x:%x:%x:%x:%x:%x" % hextets
+    head = ":".join("%x" % value for value in hextets[:best_start])
+    tail = ":".join("%x" % value for value in hextets[best_start + best_len :])
+    return f"{head}::{tail}"
 
 
 @lru_cache(maxsize=8192)

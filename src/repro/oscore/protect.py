@@ -21,7 +21,7 @@ from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.cborlib import dumps
-from repro.coap.codes import Code
+from repro.coap.codes import CODE_BY_VALUE, Code
 from repro.crypto import AEADError
 from repro.coap.message import CoapMessage, MessageType
 from repro.coap.options import OptionNumber, decode_options, encode_options
@@ -77,10 +77,9 @@ def _plaintext(code: Code, inner_options: list, payload: bytes) -> bytes:
 def _parse_plaintext(data: bytes) -> Tuple[Code, tuple, bytes]:
     if not data:
         raise OscoreError("empty OSCORE plaintext")
-    try:
-        code = Code(data[0])
-    except ValueError as exc:
-        raise OscoreError(f"invalid inner code 0x{data[0]:02x}") from exc
+    code = CODE_BY_VALUE.get(data[0])
+    if code is None:
+        raise OscoreError(f"invalid inner code 0x{data[0]:02x}")
     options, payload_offset = decode_options(data, 1)
     return code, tuple(options), bytes(data[payload_offset:])
 

@@ -9,14 +9,18 @@ Examples
     python -m repro.perf --json BENCH_PR3.json
     python -m repro.perf --only coap_encode,dns_encode --repeats 9
     python -m repro.perf --json BENCH_PR4.json --compare BENCH_PR3.json
+    python -m repro.perf --quick --compare BENCH_PR6.json --gate 0.25
 
-Exit status is non-zero when any selected benchmark errors, which is
-what the CI smoke job keys off.
+Exit status: 1 when any selected benchmark errors (the CI smoke job
+keys off this), 2 on usage/configuration errors, 3 when ``--gate``
+finds a per-unit regression beyond its threshold (the CI perf-gate
+job keys off this).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -24,6 +28,7 @@ from .harness import (
     BenchmarkError,
     benchmark_names,
     build_report,
+    gate_regressions,
     load_report,
     run_benchmarks,
     write_report,
@@ -75,6 +80,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="compare against a previously written JSON report",
     )
     parser.add_argument(
+        "--gate", type=float, default=None, nargs="?", const=0.25,
+        metavar="THRESHOLD",
+        help="fail (exit 3) when any benchmark is more than THRESHOLD "
+             "(fraction, default 0.25) slower per unit than the "
+             "--compare baseline; noisy benchmarks have looser "
+             "built-in thresholds",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list benchmarks and exit"
     )
     args = parser.parse_args(argv)
@@ -115,6 +128,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if errored:
         print(f"FAILED benchmarks: {', '.join(errored)}", file=sys.stderr)
         return 1
+
+    if args.gate is not None:
+        if args.compare is None:
+            print("error: --gate requires --compare", file=sys.stderr)
+            return 2
+        failures = gate_regressions(comparison or {}, args.gate)
+        report["gate"] = {
+            "threshold": args.gate,
+            "passed": not failures,
+            "failures": failures,
+        }
+        if args.json:
+            # Re-dump so the artifact records the gate verdict too.
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=False)
+                handle.write("\n")
+        for failure in failures:
+            print(
+                f"GATE FAIL {failure['name']}: {failure['regression']:.1%} "
+                f"slower per unit (allowed {failure['allowed']:.0%}, "
+                f"speedup {failure['speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+        if failures:
+            return 3
+        compared = len(comparison or {})
+        print(f"gate passed: {compared} benchmark(s) within threshold")
     return 0
 
 

@@ -210,6 +210,31 @@ def dns_decode_hot(quick: bool) -> int:
     return rounds * len(wires)
 
 
+# -- micro: cache ----------------------------------------------------------
+
+
+@register(
+    "cache_lookup",
+    "KeyedCache lookup mix: 50% hits, 50% misses on a 512-entry LRU",
+    unit="lookup",
+)
+def cache_lookup(quick: bool) -> int:
+    from repro.cache import EvictionPolicy, KeyedCache
+
+    cache = KeyedCache(512, policy=EvictionPolicy.LRU)
+    for index in range(512):
+        cache.store(("name%03d" % index, 28), index, lifetime=3600.0, now=0.0)
+    present = [("name%03d" % index, 28) for index in range(512)]
+    absent = [("miss%03d" % index, 28) for index in range(512)]
+    rounds = 40 if quick else 200
+    lookup = cache.lookup
+    for _ in range(rounds):
+        for hit_key, miss_key in zip(present, absent):
+            lookup(hit_key, 1.0)
+            lookup(miss_key, 1.0)
+    return rounds * 1024
+
+
 # -- micro: crypto ---------------------------------------------------------
 
 _KEY = bytes(range(16))

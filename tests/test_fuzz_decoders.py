@@ -119,6 +119,78 @@ def test_reassembler_push_clean_errors(data, sender):
         pass
 
 
+class TestBytesMemoryviewParity:
+    """The zero-copy contract: ``bytes`` and ``memoryview`` inputs are
+    interchangeable — identical decode results, and on bad input the
+    identical documented error type."""
+
+    @staticmethod
+    def _outcomes_match(decode, data, errors):
+        """Decode *data* as bytes and as a memoryview; both sides must
+        produce equal results or raise the same error type."""
+        outcomes = []
+        for variant in (data, memoryview(data)):
+            try:
+                outcomes.append(("ok", repr(decode(variant))))
+            except errors as exc:
+                outcomes.append(("err", type(exc).__name__))
+        assert outcomes[0] == outcomes[1], outcomes
+        return outcomes[0]
+
+    @given(st.binary(max_size=200))
+    @example(b"")
+    def test_dns_parity(self, data):
+        self._outcomes_match(
+            Message.decode, data, (MessageError, NameError_, ValueError)
+        )
+
+    @given(st.binary(max_size=200))
+    @example(b"")
+    @example(b"\x40\x01\x00\x00")
+    def test_coap_parity(self, data):
+        self._outcomes_match(
+            CoapMessage.decode, data,
+            (CoapMessageError, OptionError, ValueError),
+        )
+
+    @given(st.binary(max_size=200))
+    @example(b"")
+    @example(b"\xff" * 16)
+    def test_cbor_parity(self, data):
+        self._outcomes_match(loads, data, (CBORDecodeError,))
+
+    @given(st.integers(0, 80))
+    def test_truncated_valid_dns_parity(self, cut):
+        from repro.experiments.packet_sizes import canonical_messages
+
+        wire = canonical_messages()["response_aaaa"].encode()
+        self._outcomes_match(
+            Message.decode, wire[: min(cut, len(wire))],
+            (MessageError, NameError_, ValueError),
+        )
+
+    @given(st.integers(0, 60))
+    def test_truncated_valid_coap_parity(self, cut):
+        from repro.coap import Code
+
+        wire = CoapMessage.request(
+            Code.FETCH, "/dns", mid=7, token=b"\x01", payload=b"abc"
+        ).with_uint_option(12, 553).encode()
+        self._outcomes_match(
+            CoapMessage.decode, wire[: min(cut, len(wire))],
+            (CoapMessageError, OptionError, ValueError),
+        )
+
+    @given(st.integers(0, 30))
+    def test_truncated_valid_cbor_parity(self, cut):
+        from repro.cborlib import dumps
+
+        wire = dumps({1: b"key", "name": ["example.org", 28]})
+        self._outcomes_match(
+            loads, wire[: min(cut, len(wire))], (CBORDecodeError,)
+        )
+
+
 class TestMutatedValidMessages:
     """Bit-flip valid messages and require clean handling."""
 

@@ -1,0 +1,65 @@
+"""The codec hot-slice ratchet (tools/check_hot_slices.py) stays green.
+
+The guard counts ``data[a:b]`` slice subscripts per function across the
+codec hot modules and compares them with the checked-in allowlist; CI
+runs the script directly, this test keeps it honest under pytest too.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_guard():
+    spec = importlib.util.spec_from_file_location(
+        "check_hot_slices", _TOOLS / "check_hot_slices.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_guard_passes(capsys):
+    guard = _load_guard()
+    assert guard.main([]) == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_guard_trips_on_new_slice(monkeypatch, capsys):
+    guard = _load_guard()
+    bloated = guard.inventory()
+    module = next(iter(bloated))
+    scopes = bloated[module]
+    scopes["freshly_written_decode"] = scopes.get(
+        "freshly_written_decode", 0
+    ) + 1
+    monkeypatch.setattr(guard, "inventory", lambda: bloated)
+    assert guard.main([]) == 1
+    assert "freshly_written_decode" in capsys.readouterr().err
+
+
+def test_guard_reports_ratchet_opportunity(monkeypatch, capsys):
+    guard = _load_guard()
+    shrunk = guard.inventory()
+    for module, scopes in shrunk.items():
+        for scope in list(scopes):
+            del scopes[scope]
+            break
+        else:
+            continue
+        break
+    monkeypatch.setattr(guard, "inventory", lambda: shrunk)
+    assert guard.main([]) == 0
+    assert "ratchet" in capsys.readouterr().out
+
+
+def test_allowlist_covers_all_hot_modules():
+    guard = _load_guard()
+    import json
+
+    allowed = json.loads(guard.ALLOWLIST.read_text())
+    assert set(allowed) == {
+        m for m in guard.HOT_MODULES if (guard.SRC / m).exists()
+    }

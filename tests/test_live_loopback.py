@@ -66,6 +66,38 @@ def test_udp_round_trip():
     assert server.stats()["queries_handled"] == 3
 
 
+def test_batched_io_active_and_counted():
+    """Selector loops take the burst-drain reader path; its counters
+    and the mmsg detection report surface in the server stats."""
+    server, resolver, results = run(_round_trip("coap"))
+    io = server.stats()["io"]
+    assert io["batched"] is True
+    assert io["recv_bursts"] >= 1
+    assert io["largest_burst"] >= 1
+    assert set(io["mmsg"]) == {"recvmmsg", "sendmmsg"}
+    assert len(results) == 3
+
+
+def test_fastpath_cache_hits_on_repeat_queries():
+    """Live serving enables the wire-level response cache by default:
+    repeats of the same question replay the prebuilt template."""
+    async def body():
+        server = DocLiveServer(transport="coap", port=0, num_names=4)
+        async with server:
+            resolver = LiveResolver(server.endpoint, transport="coap")
+            async with resolver:
+                for _ in range(3):
+                    await resolver.resolve(
+                        server.names[0], timeout=QUERY_TIMEOUT
+                    )
+            return server.stats()
+
+    stats = run(body())
+    assert stats["queries_handled"] == 3
+    assert stats["fastpath_misses"] == 1
+    assert stats["fastpath_hits"] == 2
+
+
 def test_oscore_round_trip():
     server, resolver, results = run(_round_trip("oscore"))
     assert [r.addresses for r in results] == [

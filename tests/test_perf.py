@@ -18,6 +18,7 @@ from repro.perf.harness import (
     benchmark_names,
     build_report,
     compare_reports,
+    gate_regressions,
     get_benchmark,
     run_one,
     write_report,
@@ -70,6 +71,7 @@ class TestHarness:
             "aesccm_seal",
             "aesccm_open",
             "sim_event_churn",
+            "cache_lookup",
         ):
             assert expected in names
 
@@ -144,6 +146,132 @@ class TestHarness:
 
         assert main(["--list"]) == 0
         assert "coap_encode" in capsys.readouterr().out
+
+
+class TestGate:
+    """--gate regression thresholds over a comparison document."""
+
+    @staticmethod
+    def _comparison(speedup, name="dns_decode"):
+        return {name: {"speedup": speedup}}
+
+    def test_within_threshold_passes(self):
+        assert gate_regressions(self._comparison(0.85), 0.25) == []
+
+    def test_improvement_passes(self):
+        assert gate_regressions(self._comparison(1.6), 0.25) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = gate_regressions(self._comparison(0.5), 0.25)
+        assert [f["name"] for f in failures] == ["dns_decode"]
+        assert failures[0]["regression"] == 1.0  # 2x slower
+        assert failures[0]["allowed"] == 0.25
+
+    def test_noisy_benchmark_override_loosens(self):
+        # live_loopback is allowed 60%: a 43% slowdown passes there but
+        # would fail a benchmark on the default threshold.
+        noisy = self._comparison(0.7, name="live_loopback")
+        assert gate_regressions(noisy, 0.25) == []
+        assert gate_regressions(self._comparison(0.7), 0.25)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(BenchmarkError):
+            gate_regressions({}, -0.1)
+
+    def test_cli_gate_requires_compare(self, capsys):
+        from repro.perf.__main__ import main
+
+        code = main(
+            ["--only", "sim_event_churn", "--quick", "--repeats", "1",
+             "--gate", "0.25"]
+        )
+        assert code == 2
+
+    def test_cli_gate_pass_and_fail(self, tmp_path, capsys):
+        from repro.perf.__main__ import main
+
+        base = tmp_path / "base.json"
+        assert main(
+            ["--only", "sim_event_churn", "--quick", "--repeats", "1",
+             "--json", str(base)]
+        ) == 0
+
+        # Same machine, same workload, generous threshold: passes.
+        out = tmp_path / "out.json"
+        assert main(
+            ["--only", "sim_event_churn", "--quick", "--repeats", "1",
+             "--json", str(out), "--compare", str(base), "--gate", "10.0"]
+        ) == 0
+        assert json.loads(out.read_text())["gate"]["passed"] is True
+
+        # Doctor the baseline 10x faster — an artificial >25% regression
+        # — and the gate must trip with its distinct exit code.
+        doc = json.loads(base.read_text())
+        for entry in doc["results"]:
+            entry["per_unit_us"] = entry["per_unit_us"] / 10
+            entry["best_s"] = entry["best_s"] / 10
+        base.write_text(json.dumps(doc))
+        code = main(
+            ["--only", "sim_event_churn", "--quick", "--repeats", "1",
+             "--json", str(out), "--compare", str(base), "--gate", "0.25"]
+        )
+        assert code == 3
+        written = json.loads(out.read_text())
+        assert written["gate"]["passed"] is False
+        assert written["gate"]["failures"][0]["name"] == "sim_event_churn"
+        assert "GATE FAIL" in capsys.readouterr().err
+
+
+class TestAllocationBudget:
+    """tracemalloc micro-asserts pinning the zero-copy decode contract."""
+
+    def test_coap_decode_materialises_payload_once(self):
+        import gc
+        import tracemalloc
+
+        from repro.coap import CoapMessage, Code
+
+        payload = bytes(range(256)) * 16  # 4 KiB
+        wire = CoapMessage.request(
+            Code.POST, "/dns", payload=payload, token=b"\x01"
+        ).encode()
+        rounds = 50
+        CoapMessage.decode(wire)  # warm enum/option caches
+        gc.collect()
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        decoded = [CoapMessage.decode(wire) for _ in range(rounds)]
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert decoded[-1].payload == payload
+        # One boundary copy of the payload plus small fixed overhead
+        # (message object, token, options); a second hidden copy of the
+        # wire or payload would blow well past 1.5x.
+        per_decode = (after - before) / rounds
+        assert per_decode < len(payload) * 1.5, per_decode
+
+    def test_memoryview_decode_allocates_no_extra(self):
+        import gc
+        import tracemalloc
+
+        from repro.coap import CoapMessage, Code
+
+        payload = bytes(range(256)) * 16
+        wire = CoapMessage.request(
+            Code.POST, "/dns", payload=payload, token=b"\x01"
+        ).encode()
+        view = memoryview(wire)
+        rounds = 50
+        CoapMessage.decode(view)
+        gc.collect()
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        decoded = [CoapMessage.decode(view) for _ in range(rounds)]
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert decoded[-1].payload == payload
+        per_decode = (after - before) / rounds
+        assert per_decode < len(payload) * 1.5, per_decode
 
 
 class TestExecutors:
