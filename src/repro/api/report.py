@@ -324,6 +324,81 @@ def report_from_experiment_result(
     )
 
 
+#: Per-load-worker counters surfaced as ``live.workers.load.<i>.*``.
+_LOAD_WORKER_METRICS = (
+    "queries", "succeeded", "failed", "timeouts", "rcode_failures",
+    "achieved_qps",
+)
+
+#: Per-serve-worker counters surfaced as ``live.workers.serve.<i>.*``.
+_SERVE_WORKER_METRICS = (
+    "queries_handled", "datagrams_received", "datagrams_sent",
+)
+
+
+def _worker_metrics(pooled, server_stats) -> Dict[str, object]:
+    """The ``live.workers.*`` namespace from sharded-run detail.
+
+    Load-side detail rides in each merged loadgen report's ``workers``
+    block (:func:`repro.live.workers.merge_loadgen_reports`); serve-side
+    detail in *server_stats*' ``workers``/``runtime`` blocks
+    (:func:`repro.live.workers.merge_server_stats`). Per-worker counters
+    sum index-by-index across pooled repeats — summing any
+    ``live.workers.load.<i>.queries`` column therefore reproduces the
+    top-level ``queries.issued``. Single-process runs carry none of
+    these blocks and emit nothing, keeping their metric key set
+    identical to previous releases.
+    """
+    metrics: Dict[str, object] = {}
+    load_totals: Dict[int, Dict[str, float]] = {}
+    load_failed = 0
+    for report in pooled:
+        block = report.get("workers")
+        if not isinstance(block, dict):
+            continue
+        load_failed += block.get("load_failed", 0)
+        for entry in block.get("load", ()):
+            totals = load_totals.setdefault(
+                int(entry.get("worker", 0)),
+                {key: 0 for key in _LOAD_WORKER_METRICS},
+            )
+            for key in _LOAD_WORKER_METRICS:
+                totals[key] += entry.get(key, 0)
+    if load_totals:
+        metrics["live.workers.load.count"] = len(load_totals)
+        metrics["live.workers.load.failed"] = load_failed
+        for index in sorted(load_totals):
+            for key in _LOAD_WORKER_METRICS:
+                value = load_totals[index][key]
+                metrics[f"live.workers.load.{index}.{key}"] = (
+                    round(value, 3) if key == "achieved_qps" else value
+                )
+    if server_stats:
+        runtime = server_stats.get("runtime")
+        per_worker = server_stats.get("workers")
+        if isinstance(runtime, dict):
+            metrics["live.workers.serve.count"] = runtime.get(
+                "serve_workers", 1
+            )
+            metrics["live.workers.serve.failed"] = server_stats.get(
+                "workers_failed", 0
+            )
+            metrics["live.workers.reuseport"] = bool(
+                runtime.get("reuseport")
+            )
+            metrics["live.workers.uvloop"] = bool(runtime.get("uvloop"))
+            metrics["live.workers.warning"] = runtime.get("warning")
+        if isinstance(per_worker, list):
+            for entry in per_worker:
+                index = entry.get("worker", 0)
+                for key in _SERVE_WORKER_METRICS:
+                    if key in entry:
+                        metrics[f"live.workers.serve.{index}.{key}"] = (
+                            entry[key]
+                        )
+    return metrics
+
+
 def report_from_loadgen(
     reports,
     spec: Optional[Dict[str, object]] = None,
@@ -407,6 +482,7 @@ def report_from_loadgen(
     metrics["live.concurrency"] = first["concurrency"]
     metrics["live.elapsed_s"] = round(elapsed, 3)
     metrics["live.repeats"] = len(pooled)
+    metrics.update(_worker_metrics(pooled, server_stats))
     if server_stats:
         for key in ("queries_handled", "datagrams_received",
                     "datagrams_sent", "validations_sent"):

@@ -63,6 +63,13 @@ def _run_one_scenario(scenario):
 def _run_live(spec: RunSpec) -> Report:
     import asyncio
 
+    if spec.live.serve_workers > 1 or spec.live.load_workers > 1:
+        # The sharded pairing forks worker processes and must own the
+        # process (no surrounding event loop), so it branches before
+        # asyncio.run rather than inside it.
+        from repro.live.workers import run_sharded_spec
+
+        return run_sharded_spec(spec)
     return asyncio.run(_run_live_async(spec))
 
 

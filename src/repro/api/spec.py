@@ -37,6 +37,12 @@ class LiveOptions:
     serve+loadtest pairing. Point ``host``/``port`` at an already
     running server to measure it instead (the server must share the
     spec's name universe).
+
+    ``serve_workers`` / ``load_workers`` above 1 shard the pairing
+    across processes (:mod:`repro.live.workers`): N SO_REUSEPORT
+    server workers, M distributed load generators, one merged Report
+    with per-worker detail under ``live.workers.*``. Both default to 1
+    — the single-process path of previous releases, bit-identical.
     """
 
     host: Optional[str] = None
@@ -46,6 +52,8 @@ class LiveOptions:
     timeout: float = 10.0
     dataset: Optional[str] = None
     name_seed: int = 7
+    serve_workers: int = 1
+    load_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in ("open", "closed"):
@@ -54,6 +62,15 @@ class LiveOptions:
             raise ApiError("concurrency must be >= 1")
         if self.timeout <= 0:
             raise ApiError("timeout must be positive")
+        if self.serve_workers < 1:
+            raise ApiError("serve_workers must be >= 1")
+        if self.load_workers < 1:
+            raise ApiError("load_workers must be >= 1")
+        if self.serve_workers > 1 and self.host is not None:
+            raise ApiError(
+                "serve_workers applies to self-served runs only "
+                "(drop live-host, or shard the external server itself)"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -64,6 +81,8 @@ class LiveOptions:
             "timeout": self.timeout,
             "dataset": self.dataset,
             "name_seed": self.name_seed,
+            "serve_workers": self.serve_workers,
+            "load_workers": self.load_workers,
         }
 
 
@@ -163,7 +182,8 @@ class RunSpec:
         Understands every :func:`~repro.scenarios.scenario_from_spec`
         key plus the façade's own: ``substrate`` (``sim``/``live``),
         ``repeats``, ``workers``, and the live-loop keys ``live-host``,
-        ``live-port``, ``mode``, ``concurrency``, ``timeout``.
+        ``live-port``, ``mode``, ``concurrency``, ``timeout``,
+        ``serve_workers``, ``load_workers``.
         """
         base = base if base is not None else cls()
         api_fields: Dict[str, object] = {}
@@ -193,6 +213,10 @@ class RunSpec:
                 live_fields["concurrency"] = int(value)
             elif key == "timeout":
                 live_fields["timeout"] = float(value)
+            elif key in ("serve_workers", "serve-workers"):
+                live_fields["serve_workers"] = int(value)
+            elif key in ("load_workers", "load-workers"):
+                live_fields["load_workers"] = int(value)
             else:
                 scenario_parts.append(part)
         scenario = base.scenario

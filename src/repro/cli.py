@@ -419,6 +419,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.live import DocLiveServer
 
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _cmd_serve_pool(args)
     server = DocLiveServer(
         transport=args.transport,
         host=args.host,
@@ -453,6 +458,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({stats['datagrams_received']} datagrams in, "
           f"{stats['datagrams_sent']} out)")
     return 0
+
+
+def _cmd_serve_pool(args: argparse.Namespace) -> int:
+    """``serve --workers N``: an SO_REUSEPORT-sharded worker pool.
+
+    The single-worker command path above stays untouched — ``--workers
+    1`` (the default) never constructs a pool, so existing serve runs
+    behave bit-identically.
+    """
+    import sys
+    import time
+
+    from repro.live import ServePool
+
+    pool = ServePool(
+        workers=args.workers,
+        transport=args.transport,
+        host=args.host,
+        port=args.port,
+        num_names=args.names,
+        dataset=args.dataset,
+        name_seed=args.name_seed,
+        scheme=_parse_scheme(args.cache_scheme),
+        seed=args.seed,
+        secret=args.secret.encode(),
+    )
+    if pool.warning:
+        print(f"warning: {pool.warning}", file=sys.stderr, flush=True)
+    host, port = pool.start()
+    print(
+        f"serving DNS over {args.transport} on {host}:{port} "
+        f"({args.names} names, scheme {args.cache_scheme}, "
+        f"{pool.workers} workers)",
+        flush=True,
+    )
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    stats = pool.drain()
+    per_worker = " + ".join(
+        str(worker.get("queries_handled", 0))
+        for worker in stats.get("workers", [])
+    )
+    print(f"served {stats.get('queries_handled', 0)} queries "
+          f"across {pool.workers} workers ({per_worker or 0}; "
+          f"{stats['io']['recv_bursts']} bursts, "
+          f"{stats['workers_failed']} workers failed)")
+    return pool.exit_code
 
 
 def _loadtest_report(args: argparse.Namespace, workload, report):
@@ -490,6 +548,7 @@ def _loadtest_report(args: argparse.Namespace, workload, report):
             host=args.host, port=args.port, mode=args.mode,
             concurrency=args.concurrency, timeout=args.timeout,
             dataset=args.dataset, name_seed=args.name_seed,
+            load_workers=args.workers,
         ),
     )
     return report_from_loadgen(report, spec=spec.to_dict())
@@ -501,6 +560,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.live import LiveResolver, build_names, generate_load
     from repro.scenarios import WorkloadSpec
 
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     workload = WorkloadSpec(
         arrival=args.arrival,
         burst_on=args.burst_on,
@@ -534,7 +596,29 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 workload=workload,
             )
 
-    report = asyncio.run(run())
+    if args.workers > 1:
+        from repro.live import run_distributed_load
+
+        report = run_distributed_load(
+            (args.host, args.port),
+            transport=args.transport,
+            scheme=_parse_scheme(args.cache_scheme),
+            cache_placement=args.client_cache,
+            secret=args.secret.encode(),
+            timeout=args.timeout,
+            num_names=args.names,
+            dataset=args.dataset,
+            name_seed=args.name_seed,
+            rate=args.rate,
+            duration=args.duration,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            workload=workload,
+            workers=args.workers,
+        )
+    else:
+        report = asyncio.run(run())
     if args.json is not None:
         # The machine-readable output is the unified Report — the same
         # document `repro run` and `experiment --json` emit — with the
@@ -548,6 +632,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"success rate:  {report['success_rate']:.2%} "
               f"({report['timeouts']} timeouts)")
         print(f"achieved qps:  {report['achieved_qps']}")
+        if "workers" in report:
+            per = ", ".join(
+                f"#{worker['worker']} {worker['achieved_qps']}"
+                for worker in report["workers"]["load"]
+            )
+            print(f"load workers:  {per}")
         if latency["p50"] is not None:
             print(f"latency p50:   {latency['p50']:.2f} ms")
             print(f"latency p95:   {latency['p95']:.2f} ms")
@@ -742,6 +832,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--secret", default="repro-live-master-secret",
             help="shared OSCORE master secret (oscore transport)",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes: serve shards one port via "
+                 "SO_REUSEPORT, loadtest forks distributed generators "
+                 "(default 1 = the single-process path)",
         )
 
     serve = subparsers.add_parser(

@@ -13,7 +13,11 @@ asyncio runtime:
   :class:`~repro.live.client.LiveResolver` — serving and resolving
   over any live transport profile (udp/dtls/coap/coaps/oscore);
 * :func:`~repro.live.loadgen.generate_load` — open- and closed-loop
-  load generation with latency-percentile reports.
+  load generation with latency-percentile reports;
+* :class:`~repro.live.workers.ServePool` /
+  :func:`~repro.live.workers.run_distributed_load` — SO_REUSEPORT
+  sharding across server worker processes and distributed load
+  generation with merged reports.
 
 The CLI front-ends are ``python -m repro.cli serve`` and
 ``python -m repro.cli loadtest``.
@@ -38,9 +42,19 @@ _EXPORTS = {
     "LoadGenError": ".loadgen",
     "generate_load": ".loadgen",
     "generate_report": ".loadgen",
+    "DEFAULT_RESERVOIR_CAPACITY": ".reservoir",
+    "LatencyReservoir": ".reservoir",
     "DocLiveServer": ".server",
     "LiveTransportError": ".transport",
     "LiveUdpTransport": ".transport",
+    "LoadPool": ".workers",
+    "ServePool": ".workers",
+    "WorkerPool": ".workers",
+    "WorkerPoolError": ".workers",
+    "derive_worker_seed": ".workers",
+    "maybe_install_uvloop": ".workers",
+    "reuseport_supported": ".workers",
+    "run_distributed_load": ".workers",
     "DEFAULT_LIVE_PORT": ".wiring",
     "LIVE_TRANSPORTS": ".wiring",
     "LiveWiringError": ".wiring",

@@ -27,6 +27,7 @@ from repro.api.report import REPORT_VERSION, provenance
 from repro.scenarios.scenario import WorkloadSpec
 
 from .client import LiveResolver
+from .reservoir import DEFAULT_RESERVOIR_CAPACITY, LatencyReservoir
 from .wiring import LiveWiringError
 
 #: Top-level keys every report carries, in emission order. The version
@@ -57,24 +58,6 @@ class LoadGenError(LiveWiringError):
     """
 
 
-def _latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
-    from repro.experiments.metrics import percentile
-
-    if not latencies_s:
-        return {
-            "p50": None, "p95": None, "p99": None,
-            "mean": None, "min": None, "max": None,
-        }
-    return {
-        "p50": round(percentile(latencies_s, 50) * 1000, 3),
-        "p95": round(percentile(latencies_s, 95) * 1000, 3),
-        "p99": round(percentile(latencies_s, 99) * 1000, 3),
-        "mean": round(sum(latencies_s) / len(latencies_s) * 1000, 3),
-        "min": round(min(latencies_s) * 1000, 3),
-        "max": round(max(latencies_s) * 1000, 3),
-    }
-
-
 async def generate_load(
     resolver: LiveResolver,
     names: Sequence[str],
@@ -86,6 +69,7 @@ async def generate_load(
     seed: int = 1,
     workload: Optional[WorkloadSpec] = None,
     include_latencies: bool = False,
+    reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
 ) -> Dict[str, object]:
     """Run one load-generation pass and return the report dict.
 
@@ -95,9 +79,17 @@ async def generate_load(
     *names* so one spec works for both simulated and live runs);
     omitted, a steady-Poisson/round-robin spec is derived.
 
-    *include_latencies* appends the raw per-query ``latencies_ms``
-    samples to the report (beyond :data:`REPORT_FIELDS`) — what lets
-    :mod:`repro.api` pool quantiles across repeated passes.
+    *include_latencies* appends the per-query ``latencies_ms`` samples
+    to the report (beyond :data:`REPORT_FIELDS`) — what lets
+    :mod:`repro.api` pool quantiles across repeated passes and
+    distributed workers.
+
+    Latency samples are held in a bounded
+    :class:`~repro.live.reservoir.LatencyReservoir` of
+    *reservoir_capacity* entries, so memory stays flat at any qps;
+    runs shorter than the capacity keep every sample (exact
+    percentiles, identical to a full-sample sort), longer runs report
+    reservoir estimates while mean/min/max stay exact.
     """
     if not names:
         raise LoadGenError("names must not be empty")
@@ -124,7 +116,9 @@ async def generate_load(
 
     rng = random.Random(seed)
     loop = asyncio.get_running_loop()
-    latencies: List[float] = []
+    # The reservoir draws from its own RNG so bounding the sample never
+    # perturbs the arrival/name streams (seed replayability contract).
+    latencies = LatencyReservoir(reservoir_capacity, seed=seed)
     outcomes = {
         "succeeded": 0, "failed": 0, "timeouts": 0, "rcode_failures": 0,
     }
@@ -150,7 +144,7 @@ async def generate_load(
                 # --name-seed between serve and loadtest) must not
                 # read as a healthy run.
                 outcomes["succeeded"] += 1
-                latencies.append(result.rtt)
+                latencies.add(result.rtt)
                 last_success["at"] = loop.time()
             else:
                 outcomes["rcode_failures"] += 1
@@ -210,7 +204,7 @@ async def generate_load(
             round(outcomes["succeeded"] / success_span, 3)
             if success_span > 0 else 0.0
         ),
-        "latency_ms": _latency_summary(latencies),
+        "latency_ms": latencies.summary_ms(),
         "cache": resolver.stats().get("caches", {}),
         "workload": {
             "names": len(names),
@@ -222,7 +216,9 @@ async def generate_load(
         "seed": seed,
     }
     if include_latencies:
-        report["latencies_ms"] = [round(s * 1000, 3) for s in latencies]
+        report["latencies_ms"] = [
+            round(s * 1000, 3) for s in latencies.samples
+        ]
     return report
 
 

@@ -79,6 +79,7 @@ class DocLiveServer:
         psk_identity: bytes = DEFAULT_PSK_IDENTITY,
         cache_capacity: int = 256,
         fastpath_capacity: int = 512,
+        reuse_port: bool = False,
     ) -> None:
         self.transport_name = check_live_transport(transport)
         self.host = host
@@ -91,6 +92,9 @@ class DocLiveServer:
         # Wire-level response cache for cache-hot queries; live serving
         # defaults it on (capacity 512), pass 0 to disable.
         self._fastpath_capacity = fastpath_capacity
+        # SO_REUSEPORT sharing: one worker of a repro.live.workers pool
+        # (every pool member binds the same host:port).
+        self._reuse_port = reuse_port
         self.clock = AsyncioClock(seed=seed)
         self.names = build_names(num_names, dataset=dataset, name_seed=name_seed)
         self._zone = build_zone(self.names, ttl=ttl, rng=self.clock.rng)
@@ -111,7 +115,9 @@ class DocLiveServer:
             self._zone, cache_capacity=self._cache_capacity,
             rng=self.clock.rng,
         )
-        self._socket = await LiveUdpTransport.create(self.host, self.port)
+        self._socket = await LiveUdpTransport.create(
+            self.host, self.port, reuse_port=self._reuse_port
+        )
         self.host, self.port = self._socket.local_address
         self._server = self._build_stack()
         return (self.host, self.port)
@@ -192,6 +198,13 @@ class DocLiveServer:
                 "largest_burst": (
                     self._socket.largest_burst if self._socket else 0
                 ),
+                "recv_errors": (
+                    self._socket.recv_errors if self._socket else 0
+                ),
+                "send_buffer_drops": (
+                    self._socket.send_buffer_drops if self._socket else 0
+                ),
+                "reuse_port": self._reuse_port,
                 "mmsg": mmsg_support(),
             },
         }

@@ -63,7 +63,9 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
     """
 
     def __init__(
-        self, allowed_peer: Optional[Tuple[str, int]] = None
+        self,
+        allowed_peer: Optional[Tuple[str, int]] = None,
+        reuse_port: bool = False,
     ) -> None:
         self.on_datagram: Optional[Callable[[str, int, bytes, dict], None]] = None
         self._transport: Optional[asyncio.DatagramTransport] = None
@@ -71,6 +73,7 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._batch_size = 1
         self._allowed_peer = allowed_peer
+        self._reuse_port = reuse_port
         self._closed = False
         self.batched = False
         self.datagrams_sent = 0
@@ -79,6 +82,7 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         self.datagrams_dropped_after_close = 0
         self.send_buffer_drops = 0
         self.recv_bursts = 0
+        self.recv_errors = 0
         self.largest_burst = 0
         self.last_error: Optional[Exception] = None
 
@@ -89,6 +93,7 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         port: int = 0,
         allowed_peer: Optional[Tuple[str, int]] = None,
         batch_size: int = 64,
+        reuse_port: bool = False,
     ) -> "LiveUdpTransport":
         """Bind a UDP socket on ``host:port`` (port 0 = ephemeral).
 
@@ -100,13 +105,20 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         *batch_size* caps how many datagrams one readiness callback
         drains before yielding to the event loop (fairness bound);
         ``batch_size <= 1`` forces the per-datagram protocol path.
+
+        *reuse_port* sets ``SO_REUSEPORT`` before binding so N worker
+        processes can share one port and let the kernel shard inbound
+        flows across them (see :mod:`repro.live.workers`). Callers
+        should gate on :func:`repro.live.workers.reuseport_supported`
+        first — an unsupported platform raises here.
         """
         loop = asyncio.get_running_loop()
-        protocol = cls(allowed_peer=allowed_peer)
+        protocol = cls(allowed_peer=allowed_peer, reuse_port=reuse_port)
         if batch_size > 1 and protocol._open_batched(loop, host, port, batch_size):
             return protocol
+        kwargs = {"reuse_port": True} if reuse_port else {}
         _transport, bound = await loop.create_datagram_endpoint(
-            lambda: protocol, local_addr=(host, port)
+            lambda: protocol, local_addr=(host, port), **kwargs
         )
         assert bound is protocol
         return protocol
@@ -135,10 +147,14 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         except OSError:
             return False
         try:
+            if self._reuse_port:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
             sock.setblocking(False)
             sock.bind(sockaddr)
             loop.add_reader(sock.fileno(), self._drain_ready)
-        except (NotImplementedError, OSError):
+        except (AttributeError, NotImplementedError, OSError):
             sock.close()
             return False
         self._sock = sock
@@ -153,6 +169,14 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         ``add_reader`` is level-triggered, so stopping at the cap is
         safe — leftover datagrams re-arm the callback on the next loop
         iteration, which keeps one chatty peer from starving timers.
+
+        A ``ConnectionResetError``/``OSError`` mid-batch (Linux queues
+        ICMP port-unreachable errors from *earlier sends* and delivers
+        them on the next ``recvfrom``) consumes one slot of the
+        readiness budget but does **not** abort the tick: the datagrams
+        queued behind the error are still drained, and the error is
+        counted in ``recv_errors`` instead of silently ending the
+        burst.
         """
         sock = self._sock
         if sock is None:
@@ -167,7 +191,10 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
                 break
             except OSError as exc:
                 self.last_error = exc
-                break
+                self.recv_errors += 1
+                if self._sock is None or sock.fileno() < 0:
+                    break  # closed under us: nothing left to drain
+                continue
             burst += 1
             received(data, addr)
         if burst:

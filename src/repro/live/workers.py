@@ -1,0 +1,1000 @@
+"""Sharded multi-worker serving and distributed load generation.
+
+One :class:`~repro.live.server.DocLiveServer` is one event loop on one
+socket — per-core wins cannot multiply across cores. This module
+scales the live runtime the way production DNS resolvers do: **kernel
+socket sharding**. A :class:`ServePool` forks N worker processes, each
+running its own asyncio loop (optionally `uvloop`, see
+:func:`maybe_install_uvloop`) with its own server stack — per-worker
+resolver/fastpath/DNS/CoAP caches, per-worker RNG — all bound to the
+*same* ``host:port`` through ``SO_REUSEPORT``, so the kernel hashes
+inbound flows across the workers with no userspace dispatcher. The
+load generator distributes the same way: :func:`run_distributed_load`
+forks M generator processes with deterministically derived seeds
+(:func:`derive_worker_seed`) and merges their reports — counters sum,
+latency reservoirs pool, per-worker stats ride along under
+``live.workers.*`` in the unified Report.
+
+Control runs over a per-worker duplex pipe: workers announce
+``("ready", endpoint)`` once bound, the parent broadcasts ``"stop"``
+to drain gracefully, and each worker answers with its final stats
+block before exiting. A worker that crashes mid-run is detected by
+process liveness, surfaces in the pool's nonzero :attr:`exit_code`,
+and the surviving workers' stats still merge (partial-stats contract).
+
+Platforms without ``SO_REUSEPORT`` (detected by actually double-
+binding a probe port, not by attribute sniffing) fall back to a
+single worker and surface a warning in the merged stats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .wiring import DEFAULT_SECRET, LiveWiringError
+
+__all__ = [
+    "LoadPool",
+    "ServePool",
+    "WorkerPool",
+    "WorkerPoolError",
+    "derive_worker_seed",
+    "maybe_install_uvloop",
+    "merge_loadgen_reports",
+    "merge_server_stats",
+    "reuseport_supported",
+    "run_distributed_load",
+    "run_sharded_spec",
+    "uvloop_available",
+]
+
+#: How long the parent waits for every worker to report ready.
+READY_TIMEOUT = 30.0
+
+#: How long a drain waits for a worker's final stats before declaring
+#: the worker failed and terminating it.
+DRAIN_TIMEOUT = 15.0
+
+#: How long the parent waits for load workers' reports. Load workers
+#: run for the configured duration plus per-query timeouts; ten minutes
+#: bounds a wedged worker without cutting off a legitimate long run.
+LOAD_COLLECT_TIMEOUT = 600.0
+
+#: The warning surfaced when sharding was requested but the platform
+#: cannot do it.
+REUSEPORT_WARNING = (
+    "SO_REUSEPORT is unavailable on this platform; "
+    "falling back to a single worker"
+)
+
+
+class WorkerPoolError(LiveWiringError):
+    """A worker pool failed to start, crashed, or was misconfigured."""
+
+
+# -- capability detection --------------------------------------------------
+
+
+def reuseport_supported(host: str = "127.0.0.1") -> bool:
+    """Whether two sockets can actually share one UDP port on *host*.
+
+    Attribute presence is not enough (macOS exposes ``SO_REUSEPORT``
+    with different semantics; some container seccomp profiles reject
+    the setsockopt), so this binds a probe socket and then binds a
+    second one to the same port — the exact operation a worker pool
+    performs.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = second = None
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        probe.bind((host, 0))
+        second = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        second.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        second.bind((host, probe.getsockname()[1]))
+    except OSError:
+        return False
+    finally:
+        if second is not None:
+            second.close()
+        if probe is not None:
+            probe.close()
+    return True
+
+
+def uvloop_available() -> bool:
+    """Whether the optional `uvloop` accelerator can be used.
+
+    ``REPRO_NO_UVLOOP=1`` opts out even when the package is installed
+    (mirrors ``REPRO_PURE_CRYPTO`` for the AES backend).
+    """
+    if os.environ.get("REPRO_NO_UVLOOP"):
+        return False
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def maybe_install_uvloop() -> bool:
+    """Install the uvloop event-loop policy when available; returns
+    whether it is active. Safe to call in every worker: a missing
+    package or the ``REPRO_NO_UVLOOP`` opt-out leave the stdlib loop
+    in place."""
+    if not uvloop_available():
+        return False
+    import uvloop
+
+    uvloop.install()
+    return True
+
+
+def derive_worker_seed(seed: int, index: int) -> int:
+    """A deterministic, well-spread seed for worker *index*.
+
+    SplitMix64-style finalizer over ``seed + (index+1) * golden-ratio``:
+    distinct workers land far apart in seed space (adjacent base seeds
+    or the repeat spacing of ``RunSpec.repeat_seeds`` cannot collide
+    with a worker derivation), and the same ``(seed, index)`` always
+    yields the same value — distributed runs replay exactly.
+    """
+    mask = (1 << 64) - 1
+    x = (seed + 0x9E3779B97F4A7C15 * (index + 1)) & mask
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & mask
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & mask
+    x ^= x >> 31
+    return x
+
+
+# -- the generic pool ------------------------------------------------------
+
+
+class WorkerPool:
+    """N forked worker processes with a pipe control channel each.
+
+    Subclass-agnostic mechanics: fork, collect ready messages,
+    broadcast commands, collect final payloads with crash detection,
+    join/terminate. *target* is a picklable module-level callable
+    invoked as ``target(index, config, connection)`` in the child.
+    """
+
+    role = "worker"
+
+    def __init__(self, target, configs: Sequence[dict]) -> None:
+        if not configs:
+            raise WorkerPoolError("worker pool needs at least one worker")
+        self._target = target
+        self._configs = list(configs)
+        self._procs: List[multiprocessing.Process] = []
+        self._conns: List = []
+        self._failed: List[int] = []
+        self._started = False
+
+    @property
+    def workers(self) -> int:
+        return len(self._configs)
+
+    @property
+    def processes(self) -> List[multiprocessing.Process]:
+        return list(self._procs)
+
+    @property
+    def failed_workers(self) -> List[int]:
+        """Indices of workers that died without delivering a payload."""
+        return list(self._failed)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when every worker exited cleanly, 1 otherwise."""
+        if self._failed:
+            return 1
+        for proc in self._procs:
+            if proc.exitcode not in (0, None):
+                return 1
+        return 0
+
+    def start(self) -> None:
+        if self._started:
+            raise WorkerPoolError("pool already started")
+        self._started = True
+        for index, config in enumerate(self._configs):
+            self._spawn(index, config)
+
+    def _spawn(self, index: int, config: dict) -> None:
+        """Fork one worker with its control pipe.
+
+        Do not hold sockets the children must not inherit across this
+        call: the fork start method copies every open FD, and an
+        inherited-but-unread member of an SO_REUSEPORT group silently
+        blackholes the flows the kernel hashes to it.
+        """
+        ctx = multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=self._target,
+            args=(index, config, child_conn),
+            name=f"repro-{self.role}-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs.append(proc)
+        self._conns.append(parent_conn)
+
+    def _recv(self, index: int, kind: str, timeout: float):
+        """One worker's next *kind* message, or ``None`` on crash/timeout."""
+        conn, proc = self._conns[index], self._procs[index]
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                if conn.poll(min(remaining, 0.1)):
+                    message = conn.recv()
+                    if message[0] == kind:
+                        return message[1]
+                    if message[0] == "error":
+                        return None
+                    continue  # unrelated message kind: keep waiting
+            except (EOFError, OSError):
+                return None
+            if not proc.is_alive():
+                # Drain anything flushed before the exit, then give up.
+                try:
+                    while conn.poll(0):
+                        message = conn.recv()
+                        if message[0] == kind:
+                            return message[1]
+                except (EOFError, OSError):
+                    pass
+                return None
+
+    def broadcast(self, command: str) -> None:
+        for conn in self._conns:
+            try:
+                conn.send((command,))
+            except (BrokenPipeError, OSError):
+                pass  # dead worker: picked up by collect()
+
+    def collect(self, kind: str, timeout: float = DRAIN_TIMEOUT) -> List:
+        """Every worker's final *kind* payload; crashed or unresponsive
+        workers are recorded in :attr:`failed_workers` and skipped
+        (the partial-stats contract)."""
+        payloads = []
+        for index in range(self.workers):
+            payload = self._recv(index, kind, timeout)
+            if payload is None:
+                if index not in self._failed:
+                    self._failed.append(index)
+            else:
+                payloads.append(payload)
+        self.join()
+        return payloads
+
+    def join(self, timeout: float = 5.0) -> None:
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout)
+
+    def terminate(self) -> None:
+        """Hard stop (cleanup path — no stats are collected)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        self.join()
+
+
+# -- serve pool ------------------------------------------------------------
+
+
+def _child_setup() -> None:
+    # The parent owns Ctrl-C: it drains the pool and collects stats;
+    # letting SIGINT reach the children would kill them mid-snapshot.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic runtimes
+        pass
+
+
+async def _await_stop(conn) -> None:
+    """Block until the parent pipes a ``stop`` (or hangs up)."""
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def on_pipe() -> None:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            stop.set()
+            return
+        if message and message[0] == "stop":
+            stop.set()
+
+    try:
+        loop.add_reader(conn.fileno(), on_pipe)
+    except (NotImplementedError, OSError):
+        # Proactor-style loops: poll the pipe instead.
+        while not stop.is_set():
+            if conn.poll(0):
+                on_pipe()
+            else:
+                await asyncio.sleep(0.05)
+        return
+    try:
+        await stop.wait()
+    finally:
+        try:
+            loop.remove_reader(conn.fileno())
+        except (NotImplementedError, OSError):
+            pass
+
+
+def _serve_worker_main(index: int, config: dict, conn) -> None:
+    """One serving worker: bind (SO_REUSEPORT), serve until ``stop``,
+    answer with the final stats block."""
+    _child_setup()
+    uvloop_active = maybe_install_uvloop()
+    try:
+        asyncio.run(_serve_worker(index, config, conn, uvloop_active))
+    except Exception as exc:  # noqa: BLE001 - reported over the pipe
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        raise SystemExit(1) from exc
+
+
+async def _serve_worker(
+    index: int, config: dict, conn, uvloop_active: bool
+) -> None:
+    from .server import DocLiveServer
+
+    server = DocLiveServer(
+        reuse_port=config["reuse_port"], **config["server"]
+    )
+    await server.start()
+    conn.send(("ready", list(server.endpoint)))
+    try:
+        await _await_stop(conn)
+    finally:
+        await server.stop()
+    stats = server.stats()
+    stats["worker"] = index
+    stats["uvloop"] = uvloop_active
+    conn.send(("stats", stats))
+
+
+class ServePool(WorkerPool):
+    """N ``DocLiveServer`` processes sharing one port via SO_REUSEPORT.
+
+    Every worker serves the *same* zone (the name universe and zone
+    derivation stay on the shared base seed, so any worker answers any
+    query identically) behind its own event loop, caches, and fastpath.
+    On platforms without working ``SO_REUSEPORT`` a requested multi-
+    worker pool degrades to one worker and records
+    :data:`REUSEPORT_WARNING` in :attr:`warning` and the merged stats.
+
+    ``server_kwargs`` is the :class:`~repro.live.server.DocLiveServer`
+    keyword set (transport/host/port/num_names/...). ``port=0`` with
+    multiple workers is resolved by a two-phase start: worker 0 binds
+    the ephemeral port and reports it, then the remaining workers join
+    its reuseport group on that concrete port."""
+
+    role = "serve"
+
+    def __init__(self, workers: int = 2, **server_kwargs) -> None:
+        if workers < 1:
+            raise WorkerPoolError("workers must be >= 1")
+        self.requested_workers = workers
+        self.warning: Optional[str] = None
+        self.uvloop_active = False
+        self._server_kwargs = dict(server_kwargs)
+        self._endpoint: Optional[Tuple[str, int]] = None
+        self._final_stats: Optional[Dict[str, object]] = None
+        if workers > 1 and not reuseport_supported(
+            self._server_kwargs.get("host", "127.0.0.1")
+        ):
+            self.warning = REUSEPORT_WARNING
+            workers = 1
+        configs = [
+            {
+                "server": dict(self._server_kwargs),
+                "reuse_port": workers > 1,
+            }
+            for _ in range(workers)
+        ]
+        super().__init__(_serve_worker_main, configs)
+
+    # WorkerPool.start is the fork; this adds the two-phase port
+    # election + the ready barrier and returns the shared endpoint.
+    def start(self) -> Tuple[str, int]:  # type: ignore[override]
+        if self._started:
+            raise WorkerPoolError("pool already started")
+        self._started = True
+        port = self._server_kwargs.get("port", 0)
+        two_phase = self.workers > 1 and port == 0
+        try:
+            # Worker 0 elects the shared port: it binds ``port=0`` with
+            # SO_REUSEPORT set and reports the bound endpoint, then the
+            # remaining workers join its group on that concrete port.
+            # (A parent-held reservation socket would leak into every
+            # forked child as an unread reuseport-group member and
+            # blackhole the flows hashed to it — the port must be owned
+            # by a socket that is actually served.)
+            self._spawn(0, self._configs[0])
+            first = self._recv(0, "ready", READY_TIMEOUT)
+            if first is None:
+                raise WorkerPoolError("serve worker 0 failed to start")
+            endpoint = tuple(first)
+            if two_phase:
+                for config in self._configs[1:]:
+                    config["server"]["port"] = endpoint[1]
+            for index in range(1, self.workers):
+                self._spawn(index, self._configs[index])
+                ready = self._recv(index, "ready", READY_TIMEOUT)
+                if ready is None:
+                    raise WorkerPoolError(
+                        f"serve worker {index} failed to start"
+                    )
+        except BaseException:
+            self.terminate()
+            raise
+        self._endpoint = endpoint
+        return self._endpoint
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        if self._endpoint is None:
+            raise WorkerPoolError("pool is not started")
+        return self._endpoint
+
+    def drain(self) -> Dict[str, object]:
+        """Graceful stop: every worker snapshots and returns its stats;
+        the merged block (with per-worker detail) is cached so repeated
+        calls — or a post-crash inspection — see the same numbers."""
+        if self._final_stats is not None:
+            return self._final_stats
+        self.broadcast("stop")
+        stats = self.collect("stats")
+        self.uvloop_active = any(s.get("uvloop") for s in stats)
+        self._final_stats = merge_server_stats(
+            stats,
+            requested=self.requested_workers,
+            failed=len(self.failed_workers),
+            warning=self.warning,
+        )
+        return self._final_stats
+
+
+def merge_server_stats(
+    per_worker: Sequence[Dict[str, object]],
+    requested: int = 1,
+    failed: int = 0,
+    warning: Optional[str] = None,
+) -> Dict[str, object]:
+    """One stats block from N per-worker server stats blocks.
+
+    Counters sum, ``io.largest_burst`` takes the max, the resolver
+    cache pools with recomputed hit ratio, and the full per-worker
+    blocks ride along under ``workers`` for drill-down. ``runtime``
+    records the sharding facts the Report surfaces as
+    ``live.workers.*``: requested vs actual worker count, reuseport
+    activity, uvloop, and the fallback warning (or ``None``).
+    """
+    merged: Dict[str, object] = {
+        "workers_requested": requested,
+        "workers_failed": failed,
+    }
+    io_merged = {
+        "batched": True, "recv_bursts": 0, "largest_burst": 0,
+        "recv_errors": 0, "send_buffer_drops": 0, "reuse_port": False,
+    }
+    cache = {"hits": 0, "misses": 0}
+    have_cache = False
+    for stats in per_worker:
+        for key in ("queries_handled", "validations_sent",
+                    "fastpath_hits", "fastpath_misses",
+                    "datagrams_received", "datagrams_sent"):
+            if key in stats:
+                merged[key] = merged.get(key, 0) + stats[key]
+        for key in ("transport", "endpoint", "names"):
+            if key in stats and key not in merged:
+                merged[key] = stats[key]
+        io = stats.get("io")
+        if isinstance(io, dict):
+            io_merged["batched"] = (
+                io_merged["batched"] and bool(io.get("batched"))
+            )
+            for key in ("recv_bursts", "recv_errors", "send_buffer_drops"):
+                io_merged[key] += io.get(key, 0)
+            io_merged["largest_burst"] = max(
+                io_merged["largest_burst"], io.get("largest_burst", 0)
+            )
+            io_merged["reuse_port"] = (
+                io_merged["reuse_port"] or bool(io.get("reuse_port"))
+            )
+            io_merged.setdefault("mmsg", io.get("mmsg"))
+        resolver_cache = stats.get("resolver_cache")
+        if isinstance(resolver_cache, dict):
+            have_cache = True
+            for key in ("hits", "misses"):
+                cache[key] += resolver_cache.get(key, 0)
+    merged["io"] = io_merged
+    if have_cache:
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_ratio"] = cache["hits"] / lookups if lookups else 0.0
+        merged["resolver_cache"] = cache
+    merged["workers"] = [dict(stats) for stats in per_worker]
+    merged["runtime"] = {
+        "serve_workers": len(per_worker),
+        "reuseport": bool(io_merged["reuse_port"]),
+        "uvloop": any(s.get("uvloop") for s in per_worker),
+        "warning": warning,
+    }
+    return merged
+
+
+# -- distributed load generation -------------------------------------------
+
+
+def _load_worker_main(index: int, config: dict, conn) -> None:
+    """One load-generation worker: drive its share of the offered load
+    and answer with its loadgen report."""
+    _child_setup()
+    maybe_install_uvloop()
+    try:
+        report = asyncio.run(_load_worker(index, config))
+    except Exception as exc:  # noqa: BLE001 - reported over the pipe
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        raise SystemExit(1) from exc
+    conn.send(("report", report))
+
+
+async def _load_worker(index: int, config: dict) -> Dict[str, object]:
+    from .client import LiveResolver
+    from .loadgen import generate_load
+    from .wiring import build_names
+
+    names = build_names(
+        config["num_names"],
+        dataset=config.get("dataset"),
+        name_seed=config.get("name_seed", 7),
+    )
+    seed = config["seed"]
+    resolver = LiveResolver(
+        tuple(config["endpoint"]),
+        transport=config["transport"],
+        scheme=config["scheme"],
+        cache_placement=config.get("cache_placement", "none"),
+        block_size=config.get("block_size"),
+        seed=seed + 1,
+        secret=config.get("secret", DEFAULT_SECRET),
+        timeout=config["timeout"],
+    )
+    async with resolver:
+        report = await generate_load(
+            resolver,
+            names,
+            rate=config["rate"],
+            duration=config["duration"],
+            mode=config["mode"],
+            concurrency=config["concurrency"],
+            timeout=config["timeout"],
+            seed=seed,
+            workload=config.get("workload"),
+            include_latencies=True,
+            reservoir_capacity=config.get("reservoir_capacity", 4096),
+        )
+    report["worker"] = index
+    return report
+
+
+class LoadPool(WorkerPool):
+    """M load-generator processes sharing one offered load."""
+
+    role = "load"
+
+    def run(self) -> List[Dict[str, object]]:
+        """Fork, wait for every worker's report, join. Raises when *no*
+        worker delivered; partial results return with the failures
+        recorded in :attr:`failed_workers`."""
+        self.start()
+        reports = self.collect("report", timeout=LOAD_COLLECT_TIMEOUT)
+        if not reports:
+            raise WorkerPoolError("every load worker failed")
+        return reports
+
+
+def _split_evenly(total: int, parts: int) -> List[int]:
+    """Integer shares summing to *total* (first shares get the rest)."""
+    base, rest = divmod(total, parts)
+    return [base + (1 if index < rest else 0) for index in range(parts)]
+
+
+def run_distributed_load(
+    endpoint: Tuple[str, int],
+    *,
+    transport: str = "udp",
+    scheme=None,
+    cache_placement: str = "none",
+    block_size: Optional[int] = None,
+    secret: bytes = DEFAULT_SECRET,
+    timeout: float = 10.0,
+    num_names: int = 50,
+    dataset: Optional[str] = None,
+    name_seed: int = 7,
+    rate: float = 50.0,
+    duration: float = 2.0,
+    mode: str = "open",
+    concurrency: int = 8,
+    seed: int = 1,
+    workload=None,
+    workers: int = 2,
+    reservoir_capacity: int = 4096,
+) -> Dict[str, object]:
+    """Drive *workers* load-generator processes against *endpoint* and
+    return one merged loadgen report.
+
+    The offered load splits across workers — open loop divides the
+    arrival rate, closed loop divides the concurrency — and every
+    worker draws from the same deterministic name universe under its
+    own :func:`derive_worker_seed` seed, so the aggregate workload is
+    replayable yet decorrelated across processes. The merged report is
+    the flat loadgen vocabulary plus a ``workers`` block
+    (:func:`merge_loadgen_reports`).
+    """
+    from .loadgen import LoadGenError
+
+    if workers < 1:
+        raise LoadGenError("workers must be >= 1")
+    if scheme is None:
+        from repro.doc.caching import CachingScheme
+
+        scheme = CachingScheme.EOL_TTLS
+    shares = (
+        _split_evenly(concurrency, workers) if mode == "closed" else None
+    )
+    configs = []
+    for index in range(workers):
+        worker_concurrency = shares[index] if shares else concurrency
+        if mode == "closed" and worker_concurrency == 0:
+            continue  # more workers than closed-loop slots
+        configs.append({
+            "endpoint": list(endpoint),
+            "transport": transport,
+            "scheme": scheme,
+            "cache_placement": cache_placement,
+            "block_size": block_size,
+            "secret": secret,
+            "timeout": timeout,
+            "num_names": num_names,
+            "dataset": dataset,
+            "name_seed": name_seed,
+            "rate": rate / workers if mode == "open" else rate,
+            "duration": duration,
+            "mode": mode,
+            "concurrency": max(1, worker_concurrency),
+            "seed": derive_worker_seed(seed, index),
+            "workload": workload,
+            "reservoir_capacity": reservoir_capacity,
+        })
+    pool = LoadPool(_load_worker_main, configs)
+    reports = pool.run()
+    return merge_loadgen_reports(
+        reports,
+        rate=rate,
+        concurrency=concurrency,
+        seed=seed,
+        failed=len(pool.failed_workers),
+    )
+
+
+def merge_loadgen_reports(
+    reports: Sequence[Dict[str, object]],
+    *,
+    rate: Optional[float] = None,
+    concurrency: Optional[int] = None,
+    seed: Optional[int] = None,
+    failed: int = 0,
+) -> Dict[str, object]:
+    """One loadgen report from M per-worker reports.
+
+    Counters sum; ``achieved_qps`` sums (the workers ran concurrently,
+    so aggregate throughput is the sum of per-worker throughputs);
+    percentiles recompute over the pooled latency samples while the
+    mean pools exactly from the per-worker exact means; cache counters
+    sum per location with ratios recomputed. The per-worker summaries
+    land under ``workers`` — the block
+    :func:`repro.api.report.report_from_loadgen` turns into
+    ``live.workers.load.*`` metrics.
+    """
+    from repro.api.report import REPORT_VERSION as _VERSION
+    from repro.api.report import provenance as _provenance
+    from repro.experiments.metrics import percentile
+
+    if not reports:
+        raise WorkerPoolError("cannot merge zero loadgen reports")
+    first = reports[0]
+    counters = {
+        "queries": 0, "succeeded": 0, "failed": 0,
+        "timeouts": 0, "rcode_failures": 0,
+    }
+    samples_ms: List[float] = []
+    mean_weighted = 0.0
+    minimum = maximum = None
+    elapsed = 0.0
+    aggregate_qps = 0.0
+    cache_pool: Dict[str, Dict[str, float]] = {}
+    per_worker: List[Dict[str, object]] = []
+    for report in reports:
+        for key in counters:
+            counters[key] += report[key]
+        elapsed = max(elapsed, report["elapsed_s"])
+        aggregate_qps += report["achieved_qps"]
+        samples_ms.extend(report.get("latencies_ms", ()))
+        latency = report["latency_ms"]
+        if latency["mean"] is not None:
+            mean_weighted += latency["mean"] * report["succeeded"]
+            minimum = (
+                latency["min"] if minimum is None
+                else min(minimum, latency["min"])
+            )
+            maximum = (
+                latency["max"] if maximum is None
+                else max(maximum, latency["max"])
+            )
+        for location, stats in report.get("cache", {}).items():
+            pool = cache_pool.setdefault(location, {})
+            for key in ("hits", "misses", "stale_hits", "validations",
+                        "validation_failures"):
+                pool[key] = pool.get(key, 0) + stats.get(key, 0)
+        per_worker.append({
+            "worker": report.get("worker", len(per_worker)),
+            "seed": report["seed"],
+            "queries": report["queries"],
+            "succeeded": report["succeeded"],
+            "failed": report["failed"],
+            "timeouts": report["timeouts"],
+            "rcode_failures": report["rcode_failures"],
+            "achieved_qps": report["achieved_qps"],
+            "elapsed_s": report["elapsed_s"],
+        })
+    for location, pool in cache_pool.items():
+        hits, misses = pool.get("hits", 0), pool.get("misses", 0)
+        stale = pool.get("stale_hits", 0)
+        lookups = hits + misses + stale
+        pool["hit_ratio"] = hits / lookups if lookups else 0.0
+        pool["stale_ratio"] = stale / lookups if lookups else 0.0
+        pool["validation_ratio"] = (
+            pool.get("validations", 0) / stale if stale else 0.0
+        )
+    completed = counters["succeeded"] + counters["failed"]
+    if counters["succeeded"]:
+        latency_ms = {
+            "p50": round(percentile(samples_ms, 50), 3),
+            "p95": round(percentile(samples_ms, 95), 3),
+            "p99": round(percentile(samples_ms, 99), 3),
+            "mean": round(mean_weighted / counters["succeeded"], 3),
+            "min": minimum,
+            "max": maximum,
+        }
+    else:
+        latency_ms = {
+            "p50": None, "p95": None, "p99": None,
+            "mean": None, "min": None, "max": None,
+        }
+    mode = first["mode"]
+    merged: Dict[str, object] = {
+        "report_version": _VERSION,
+        "provenance": _provenance(),
+        "mode": mode,
+        "transport": first["transport"],
+        "offered_rate_qps": (
+            (rate if rate is not None else first["offered_rate_qps"])
+            if mode == "open" else None
+        ),
+        "concurrency": (
+            (concurrency if concurrency is not None else first["concurrency"])
+            if mode == "closed" else None
+        ),
+        "duration_s": first["duration_s"],
+        "elapsed_s": round(elapsed, 3),
+        "queries": counters["queries"],
+        "succeeded": counters["succeeded"],
+        "failed": counters["failed"],
+        "timeouts": counters["timeouts"],
+        "rcode_failures": counters["rcode_failures"],
+        "success_rate": (
+            counters["succeeded"] / completed if completed else 0.0
+        ),
+        "achieved_qps": round(aggregate_qps, 3),
+        "latency_ms": latency_ms,
+        "cache": cache_pool,
+        "workload": dict(first["workload"]),
+        "seed": seed if seed is not None else first["seed"],
+        "latencies_ms": samples_ms,
+        "workers": {
+            "load": per_worker,
+            "load_failed": failed,
+        },
+    }
+    return merged
+
+
+# -- the sharded serve+loadtest pairing (repro.api façade) -----------------
+
+
+def run_sharded_spec(spec) -> "Report":
+    """Execute a live :class:`~repro.api.RunSpec` with worker pools.
+
+    The sharded counterpart of ``repro.api.runner._run_live``: per
+    repeat, a fresh :class:`ServePool` (unless the spec targets an
+    external host) and a distributed (or inline, when
+    ``load_workers == 1``) load-generation pass; per-repeat reports
+    and pool stats merge exactly like the single-worker path, with the
+    worker detail riding along into ``live.workers.*``.
+    """
+    from repro.api.report import report_from_loadgen
+
+    reports = []
+    server_stats: Optional[Dict[str, object]] = None
+    for seed in spec.repeat_seeds():
+        report, stats = _sharded_once(spec, seed)
+        reports.append(report)
+        server_stats = _merge_repeat_pool_stats(server_stats, stats)
+    return report_from_loadgen(
+        reports if spec.repeats > 1 else reports[0],
+        spec=spec.to_dict(),
+        server_stats=server_stats,
+    )
+
+
+def _sharded_once(spec, seed: int):
+    scenario = spec.to_scenario(seed)
+    workload = scenario.workload
+    options = spec.live
+    rate = workload.query_rate
+    duration = workload.num_queries / rate
+
+    pool: Optional[ServePool] = None
+    if options.host is None:
+        # The zone derives from the *base* seed on every worker: any
+        # worker must answer any query identically, so the per-worker
+        # decorrelation lives in the load side only.
+        pool = ServePool(
+            workers=options.serve_workers,
+            transport=scenario.transport,
+            host="127.0.0.1",
+            port=options.port,
+            num_names=workload.num_names,
+            dataset=options.dataset,
+            name_seed=options.name_seed,
+            ttl=workload.ttl,
+            scheme=scenario.scheme,
+            seed=seed,
+        )
+        endpoint = pool.start()
+    else:
+        endpoint = (options.host, options.port)
+    try:
+        if options.load_workers > 1:
+            report = run_distributed_load(
+                endpoint,
+                transport=scenario.transport,
+                scheme=scenario.scheme,
+                cache_placement=spec.client_cache_placement(),
+                block_size=scenario.block_size,
+                timeout=options.timeout,
+                num_names=workload.num_names,
+                dataset=options.dataset,
+                name_seed=options.name_seed,
+                rate=rate,
+                duration=duration,
+                mode=options.mode,
+                concurrency=options.concurrency,
+                seed=seed,
+                workload=workload,
+                workers=options.load_workers,
+            )
+        else:
+            report = asyncio.run(_inline_load(
+                endpoint, scenario, spec, seed, rate, duration,
+                num_names=workload.num_names,
+            ))
+        stats = pool.drain() if pool is not None else None
+    finally:
+        if pool is not None:
+            if pool._final_stats is None:
+                pool.terminate()
+    return report, stats
+
+
+async def _inline_load(
+    endpoint, scenario, spec, seed, rate, duration, num_names
+):
+    from .client import LiveResolver
+    from .loadgen import generate_load
+    from .wiring import build_names
+
+    options = spec.live
+    names = build_names(
+        num_names, dataset=options.dataset, name_seed=options.name_seed
+    )
+    resolver = LiveResolver(
+        endpoint,
+        transport=scenario.transport,
+        scheme=scenario.scheme,
+        cache_placement=spec.client_cache_placement(),
+        block_size=scenario.block_size,
+        seed=seed + 1,
+        timeout=options.timeout,
+    )
+    async with resolver:
+        return await generate_load(
+            resolver,
+            names,
+            rate=rate,
+            duration=duration,
+            mode=options.mode,
+            concurrency=options.concurrency,
+            timeout=options.timeout,
+            seed=seed,
+            workload=scenario.workload,
+            include_latencies=True,
+        )
+
+
+def _merge_repeat_pool_stats(merged, stats):
+    """Accumulate merged pool stats across repeats: scalar counters
+    sum, per-worker blocks sum index-by-index, runtime facts keep the
+    first repeat's values (they cannot change between repeats)."""
+    if stats is None:
+        return merged
+    if merged is None:
+        return dict(stats)
+    for key in ("queries_handled", "validations_sent", "fastpath_hits",
+                "fastpath_misses", "datagrams_received", "datagrams_sent",
+                "workers_failed"):
+        if key in stats:
+            merged[key] = merged.get(key, 0) + stats[key]
+    cache = stats.get("resolver_cache")
+    if isinstance(cache, dict):
+        pooled = merged.setdefault(
+            "resolver_cache", {"hits": 0, "misses": 0}
+        )
+        for key in ("hits", "misses"):
+            pooled[key] = pooled.get(key, 0) + cache.get(key, 0)
+        lookups = pooled["hits"] + pooled["misses"]
+        pooled["hit_ratio"] = pooled["hits"] / lookups if lookups else 0.0
+    by_index = {
+        entry.get("worker"): entry
+        for entry in merged.get("workers", [])
+    }
+    for entry in stats.get("workers", []):
+        target = by_index.get(entry.get("worker"))
+        if target is None:
+            merged.setdefault("workers", []).append(dict(entry))
+            continue
+        for key in ("queries_handled", "validations_sent",
+                    "fastpath_hits", "fastpath_misses",
+                    "datagrams_received", "datagrams_sent"):
+            if key in entry:
+                target[key] = target.get(key, 0) + entry[key]
+    return merged

@@ -310,6 +310,51 @@ def live_loopback(quick: bool) -> int:
     return asyncio.run(run())
 
 
+@register(
+    "live_loopback_sharded",
+    "sharded serve+loadtest over loopback UDP: qps at 1 and 2 workers",
+    unit="query",
+)
+def live_loopback_sharded(quick: bool) -> "tuple":
+    """Closed-loop aggregate throughput of the SO_REUSEPORT worker pool.
+
+    Runs the same offered load against a 1-worker and a 2-worker pool
+    (distributed load generation matching the serve worker count) and
+    attaches the qps-vs-workers curve plus the host's core count as
+    result metadata — the scaling win only materialises with cores to
+    spread across, so the curve is only meaningful next to
+    ``cpu_count``. The unit count (total completed queries) keeps the
+    per-unit gate comparison meaningful.
+    """
+    import os
+
+    from repro.live import ServePool, run_distributed_load
+
+    duration = 0.5 if quick else 1.5
+    total = 0
+    curve = {}
+    for workers in (1, 2):
+        pool = ServePool(
+            workers=workers, transport="udp", port=0, num_names=16
+        )
+        endpoint = pool.start()
+        try:
+            report = run_distributed_load(
+                endpoint,
+                transport="udp",
+                mode="closed",
+                concurrency=4 * workers,
+                duration=duration,
+                workers=workers,
+                timeout=10.0,
+            )
+        finally:
+            pool.drain()
+        total += report["succeeded"]
+        curve[str(workers)] = report["achieved_qps"]
+    return total, {"qps_by_workers": curve, "cpu_count": os.cpu_count()}
+
+
 # -- micro: simulator ------------------------------------------------------
 
 

@@ -246,3 +246,10 @@ def test_loadtest_unknown_scheme_is_cli_error(capsys):
         main([
             "loadtest", "--cache-scheme", "bogus", "--duration", "0.1",
         ])
+
+
+def test_workers_below_one_is_cli_error(capsys):
+    assert main(["serve", "--workers", "0", "--duration", "0.1"]) == 2
+    assert "--workers must be >= 1" in capsys.readouterr().err
+    assert main(["loadtest", "--workers", "-1", "--duration", "0.1"]) == 2
+    assert "--workers must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,507 @@
+"""Tests for sharded multi-worker serving and distributed load.
+
+Covers the pure pieces in-process (seed derivation, the latency
+reservoir, stats merging, the burst-drain error path) and the process
+machinery against real forked workers on loopback (SO_REUSEPORT
+sharding, the single-worker fallback, worker-crash handling, the
+sharded ``repro.api`` path). Worker-pool tests bind ephemeral ports
+only and always drain or terminate their pools.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.experiments.metrics import percentile
+from repro.live.reservoir import DEFAULT_RESERVOIR_CAPACITY, LatencyReservoir
+from repro.live.transport import LiveUdpTransport
+from repro.live.workers import (
+    REUSEPORT_WARNING,
+    ServePool,
+    WorkerPoolError,
+    derive_worker_seed,
+    maybe_install_uvloop,
+    merge_loadgen_reports,
+    merge_server_stats,
+    reuseport_supported,
+    run_distributed_load,
+    uvloop_available,
+)
+
+#: Hard wall-clock deadline for pool start/drain operations (seconds).
+POOL_DEADLINE = 30.0
+
+
+# -- deterministic per-worker seeds ----------------------------------------
+
+
+def test_worker_seed_is_deterministic():
+    assert derive_worker_seed(1, 0) == derive_worker_seed(1, 0)
+    assert derive_worker_seed(42, 3) == derive_worker_seed(42, 3)
+
+
+def test_worker_seeds_are_distinct_across_workers_and_bases():
+    seeds = {
+        derive_worker_seed(base, index)
+        for base in (1, 2, 1001, 2001)
+        for index in range(8)
+    }
+    assert len(seeds) == 4 * 8
+
+
+def test_worker_seeds_do_not_collide_with_repeat_spacing():
+    # RunSpec.repeat_seeds spaces repetitions 1000 apart; a derived
+    # worker seed landing on another repeat's base would correlate two
+    # supposedly independent streams.
+    bases = {1 + repetition * 1000 for repetition in range(100)}
+    derived = {
+        derive_worker_seed(base, index)
+        for base in bases
+        for index in range(4)
+    }
+    assert not derived & bases
+
+
+def test_worker_seed_is_64_bit():
+    for index in range(16):
+        assert 0 <= derive_worker_seed(7, index) < (1 << 64)
+
+
+# -- the latency reservoir -------------------------------------------------
+
+
+def test_reservoir_below_capacity_keeps_every_sample_in_order():
+    reservoir = LatencyReservoir(capacity=100, seed=1)
+    values = [random.Random(3).uniform(0.001, 0.2) for _ in range(50)]
+    for value in values:
+        reservoir.add(value)
+    assert reservoir.samples == values
+    assert not reservoir.saturated
+    assert reservoir.count == 50
+
+
+def test_reservoir_summary_matches_full_sort_below_capacity():
+    rng = random.Random(11)
+    values = [rng.expovariate(50.0) for _ in range(400)]
+    reservoir = LatencyReservoir(capacity=DEFAULT_RESERVOIR_CAPACITY, seed=0)
+    for value in values:
+        reservoir.add(value)
+    summary = reservoir.summary_ms()
+    assert summary["p50"] == round(percentile(values, 50) * 1000, 3)
+    assert summary["p95"] == round(percentile(values, 95) * 1000, 3)
+    assert summary["p99"] == round(percentile(values, 99) * 1000, 3)
+    assert summary["mean"] == round(sum(values) / len(values) * 1000, 3)
+    assert summary["min"] == round(min(values) * 1000, 3)
+    assert summary["max"] == round(max(values) * 1000, 3)
+
+
+def test_reservoir_percentiles_track_exact_quantiles_when_saturated():
+    # 20k exponential draws through a 2k reservoir: the estimates must
+    # stay within a few percent of the exact sample quantiles (p99 gets
+    # a wider band — the tail holds the fewest samples).
+    rng = random.Random(1234)
+    values = [rng.expovariate(10.0) for _ in range(20_000)]
+    reservoir = LatencyReservoir(capacity=2048, seed=7)
+    for value in values:
+        reservoir.add(value)
+    assert reservoir.saturated
+    assert len(reservoir.samples) == 2048
+    for q, tolerance in ((50, 0.10), (95, 0.10), (99, 0.15)):
+        exact = percentile(values, q)
+        estimate = reservoir.percentile(q)
+        assert abs(estimate - exact) / exact < tolerance, (
+            f"p{q}: estimate {estimate} vs exact {exact}"
+        )
+    # Mean/min/max stay exact regardless of saturation.
+    assert reservoir.mean == pytest.approx(sum(values) / len(values))
+    assert reservoir.minimum == min(values)
+    assert reservoir.maximum == max(values)
+
+
+def test_reservoir_memory_stays_bounded():
+    reservoir = LatencyReservoir(capacity=64, seed=0)
+    for index in range(10_000):
+        reservoir.add(index * 1e-6)
+        assert len(reservoir.samples) <= 64
+    assert reservoir.count == 10_000
+
+
+def test_reservoir_rejects_non_positive_capacity():
+    with pytest.raises(ValueError):
+        LatencyReservoir(capacity=0)
+
+
+def test_reservoir_empty_summary_is_all_null():
+    assert all(
+        value is None
+        for value in LatencyReservoir(capacity=8).summary_ms().values()
+    )
+
+
+# -- burst-drain error handling (satellite bugfix) -------------------------
+
+
+class _ScriptedSocket:
+    """A socket stub whose recvfrom plays back a scripted sequence."""
+
+    def __init__(self, script):
+        self._script = list(script)
+
+    def recvfrom(self, _size):
+        item = self._script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def fileno(self):
+        return 99
+
+
+def test_drain_ready_continues_past_connection_reset():
+    transport = LiveUdpTransport()
+    transport._batch_size = 8
+    # An ICMP port-unreachable error queued from an earlier send lands
+    # mid-batch; the datagrams behind it must still be drained.
+    transport._sock = _ScriptedSocket([
+        (b"one", ("127.0.0.1", 1111)),
+        ConnectionResetError(111, "refused"),
+        (b"two", ("127.0.0.1", 2222)),
+        OSError(101, "unreachable"),
+        (b"three", ("127.0.0.1", 3333)),
+        BlockingIOError(),
+    ])
+    seen = []
+    transport.on_datagram = lambda host, port, data, meta: seen.append(data)
+    transport._drain_ready()
+    assert seen == [b"one", b"two", b"three"]
+    assert transport.datagrams_received == 3
+    assert transport.recv_errors == 2
+    assert transport.recv_bursts == 1
+    assert transport.largest_burst == 3
+
+
+def test_drain_ready_stops_when_socket_closed_mid_batch():
+    transport = LiveUdpTransport()
+    transport._batch_size = 8
+
+    class _ClosingSocket(_ScriptedSocket):
+        def fileno(self):
+            return -1  # closed under the callback
+
+    transport._sock = _ClosingSocket([
+        (b"one", ("127.0.0.1", 1111)),
+        OSError(9, "bad fd"),
+        (b"never", ("127.0.0.1", 2222)),
+    ])
+    seen = []
+    transport.on_datagram = lambda host, port, data, meta: seen.append(data)
+    transport._drain_ready()
+    assert seen == [b"one"]
+    assert transport.recv_errors == 1
+
+
+# -- capability detection --------------------------------------------------
+
+
+def test_reuseport_probe_reports_a_bool():
+    assert reuseport_supported() in (True, False)
+
+
+def test_uvloop_detection_respects_opt_out(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_UVLOOP", "1")
+    assert uvloop_available() is False
+    assert maybe_install_uvloop() is False
+
+
+def test_uvloop_absent_is_graceful(monkeypatch):
+    # The container has no uvloop; without the opt-out the probe must
+    # still answer False instead of raising.
+    monkeypatch.delenv("REPRO_NO_UVLOOP", raising=False)
+    assert maybe_install_uvloop() in (True, False)
+
+
+def test_forced_unsupported_reuseport_falls_back_to_single_worker(
+    monkeypatch,
+):
+    monkeypatch.setattr(
+        "repro.live.workers.reuseport_supported", lambda host=None: False
+    )
+    pool = ServePool(workers=4, transport="udp", port=0, num_names=8)
+    assert pool.workers == 1
+    assert pool.requested_workers == 4
+    assert pool.warning == REUSEPORT_WARNING
+    pool.start()
+    try:
+        stats = pool.drain()
+    finally:
+        pool.terminate()
+    assert stats["runtime"]["serve_workers"] == 1
+    assert stats["runtime"]["warning"] == REUSEPORT_WARNING
+    assert stats["workers_requested"] == 4
+    assert pool.exit_code == 0
+
+
+# -- stats merging (pure) --------------------------------------------------
+
+
+def _fake_server_stats(worker, handled):
+    return {
+        "worker": worker,
+        "transport": "udp",
+        "endpoint": ["127.0.0.1", 5853],
+        "names": 8,
+        "queries_handled": handled,
+        "datagrams_received": handled,
+        "datagrams_sent": handled,
+        "io": {
+            "batched": True, "recv_bursts": handled, "largest_burst": 4,
+            "recv_errors": 0, "send_buffer_drops": 0, "reuse_port": True,
+            "mmsg": {"recvmmsg": False, "sendmmsg": False},
+        },
+        "resolver_cache": {"hits": handled - 1, "misses": 1,
+                           "hit_ratio": 0.0},
+    }
+
+
+def test_merge_server_stats_sums_counters_and_keeps_workers():
+    merged = merge_server_stats(
+        [_fake_server_stats(0, 10), _fake_server_stats(1, 30)],
+        requested=2,
+    )
+    assert merged["queries_handled"] == 40
+    assert merged["datagrams_received"] == 40
+    assert merged["io"]["recv_bursts"] == 40
+    assert merged["io"]["largest_burst"] == 4
+    assert merged["io"]["reuse_port"] is True
+    assert merged["resolver_cache"]["hits"] == 38
+    assert merged["resolver_cache"]["misses"] == 2
+    assert merged["resolver_cache"]["hit_ratio"] == pytest.approx(38 / 40)
+    assert [w["worker"] for w in merged["workers"]] == [0, 1]
+    assert merged["runtime"]["serve_workers"] == 2
+    assert merged["runtime"]["warning"] is None
+
+
+def _fake_loadgen_report(worker, seed, queries, rtt_ms):
+    return {
+        "report_version": 2,
+        "provenance": {},
+        "mode": "open",
+        "transport": "udp",
+        "offered_rate_qps": 100.0,
+        "concurrency": None,
+        "duration_s": 1.0,
+        "elapsed_s": 1.0,
+        "queries": queries,
+        "succeeded": queries,
+        "failed": 0,
+        "timeouts": 0,
+        "rcode_failures": 0,
+        "success_rate": 1.0,
+        "achieved_qps": float(queries),
+        "latency_ms": {
+            "p50": rtt_ms, "p95": rtt_ms, "p99": rtt_ms,
+            "mean": rtt_ms, "min": rtt_ms, "max": rtt_ms,
+        },
+        "cache": {},
+        "workload": {"names": 8, "arrival": "poisson", "burst_on": 1.0,
+                     "burst_off": 4.0, "zipf_alpha": None},
+        "seed": seed,
+        "latencies_ms": [rtt_ms] * queries,
+        "worker": worker,
+    }
+
+
+def test_merge_loadgen_reports_sums_counters_and_throughput():
+    merged = merge_loadgen_reports(
+        [
+            _fake_loadgen_report(0, 111, 40, 2.0),
+            _fake_loadgen_report(1, 222, 60, 4.0),
+        ],
+        rate=100.0,
+        seed=1,
+    )
+    assert merged["queries"] == 100
+    assert merged["succeeded"] == 100
+    # Aggregate throughput is the sum (workers ran concurrently)...
+    assert merged["achieved_qps"] == pytest.approx(100.0)
+    # ...and the mean pools exactly by success weight.
+    assert merged["latency_ms"]["mean"] == pytest.approx(
+        (40 * 2.0 + 60 * 4.0) / 100
+    )
+    assert merged["latency_ms"]["min"] == 2.0
+    assert merged["latency_ms"]["max"] == 4.0
+    assert merged["seed"] == 1
+    assert len(merged["latencies_ms"]) == 100
+    workers = merged["workers"]["load"]
+    assert [w["worker"] for w in workers] == [0, 1]
+    assert sum(w["queries"] for w in workers) == merged["queries"]
+
+
+def test_merge_loadgen_reports_rejects_empty():
+    with pytest.raises(WorkerPoolError):
+        merge_loadgen_reports([])
+
+
+# -- forked pools on loopback ----------------------------------------------
+
+
+needs_reuseport = pytest.mark.skipif(
+    not reuseport_supported(), reason="SO_REUSEPORT unavailable"
+)
+
+
+@needs_reuseport
+def test_sharded_serve_and_distributed_load_counters_balance():
+    pool = ServePool(workers=2, transport="udp", port=0, num_names=16)
+    endpoint = pool.start()
+    try:
+        report = run_distributed_load(
+            endpoint,
+            transport="udp",
+            rate=300.0,
+            duration=0.5,
+            workers=2,
+            num_names=16,
+            seed=5,
+            timeout=5.0,
+        )
+        stats = pool.drain()
+    finally:
+        pool.terminate()
+    assert report["failed"] == 0
+    assert report["queries"] > 0
+    # Per-worker load counters sum to the merged totals...
+    load_workers = report["workers"]["load"]
+    assert len(load_workers) == 2
+    assert sum(w["queries"] for w in load_workers) == report["queries"]
+    assert sum(w["succeeded"] for w in load_workers) == report["succeeded"]
+    # ...and the serve side handled exactly what the load side issued.
+    assert stats["queries_handled"] == report["succeeded"]
+    assert sum(
+        w.get("queries_handled", 0) for w in stats["workers"]
+    ) == stats["queries_handled"]
+    assert stats["runtime"]["reuseport"] is True
+    assert pool.exit_code == 0
+
+
+@needs_reuseport
+def test_distributed_load_worker_seeds_derive_from_base():
+    pool = ServePool(workers=1, transport="udp", port=0, num_names=8)
+    endpoint = pool.start()
+    try:
+        report = run_distributed_load(
+            endpoint, transport="udp", rate=120.0, duration=0.3,
+            workers=2, num_names=8, seed=9, timeout=5.0,
+        )
+    finally:
+        pool.drain()
+        pool.terminate()
+    seeds = [w["seed"] for w in report["workers"]["load"]]
+    assert seeds == [derive_worker_seed(9, 0), derive_worker_seed(9, 1)]
+    assert report["seed"] == 9
+
+
+@needs_reuseport
+def test_worker_crash_surfaces_in_exit_code_and_partial_stats():
+    pool = ServePool(workers=2, transport="udp", port=0, num_names=8)
+    pool.start()
+    try:
+        victim = pool.processes[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        deadline = time.monotonic() + POOL_DEADLINE
+        while victim.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stats = pool.drain()
+    finally:
+        pool.terminate()
+    assert pool.exit_code == 1
+    assert pool.failed_workers == [1]
+    assert stats["workers_failed"] == 1
+    # The surviving worker's stats still merged (partial-stats contract).
+    assert len(stats["workers"]) == 1
+    assert stats["workers"][0]["worker"] == 0
+
+
+def test_serve_pool_rejects_zero_workers():
+    with pytest.raises(WorkerPoolError):
+        ServePool(workers=0, transport="udp", port=0)
+
+
+# -- the repro.api façade --------------------------------------------------
+
+
+def test_runspec_parses_worker_keys():
+    from repro.api import RunSpec
+
+    spec = RunSpec.from_spec(
+        "substrate=live,transport=udp,serve_workers=3,load_workers=2"
+    )
+    assert spec.live.serve_workers == 3
+    assert spec.live.load_workers == 2
+    assert spec.to_dict()["live"]["serve_workers"] == 3
+    assert spec.to_dict()["live"]["load_workers"] == 2
+
+
+def test_runspec_worker_defaults_stay_single():
+    from repro.api import RunSpec
+
+    spec = RunSpec.from_spec("substrate=live,transport=udp")
+    assert spec.live.serve_workers == 1
+    assert spec.live.load_workers == 1
+
+
+def test_runspec_rejects_bad_worker_counts():
+    from repro.api import ApiError, RunSpec
+
+    with pytest.raises(ApiError):
+        RunSpec.from_spec("substrate=live,transport=udp,serve_workers=0")
+    with pytest.raises(ApiError):
+        RunSpec.from_spec("substrate=live,transport=udp,load_workers=0")
+    with pytest.raises(ApiError):
+        # Sharding applies to the self-served pairing only.
+        RunSpec.from_spec(
+            "substrate=live,transport=udp,serve_workers=2,"
+            "live-host=192.0.2.1"
+        )
+
+
+@needs_reuseport
+def test_sharded_api_run_emits_worker_metrics_that_sum():
+    from repro.api import run
+
+    report = run(
+        "substrate=live,transport=udp,serve_workers=2,load_workers=2,"
+        "queries=60,rate=240,names=16"
+    )
+    metrics = report.metrics
+    assert metrics["live.workers.load.count"] == 2
+    assert metrics["live.workers.serve.count"] == 2
+    assert metrics["live.workers.reuseport"] is True
+    assert metrics["live.workers.warning"] is None
+    load_sum = sum(
+        value for key, value in metrics.items()
+        if key.startswith("live.workers.load.") and key.endswith(".queries")
+    )
+    assert load_sum == metrics["queries.issued"]
+    serve_sum = sum(
+        value for key, value in metrics.items()
+        if key.startswith("live.workers.serve.")
+        and key.endswith(".queries_handled")
+    )
+    assert serve_sum == metrics["live.server.queries_handled"]
+
+
+def test_single_worker_api_run_has_no_worker_metrics():
+    from repro.api import run
+
+    report = run(
+        "substrate=live,transport=udp,queries=20,rate=200,names=8"
+    )
+    assert not any(
+        key.startswith("live.workers.") for key in report.metrics
+    )
