@@ -148,6 +148,7 @@ class Report:
     metrics: Dict[str, object]
     report_version: int = REPORT_VERSION
     provenance: Dict[str, str] = field(default_factory=provenance)
+    telemetry: Optional[List[Dict[str, object]]] = None
     raw: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -160,14 +161,22 @@ class Report:
     # -- (de)serialisation -------------------------------------------------
 
     def to_json(self) -> Dict[str, object]:
-        """The JSON document (plain dict, ``json.dumps``-ready as-is)."""
-        return {
+        """The JSON document (plain dict, ``json.dumps``-ready as-is).
+
+        The ``telemetry`` time series (per-second run snapshots, the
+        :mod:`repro.obs.telemetry` vocabulary) appears only when the
+        run recorded one — single-repeat runs on either substrate.
+        """
+        payload: Dict[str, object] = {
             "report_version": self.report_version,
             "substrate": self.substrate,
             "spec": self.spec,
             "provenance": self.provenance,
             "metrics": dict(self.metrics),
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = list(self.telemetry)
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "Report":
@@ -184,12 +193,14 @@ class Report:
         version = payload["report_version"]
         if not isinstance(version, int) or version < 1:
             raise ReportError(f"bad report_version: {version!r}")
+        telemetry = payload.get("telemetry")
         return cls(
             substrate=payload["substrate"],
             spec=dict(payload["spec"]),
             metrics=dict(payload["metrics"]),
             report_version=version,
             provenance=dict(payload.get("provenance", {})),
+            telemetry=list(telemetry) if telemetry is not None else None,
         )
 
     # -- accessors ---------------------------------------------------------
@@ -316,10 +327,19 @@ def report_from_experiment_result(
     for key, value in link_totals.items():
         metrics[f"sim.link.{key}"] = value
     metrics["sim.repeats"] = len(pooled)
+    # The telemetry timeline only makes sense for one run: repeats
+    # restart the simulated clock, so their per-second series would
+    # overlay rather than concatenate.
+    telemetry = None
+    if len(pooled) == 1 and pooled[0].outcomes:
+        from repro.obs.telemetry import timeline_from_outcomes
+
+        telemetry = timeline_from_outcomes(pooled[0].outcomes)
     return Report(
         substrate="sim",
         spec=spec if spec is not None else {},
         metrics=metrics,
+        telemetry=telemetry,
         raw=results if not single else pooled[0],
     )
 
@@ -382,6 +402,11 @@ def _worker_metrics(pooled, server_stats) -> Dict[str, object]:
             )
             metrics["live.workers.serve.failed"] = server_stats.get(
                 "workers_failed", 0
+            )
+            failed_workers = server_stats.get("failed_workers", [])
+            metrics["live.workers.serve.failed_workers"] = (
+                ",".join(str(i) for i in failed_workers)
+                if failed_workers else None
             )
             metrics["live.workers.reuseport"] = bool(
                 runtime.get("reuseport")
@@ -492,10 +517,14 @@ def report_from_loadgen(
         if isinstance(resolver_cache, dict):
             for key, value in resolver_cache.items():
                 metrics[f"live.cache.resolver.{key}"] = value
+    # Same single-run rule as the sim side: repeats restart the clock,
+    # so only an unrepeated run carries its per-second series.
+    telemetry = pooled[0].get("telemetry") if len(pooled) == 1 else None
     return Report(
         substrate="live",
         spec=spec if spec is not None else {},
         metrics=metrics,
+        telemetry=list(telemetry) if telemetry else None,
         raw=reports if not single else pooled[0],
     )
 

@@ -14,8 +14,12 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.obs.log import get_logger
+
 from .report import Report, report_from_experiment_result, report_from_loadgen
 from .spec import ApiError, RunSpec
+
+_log = get_logger("repro.api.runner")
 
 
 def run(spec: Union[RunSpec, str], *, _config=None) -> Report:
@@ -30,11 +34,27 @@ def run(spec: Union[RunSpec, str], *, _config=None) -> Report:
     """
     if isinstance(spec, str):
         spec = RunSpec.from_spec(spec)
+    log = _log.bind(
+        substrate=spec.substrate,
+        transport=spec.scenario.transport,
+        repeats=spec.repeats,
+    )
+    log.info("run starting")
     if spec.substrate == "sim":
-        return _run_sim(spec, _config=_config)
-    if _config is not None:
-        raise ApiError("_config applies to the sim substrate only")
-    return _run_live(spec)
+        report = _run_sim(spec, _config=_config)
+    else:
+        if _config is not None:
+            raise ApiError("_config applies to the sim substrate only")
+        report = _run_live(spec)
+    log.info(
+        "run finished",
+        succeeded=report.metrics.get("queries.succeeded"),
+        qps=report.metrics.get("throughput.qps"),
+        telemetry_snapshots=(
+            len(report.telemetry) if report.telemetry else 0
+        ),
+    )
+    return report
 
 
 def _run_sim(spec: RunSpec, _config=None) -> Report:

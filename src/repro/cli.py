@@ -33,7 +33,12 @@ Subcommands
 ``loadtest``
     Drive open- or closed-loop load against a live server and report
     qps, latency percentiles, timeouts, and cache ratios (``--json``
-    for machine-readable output).
+    for machine-readable output). Prints a per-second progress line
+    to stderr (silenced by ``--json``); ``--stream`` mirrors the
+    per-second telemetry as NDJSON to stdout, a file, or a TCP peer.
+``watch``
+    Render a telemetry NDJSON stream (from ``--stream``) as live
+    qps/p99 lines — from stdin, or over TCP with ``--listen PORT``.
 
 Examples
 --------
@@ -414,6 +419,57 @@ def _parse_scheme(value: str):
         ) from None
 
 
+def _open_stream_sink(dest: str):
+    """A telemetry sink writing one NDJSON line per snapshot.
+
+    *dest* is ``-`` (stdout), ``tcp:HOST:PORT`` (a line stream to a
+    listening peer, e.g. ``repro watch --listen PORT``), or a file
+    path. Returns ``(sink, close)``.
+    """
+    import json
+
+    if dest == "-":
+        stream = sys.stdout
+
+        def close() -> None:
+            pass
+    elif dest.startswith("tcp:"):
+        import socket as socket_module
+
+        try:
+            _, host, port_text = dest.split(":", 2)
+            port = int(port_text)
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --stream destination {dest!r} "
+                "(expected tcp:HOST:PORT)"
+            ) from None
+        sock = socket_module.create_connection((host, port), timeout=5)
+        stream = sock.makefile("w", encoding="utf-8")
+
+        def close() -> None:
+            try:
+                stream.close()
+            finally:
+                sock.close()
+    else:
+        stream = open(dest, "w", encoding="utf-8")
+        close = stream.close
+
+    def sink(record: dict) -> None:
+        stream.write(json.dumps(record) + "\n")
+        stream.flush()
+
+    return sink, close
+
+
+def _progress_sink(record: dict) -> None:
+    """One per-second progress line on stderr (sent/recv/qps/p99)."""
+    from repro.obs.telemetry import format_snapshot
+
+    print(format_snapshot(record), file=sys.stderr, flush=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -434,9 +490,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheme=_parse_scheme(args.cache_scheme),
         seed=args.seed,
         secret=args.secret.encode(),
+        metrics_port=args.metrics_port,
     )
+    stream_close = None
+    sinks = []
+    if args.stream:
+        stream_sink, stream_close = _open_stream_sink(args.stream)
+        sinks.append(stream_sink)
 
     async def run() -> None:
+        from repro.obs.telemetry import TelemetrySampler, run_sampler
+
         async with server:
             host, port = server.endpoint
             print(
@@ -444,15 +508,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"({len(server.names)} names, scheme {args.cache_scheme})",
                 flush=True,
             )
-            if args.duration > 0:
-                await asyncio.sleep(args.duration)
-            else:
-                await asyncio.Event().wait()
+            if server.metrics_endpoint:
+                print(
+                    f"metrics on {server.metrics_endpoint}/metrics "
+                    f"(health: {server.metrics_endpoint}/healthz)",
+                    flush=True,
+                )
+            sampler_task = None
+            sampler_stop = asyncio.Event()
+            if sinks:
+                sampler = TelemetrySampler(server.registry, sinks=sinks)
+                sampler_task = asyncio.ensure_future(
+                    run_sampler(sampler, sampler_stop)
+                )
+            try:
+                if args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:
+                    await asyncio.Event().wait()
+            finally:
+                if sampler_task is not None:
+                    sampler_stop.set()
+                    await sampler_task
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    finally:
+        if stream_close is not None:
+            stream_close()
     stats = server.stats()
     print(f"served {stats.get('queries_handled', 0)} queries "
           f"({stats['datagrams_received']} datagrams in, "
@@ -493,15 +578,56 @@ def _cmd_serve_pool(args: argparse.Namespace) -> int:
         f"{pool.workers} workers)",
         flush=True,
     )
+    obs_http = None
+    if args.metrics_port is not None:
+        from repro.obs.http import ObsHttpThread
+
+        # The pool parent is synchronous, so the scrape endpoint runs
+        # on its own daemon thread; pipe access inside render/health is
+        # lock-guarded by the pool.
+        obs_http = ObsHttpThread(
+            pool.render_metrics, pool.health,
+            host=args.host, port=args.metrics_port,
+        )
+        obs_http.start()
+        print(
+            f"metrics on {obs_http.endpoint}/metrics "
+            f"(health: {obs_http.endpoint}/healthz)",
+            flush=True,
+        )
+    sampler = None
+    stream_close = None
+    if args.stream:
+        from repro.obs.metrics import merge_snapshots
+        from repro.obs.telemetry import TelemetrySampler
+
+        stream_sink, stream_close = _open_stream_sink(args.stream)
+        sampler = TelemetrySampler(
+            lambda: merge_snapshots(
+                snap for _index, snap in pool.sample()
+            ),
+            sinks=[stream_sink],
+        )
+        sampler.tick()  # prime
     try:
-        if args.duration > 0:
-            time.sleep(args.duration)
-        else:
-            while True:
-                time.sleep(3600)
+        deadline = (
+            time.monotonic() + args.duration if args.duration > 0 else None
+        )
+        while deadline is None or time.monotonic() < deadline:
+            step = 1.0 if sampler is not None else 3600.0
+            if deadline is not None:
+                step = min(step, max(deadline - time.monotonic(), 0.0))
+            time.sleep(step)
+            if sampler is not None:
+                sampler.tick()
     except KeyboardInterrupt:
         pass
+    finally:
+        if stream_close is not None:
+            stream_close()
     stats = pool.drain()
+    if obs_http is not None:
+        obs_http.stop()
     per_worker = " + ".join(
         str(worker.get("queries_handled", 0))
         for worker in stats.get("workers", [])
@@ -582,6 +708,25 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
 
+    # Per-second telemetry sinks: a progress line on stderr by default
+    # (silenced by --json, which owns the machine-readable contract),
+    # plus the optional --stream NDJSON destination.
+    sinks = []
+    stream_close = None
+    if args.json is None:
+        sinks.append(_progress_sink)
+    if args.stream:
+        if args.workers > 1:
+            print(
+                "warning: --stream applies to the single-process path; "
+                "distributed runs carry their merged telemetry in the "
+                "final report only",
+                file=sys.stderr, flush=True,
+            )
+        else:
+            stream_sink, stream_close = _open_stream_sink(args.stream)
+            sinks.append(stream_sink)
+
     async def run() -> dict:
         async with resolver:
             return await generate_load(
@@ -594,6 +739,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 timeout=args.timeout,
                 seed=args.seed,
                 workload=workload,
+                snapshot_sinks=sinks,
             )
 
     if args.workers > 1:
@@ -618,7 +764,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             workers=args.workers,
         )
     else:
-        report = asyncio.run(run())
+        try:
+            report = asyncio.run(run())
+        finally:
+            if stream_close is not None:
+                stream_close()
     if args.json is not None:
         # The machine-readable output is the unified Report — the same
         # document `repro run` and `experiment --json` emit — with the
@@ -645,6 +795,69 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         for location, stats in sorted(report["cache"].items()):
             print(f"cache {location:12s} hit-ratio {stats['hit_ratio']:.0%}")
     return 0 if report["queries"] and report["success_rate"] > 0 else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: render a live telemetry NDJSON stream.
+
+    Reads per-second snapshot lines (the ``--stream`` vocabulary)
+    from stdin by default, or accepts one TCP line-stream connection
+    with ``--listen PORT`` — the peer for
+    ``loadtest --stream tcp:HOST:PORT``. Malformed or non-snapshot
+    lines are skipped with a note on stderr, so the stream can be
+    piped through without pre-filtering.
+    """
+    import json
+
+    from repro.api.schema import ValidationError
+    from repro.obs.telemetry import format_snapshot, validate_snapshot
+
+    rendered = 0
+    skipped = 0
+
+    def render(line: str) -> None:
+        nonlocal rendered, skipped
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+            validate_snapshot(record)
+        except (ValueError, ValidationError):
+            skipped += 1
+            print("watch: skipping non-snapshot line", file=sys.stderr)
+            return
+        rendered += 1
+        print(format_snapshot(record), flush=True)
+
+    try:
+        if args.listen is not None:
+            import socket
+
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((args.host, args.listen))
+            listener.listen(1)
+            print(
+                f"watch: listening on {args.host}:"
+                f"{listener.getsockname()[1]}",
+                file=sys.stderr, flush=True,
+            )
+            conn, peer = listener.accept()
+            print(f"watch: stream from {peer[0]}:{peer[1]}",
+                  file=sys.stderr, flush=True)
+            with conn, conn.makefile("r", encoding="utf-8") as stream:
+                for line in stream:
+                    render(line)
+            listener.close()
+        else:
+            for line in sys.stdin:
+                render(line)
+    except KeyboardInterrupt:
+        pass
+    print(f"watch: {rendered} snapshots rendered, {skipped} skipped",
+          file=sys.stderr)
+    return 0 if rendered or not skipped else 1
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -848,6 +1061,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=0.0,
         help="stop after this many seconds (default: run until Ctrl-C)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text) and /healthz on this "
+             "TCP port (0 = ephemeral; sharded pools serve merged "
+             "per-worker + pool-total series)",
+    )
+    serve.add_argument(
+        "--stream", default=None, metavar="DEST",
+        help="emit per-second telemetry snapshots as NDJSON to DEST: "
+             "'-' for stdout, tcp:HOST:PORT, or a file path",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadtest = subparsers.add_parser(
@@ -889,7 +1113,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", nargs="?", const="-", default=None, metavar="PATH",
         help="emit the JSON report (to stdout, or to PATH)",
     )
+    loadtest.add_argument(
+        "--stream", default=None, metavar="DEST",
+        help="emit per-second telemetry snapshots as NDJSON to DEST: "
+             "'-' for stdout, tcp:HOST:PORT (e.g. a `repro watch "
+             "--listen` peer), or a file path",
+    )
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="render a live telemetry stream (qps/p99 per second)",
+    )
+    watch.add_argument(
+        "--listen", type=int, default=None, metavar="PORT",
+        help="accept one TCP line-stream connection on PORT (the "
+             "`--stream tcp:HOST:PORT` peer) instead of reading stdin",
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.set_defaults(func=_cmd_watch)
 
     memory = subparsers.add_parser("memory", help="Figure 5/8 build sizes")
     memory.set_defaults(func=_cmd_memory)

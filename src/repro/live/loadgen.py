@@ -21,9 +21,17 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api.report import REPORT_VERSION, provenance
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    LATENCY_SECONDS,
+    QUERIES_TOTAL,
+    RESPONSES_TOTAL,
+    TelemetrySampler,
+    run_sampler,
+)
 from repro.scenarios.scenario import WorkloadSpec
 
 from .client import LiveResolver
@@ -38,7 +46,7 @@ REPORT_FIELDS = (
     "offered_rate_qps", "concurrency", "duration_s", "elapsed_s",
     "queries", "succeeded", "failed", "timeouts", "rcode_failures",
     "success_rate", "achieved_qps", "latency_ms", "cache", "workload",
-    "seed",
+    "seed", "telemetry",
 )
 
 __all__ = [
@@ -70,6 +78,9 @@ async def generate_load(
     workload: Optional[WorkloadSpec] = None,
     include_latencies: bool = False,
     reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+    registry: Optional[MetricsRegistry] = None,
+    telemetry_interval: float = 1.0,
+    snapshot_sinks: Sequence[Callable[[Dict[str, object]], None]] = (),
 ) -> Dict[str, object]:
     """Run one load-generation pass and return the report dict.
 
@@ -90,6 +101,15 @@ async def generate_load(
     runs shorter than the capacity keep every sample (exact
     percentiles, identical to a full-sample sort), longer runs report
     reservoir estimates while mean/min/max stay exact.
+
+    Query outcomes count through a :class:`repro.obs.metrics.
+    MetricsRegistry` (pass *registry* to scrape mid-run, e.g. from a
+    paired ``/metrics`` endpoint; omitted, a private one is created).
+    A :class:`repro.obs.telemetry.TelemetrySampler` snapshots it every
+    *telemetry_interval* seconds into the report's ``telemetry`` time
+    series; *snapshot_sinks* receive each per-second record as it is
+    produced — the hook behind ``--stream`` and the stderr progress
+    line.
     """
     if not names:
         raise LoadGenError("names must not be empty")
@@ -119,36 +139,55 @@ async def generate_load(
     # The reservoir draws from its own RNG so bounding the sample never
     # perturbs the arrival/name streams (seed replayability contract).
     latencies = LatencyReservoir(reservoir_capacity, seed=seed)
-    outcomes = {
-        "succeeded": 0, "failed": 0, "timeouts": 0, "rcode_failures": 0,
-    }
+    metrics = registry if registry is not None else MetricsRegistry()
+    issued_counter = metrics.counter(
+        QUERIES_TOTAL, "queries issued by the load generator"
+    )
+    responses = metrics.counter(
+        RESPONSES_TOTAL, "query outcomes by result", labels=("result",)
+    )
+    latency_hist = metrics.histogram(
+        LATENCY_SECONDS, "successful-query round-trip time"
+    )
+    # Children hoisted out of the hot path: one attribute increment
+    # per outcome, no dict/label lookup per query.
+    count_issued = metrics.counter(QUERIES_TOTAL).labels()
+    count_ok = responses.labels(result="ok")
+    count_timeout = responses.labels(result="timeout")
+    count_error = responses.labels(result="error")
+    count_rcode = responses.labels(result="rcode")
+    observe_latency = latency_hist.labels()
     last_success = {"at": None}
-    issued = 0
 
     async def one_query(sequence_index: int) -> None:
-        nonlocal issued
-        issued += 1
+        count_issued.inc()
         name = names[spec.draw_name_index(rng, sequence_index)]
         rtype = spec.draw_rtype(rng)
         try:
             result = await resolver.resolve(name, rtype, timeout=timeout)
         except asyncio.TimeoutError:
-            outcomes["timeouts"] += 1
-            outcomes["failed"] += 1
+            count_timeout.inc()
         except Exception:
-            outcomes["failed"] += 1
+            count_error.inc()
         else:
             if result.ok:
                 # A response is only a success when the name resolved:
                 # NXDOMAIN against a mismatched zone (e.g. differing
                 # --name-seed between serve and loadtest) must not
                 # read as a healthy run.
-                outcomes["succeeded"] += 1
+                count_ok.inc()
                 latencies.add(result.rtt)
+                observe_latency.observe(result.rtt)
                 last_success["at"] = loop.time()
             else:
-                outcomes["rcode_failures"] += 1
-                outcomes["failed"] += 1
+                count_rcode.inc()
+
+    sampler = TelemetrySampler(
+        metrics, interval=telemetry_interval,
+        time_fn=loop.time, sinks=snapshot_sinks,
+    )
+    sampler_stop = asyncio.Event()
+    sampler_task = asyncio.ensure_future(run_sampler(sampler, sampler_stop))
 
     started = loop.time()
     if mode == "open":
@@ -175,7 +214,18 @@ async def generate_load(
 
         await asyncio.gather(*(worker() for _ in range(concurrency)))
     elapsed = loop.time() - started
+    sampler_stop.set()
+    timeline = await sampler_task
 
+    issued = count_issued.value
+    outcomes = {
+        "succeeded": count_ok.value,
+        "timeouts": count_timeout.value,
+        "rcode_failures": count_rcode.value,
+        "failed": (
+            count_timeout.value + count_error.value + count_rcode.value
+        ),
+    }
     completed = outcomes["succeeded"] + outcomes["failed"]
     # Throughput over the span in which successes actually landed —
     # waiting out the timeouts of stragglers after the offered window
@@ -214,6 +264,7 @@ async def generate_load(
             "zipf_alpha": spec.zipf_alpha,
         },
         "seed": seed,
+        "telemetry": timeline,
     }
     if include_latencies:
         report["latencies_ms"] = [

@@ -61,6 +61,11 @@ class DocLiveServer:
     secret / psk / psk_identity:
         Security material; the client derives matching state from the
         same values.
+    metrics_port:
+        When not ``None``, serve ``/metrics`` (Prometheus text
+        exposition) and ``/healthz`` on this TCP port alongside the
+        DNS socket (0 picks an ephemeral port; see
+        :attr:`metrics_endpoint` after :meth:`start`).
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class DocLiveServer:
         cache_capacity: int = 256,
         fastpath_capacity: int = 512,
         reuse_port: bool = False,
+        metrics_port: Optional[int] = None,
     ) -> None:
         self.transport_name = check_live_transport(transport)
         self.host = host
@@ -102,6 +108,9 @@ class DocLiveServer:
         self._server = None
         self.resolver = None
         self._final_stats: Optional[Dict[str, object]] = None
+        self._metrics_port = metrics_port
+        self._obs_http = None
+        self.registry = self._build_registry()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -120,9 +129,20 @@ class DocLiveServer:
         )
         self.host, self.port = self._socket.local_address
         self._server = self._build_stack()
+        if self._metrics_port is not None:
+            from repro.obs.http import ObsHttpServer
+
+            self._obs_http = ObsHttpServer(
+                self.render_metrics, self.health,
+                host=self.host, port=self._metrics_port,
+            )
+            await self._obs_http.start()
         return (self.host, self.port)
 
     async def stop(self) -> None:
+        if self._obs_http is not None:
+            await self._obs_http.stop()
+            self._obs_http = None
         if self._socket is not None:
             # Snapshot the counters while the stack is still wired so
             # post-shutdown reports see the final numbers.
@@ -141,6 +161,11 @@ class DocLiveServer:
     @property
     def endpoint(self) -> Tuple[str, int]:
         return (self.host, self.port)
+
+    @property
+    def metrics_endpoint(self) -> Optional[str]:
+        """``http://host:port`` of the scrape listener (None when off)."""
+        return self._obs_http.endpoint if self._obs_http else None
 
     # -- wiring -----------------------------------------------------------
 
@@ -178,35 +203,117 @@ class DocLiveServer:
 
     # -- observability ----------------------------------------------------
 
+    def _build_registry(self):
+        """The server's metrics registry: one scrape-time collector
+        mirrors the sans-IO stack's plain counters into canonical
+        instruments, so the datagram path pays nothing for
+        observability until someone actually looks."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.telemetry import QUERIES_TOTAL
+
+        registry = MetricsRegistry()
+        queries = registry.counter(
+            QUERIES_TOTAL, "DNS queries handled by the serving stack"
+        ).labels()
+        datagrams = registry.counter(
+            "repro_datagrams_total", "UDP datagrams by direction",
+            labels=("direction",),
+        )
+        datagrams_in = datagrams.labels(direction="in")
+        datagrams_out = datagrams.labels(direction="out")
+        fastpath = registry.counter(
+            "repro_fastpath_total", "wire-cache fastpath lookups",
+            labels=("result",),
+        )
+        fastpath_hit = fastpath.labels(result="hit")
+        fastpath_miss = fastpath.labels(result="miss")
+        validations = registry.counter(
+            "repro_validations_total", "cache-validation responses sent"
+        ).labels()
+        resolver_cache = registry.counter(
+            "repro_resolver_cache_total", "resolver cache lookups",
+            labels=("result",),
+        )
+        resolver_hit = resolver_cache.labels(result="hit")
+        resolver_miss = resolver_cache.labels(result="miss")
+        io_events = registry.counter(
+            "repro_io_events_total", "transport I/O events",
+            labels=("kind",),
+        )
+        recv_errors = io_events.labels(kind="recv_error")
+        send_drops = io_events.labels(kind="send_buffer_drop")
+        recv_bursts = io_events.labels(kind="recv_burst")
+        largest_burst = registry.gauge(
+            "repro_io_largest_burst", "largest batched recv burst"
+        ).labels()
+        up = registry.gauge(
+            "repro_up", "1 while the server socket is open"
+        ).labels()
+
+        @registry.collect
+        def _mirror() -> None:
+            server = self._server
+            if server is not None:
+                queries.value = getattr(server, "queries_handled", 0) or 0
+                validations.value = (
+                    getattr(server, "validations_sent", 0) or 0
+                )
+                fastpath_hit.value = getattr(server, "fastpath_hits", 0) or 0
+                fastpath_miss.value = (
+                    getattr(server, "fastpath_misses", 0) or 0
+                )
+            sock = self._socket
+            if sock is not None:
+                io = sock.io_counters()
+                datagrams_in.value = sock.datagrams_received
+                datagrams_out.value = sock.datagrams_sent
+                recv_errors.value = io["recv_errors"]
+                send_drops.value = io["send_buffer_drops"]
+                recv_bursts.value = io["recv_bursts"]
+                largest_burst.value = io["largest_burst"]
+            if self.resolver is not None:
+                cache_stats = self.resolver.cache.stats
+                resolver_hit.value = cache_stats.hits
+                resolver_miss.value = cache_stats.misses
+            up.value = 1.0 if self._socket is not None else 0.0
+
+        return registry
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Mergeable registry snapshot (what pool workers pipe back)."""
+        return self.registry.snapshot()
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``."""
+        return self.registry.render()
+
+    def health(self) -> Tuple[bool, Dict[str, object]]:
+        """``/healthz`` payload: healthy while the socket is open."""
+        healthy = self._socket is not None
+        return healthy, {
+            "transport": self.transport_name,
+            "endpoint": list(self.endpoint),
+            "names": len(self.names),
+        }
+
     def stats(self) -> Dict[str, object]:
         """Counters for the CLI's shutdown report (JSON-serialisable)."""
         if self._socket is None and getattr(self, "_final_stats", None):
             return self._final_stats
+        sock = self._socket
+        io = sock.io_counters() if sock is not None else {
+            "batched": False, "recv_bursts": 0, "largest_burst": 0,
+            "recv_errors": 0, "send_buffer_drops": 0,
+            "reuse_port": self._reuse_port,
+        }
+        io["mmsg"] = mmsg_support()
         stats: Dict[str, object] = {
             "transport": self.transport_name,
             "endpoint": list(self.endpoint),
             "names": len(self.names),
-            "datagrams_received": (
-                self._socket.datagrams_received if self._socket else 0
-            ),
-            "datagrams_sent": (
-                self._socket.datagrams_sent if self._socket else 0
-            ),
-            "io": {
-                "batched": bool(self._socket and self._socket.batched),
-                "recv_bursts": self._socket.recv_bursts if self._socket else 0,
-                "largest_burst": (
-                    self._socket.largest_burst if self._socket else 0
-                ),
-                "recv_errors": (
-                    self._socket.recv_errors if self._socket else 0
-                ),
-                "send_buffer_drops": (
-                    self._socket.send_buffer_drops if self._socket else 0
-                ),
-                "reuse_port": self._reuse_port,
-                "mmsg": mmsg_support(),
-            },
+            "datagrams_received": sock.datagrams_received if sock else 0,
+            "datagrams_sent": sock.datagrams_sent if sock else 0,
+            "io": io,
         }
         server = self._server
         if server is not None:

@@ -228,6 +228,18 @@ class LiveUdpTransport(asyncio.DatagramProtocol):
         # own retransmission timers handle the loss, so just record it.
         self.last_error = exc
 
+    def io_counters(self) -> Dict[str, object]:
+        """The I/O counter block, one authoritative source for server
+        ``stats()`` and the metrics-registry scrape collector."""
+        return {
+            "batched": self.batched,
+            "recv_bursts": self.recv_bursts,
+            "largest_burst": self.largest_burst,
+            "recv_errors": self.recv_errors,
+            "send_buffer_drops": self.send_buffer_drops,
+            "reuse_port": self._reuse_port,
+        }
+
     # -- UdpSocket surface ------------------------------------------------
 
     @property

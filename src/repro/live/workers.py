@@ -34,8 +34,11 @@ import multiprocessing
 import os
 import signal
 import socket
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.log import get_logger
 
 from .wiring import DEFAULT_SECRET, LiveWiringError
 
@@ -53,6 +56,11 @@ __all__ = [
     "run_sharded_spec",
     "uvloop_available",
 ]
+
+#: How long a mid-run metrics scrape waits per worker snapshot.
+SAMPLE_TIMEOUT = 2.0
+
+_pool_log = get_logger("repro.live.workers")
 
 #: How long the parent waits for every worker to report ready.
 READY_TIMEOUT = 30.0
@@ -180,6 +188,9 @@ class WorkerPool:
         self._conns: List = []
         self._failed: List[int] = []
         self._started = False
+        # Serializes pipe use between the owning thread and the
+        # metrics HTTP thread's mid-run ``sample()`` scrapes.
+        self._pipe_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
@@ -276,12 +287,36 @@ class WorkerPool:
         for index in range(self.workers):
             payload = self._recv(index, kind, timeout)
             if payload is None:
-                if index not in self._failed:
-                    self._failed.append(index)
+                self._record_failure(index)
             else:
                 payloads.append(payload)
         self.join()
         return payloads
+
+    def _record_failure(self, index: int) -> None:
+        """Mark worker *index* failed and emit the structured crash
+        record (worker index, exit code, decoded signal, and the
+        partial-stats flag the merged report carries)."""
+        if index in self._failed:
+            return
+        self._failed.append(index)
+        proc = self._procs[index]
+        exitcode = proc.exitcode
+        signal_name = None
+        if exitcode is not None and exitcode < 0:
+            try:
+                signal_name = signal.Signals(-exitcode).name
+            except ValueError:
+                signal_name = None
+        _pool_log.error(
+            "worker died without delivering its payload",
+            role=self.role,
+            worker=index,
+            exitcode=exitcode,
+            signal=signal_name,
+            alive=proc.is_alive(),
+            partial_stats=True,
+        )
 
     def join(self, timeout: float = 5.0) -> None:
         for proc in self._procs:
@@ -310,8 +345,13 @@ def _child_setup() -> None:
         pass
 
 
-async def _await_stop(conn) -> None:
-    """Block until the parent pipes a ``stop`` (or hangs up)."""
+async def _await_stop(conn, on_sample=None) -> None:
+    """Serve pipe commands until a ``stop`` arrives (or hangup).
+
+    ``("sample",)`` requests — the pool parent's mid-run ``/metrics``
+    scrape — answer with ``("sample", on_sample())``; unknown commands
+    are ignored so the protocol can grow without breaking old workers.
+    """
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
 
@@ -321,8 +361,15 @@ async def _await_stop(conn) -> None:
         except (EOFError, OSError):
             stop.set()
             return
-        if message and message[0] == "stop":
+        if not message:
+            return
+        if message[0] == "stop":
             stop.set()
+        elif message[0] == "sample" and on_sample is not None:
+            try:
+                conn.send(("sample", on_sample()))
+            except (BrokenPipeError, OSError):
+                pass
 
     try:
         loop.add_reader(conn.fileno(), on_pipe)
@@ -369,7 +416,7 @@ async def _serve_worker(
     await server.start()
     conn.send(("ready", list(server.endpoint)))
     try:
-        await _await_stop(conn)
+        await _await_stop(conn, on_sample=server.metrics_snapshot)
     finally:
         await server.stop()
     stats = server.stats()
@@ -468,16 +515,87 @@ class ServePool(WorkerPool):
         calls — or a post-crash inspection — see the same numbers."""
         if self._final_stats is not None:
             return self._final_stats
-        self.broadcast("stop")
-        stats = self.collect("stats")
+        with self._pipe_lock:
+            self.broadcast("stop")
+            stats = self.collect("stats")
         self.uvloop_active = any(s.get("uvloop") for s in stats)
         self._final_stats = merge_server_stats(
             stats,
             requested=self.requested_workers,
-            failed=len(self.failed_workers),
+            failed_indices=self.failed_workers,
             warning=self.warning,
         )
         return self._final_stats
+
+    # -- mid-run observability (the pool-level /metrics + /healthz) --------
+
+    def sample(
+        self, timeout: float = SAMPLE_TIMEOUT
+    ) -> List[Tuple[int, Dict[str, object]]]:
+        """One registry snapshot per live worker: ``[(index, snap)]``.
+
+        Safe to call from the metrics HTTP thread — pipe use is
+        serialized against :meth:`drain` — and tolerant of workers
+        dying mid-scrape (they are simply absent from the result).
+        """
+        with self._pipe_lock:
+            if self._final_stats is not None:
+                return []
+            asked: List[int] = []
+            for index, conn in enumerate(self._conns):
+                if not self._procs[index].is_alive():
+                    continue
+                try:
+                    conn.send(("sample",))
+                except (BrokenPipeError, OSError):
+                    continue
+                asked.append(index)
+            snapshots: List[Tuple[int, Dict[str, object]]] = []
+            for index in asked:
+                payload = self._recv(index, "sample", timeout)
+                if payload is not None:
+                    snapshots.append((index, payload))
+            return snapshots
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Merged pool exposition source: every worker's series with a
+        ``worker`` label, plus ``repro_pool_*`` totals summed across
+        workers (so per-worker series provably sum to the pool)."""
+        from repro.obs.metrics import (
+            label_snapshot, merge_snapshots,
+        )
+
+        pairs = self.sample()
+        merged = merge_snapshots(
+            label_snapshot(snap, worker=str(index)) for index, snap in pairs
+        )
+        totals = merge_snapshots(snap for _index, snap in pairs)
+        for name, entry in totals.items():
+            pool_name = (
+                "repro_pool_" + name[len("repro_"):]
+                if name.startswith("repro_") else "repro_pool_" + name
+            )
+            merged[pool_name] = entry
+        return merged
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of :meth:`metrics_snapshot`."""
+        from repro.obs.metrics import render_snapshot
+
+        return render_snapshot(self.metrics_snapshot())
+
+    def health(self) -> Tuple[bool, Dict[str, object]]:
+        """Pool liveness for ``/healthz``: healthy while every worker
+        process is alive and none has been recorded failed."""
+        alive = sum(1 for proc in self._procs if proc.is_alive())
+        healthy = alive == self.workers and not self._failed
+        return healthy, {
+            "role": self.role,
+            "workers": self.workers,
+            "alive": alive,
+            "failed_workers": list(self._failed),
+            "endpoint": list(self._endpoint) if self._endpoint else None,
+        }
 
 
 def merge_server_stats(
@@ -485,6 +603,7 @@ def merge_server_stats(
     requested: int = 1,
     failed: int = 0,
     warning: Optional[str] = None,
+    failed_indices: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
     """One stats block from N per-worker server stats blocks.
 
@@ -494,10 +613,21 @@ def merge_server_stats(
     records the sharding facts the Report surfaces as
     ``live.workers.*``: requested vs actual worker count, reuseport
     activity, uvloop, and the fallback warning (or ``None``).
+
+    *failed_indices* names the crashed workers; ``failed_workers``
+    always appears in the merged block (empty on a clean run) so
+    consumers need no existence check, and ``workers_failed`` stays
+    the count for backward compatibility.
     """
+    failed_list = (
+        [int(i) for i in failed_indices] if failed_indices is not None else []
+    )
     merged: Dict[str, object] = {
         "workers_requested": requested,
-        "workers_failed": failed,
+        "workers_failed": (
+            len(failed_list) if failed_indices is not None else failed
+        ),
+        "failed_workers": failed_list,
     }
     io_merged = {
         "batched": True, "recv_bursts": 0, "largest_burst": 0,
@@ -829,6 +959,7 @@ def merge_loadgen_reports(
         "cache": cache_pool,
         "workload": dict(first["workload"]),
         "seed": seed if seed is not None else first["seed"],
+        "telemetry": _merged_timeline(reports),
         "latencies_ms": samples_ms,
         "workers": {
             "load": per_worker,
@@ -836,6 +967,14 @@ def merge_loadgen_reports(
         },
     }
     return merged
+
+
+def _merged_timeline(reports: Sequence[Dict[str, object]]):
+    from repro.obs.telemetry import merge_timelines
+
+    return merge_timelines(
+        [report.get("telemetry") or [] for report in reports]
+    )
 
 
 # -- the sharded serve+loadtest pairing (repro.api façade) -----------------
@@ -974,6 +1113,10 @@ def _merge_repeat_pool_stats(merged, stats):
                 "workers_failed"):
         if key in stats:
             merged[key] = merged.get(key, 0) + stats[key]
+    if "failed_workers" in stats:
+        union = set(merged.get("failed_workers", []))
+        union.update(stats["failed_workers"])
+        merged["failed_workers"] = sorted(union)
     cache = stats.get("resolver_cache")
     if isinstance(cache, dict):
         pooled = merged.setdefault(

@@ -279,6 +279,42 @@ def aesccm_open(quick: bool) -> int:
     return ops
 
 
+# -- micro: observability --------------------------------------------------
+
+
+@register(
+    "metrics_overhead",
+    "metrics hot path: one counter inc + one histogram observe per op",
+    unit="op",
+)
+def metrics_overhead(quick: bool) -> int:
+    """Cost of the repro.obs fast path an instrumented datagram pays.
+
+    Hoists the bound children exactly as the load generator does, so
+    what's timed is the per-event overhead observability adds to a hot
+    loop: one counter increment plus one latency observation routed
+    through the log-spaced histogram buckets.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import LATENCY_SECONDS, QUERIES_TOTAL
+
+    registry = MetricsRegistry()
+    count = registry.counter(QUERIES_TOTAL, "queries issued").labels()
+    observe = registry.histogram(
+        LATENCY_SECONDS, "query latency"
+    ).labels().observe
+    ops = 20_000 if quick else 200_000
+    # A fixed latency ramp spanning several buckets, so bisection depth
+    # varies like real traffic rather than hitting one bucket forever.
+    samples = [1e-4 * (1 + (i % 97)) for i in range(512)]
+    n = len(samples)
+    for i in range(ops):
+        count.inc()
+        observe(samples[i % n])
+    assert count.value == ops
+    return ops
+
+
 # -- macro: live serving runtime -------------------------------------------
 
 
