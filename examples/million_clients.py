@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A million DNS-over-CoAP clients on one core: the fleet substrate.
+
+Three runs of the same one-hop DoC deployment at fleet scale:
+
+1. a steady-state million-client baseline,
+2. the same fleet with ``flash_crowd=8`` (the middle third of the run
+   compressed 8x hot through the inverse cumulative intensity), and
+3. the same fleet with ``churn=0.5`` (half the fleet replaced per
+   second, replacements restarting with cold caches).
+
+Each compiles through the same ``RunSpec`` -> ``run()`` facade as the
+exact simulator and the live runtime, returns the same versioned
+``Report``, and finishes in seconds because the engine's work is
+bounded by ``fleet-sample-cap``, not by the fleet size.
+
+Run:  python examples/million_clients.py
+"""
+
+import time
+
+from repro.api import RunSpec, run
+
+# Four queries per client over a ten-second window: enough revisits for
+# the client caches to matter, sampled down to fleet-sample-cap by the
+# engine (65536 queries simulated, counters scaled back up).
+BASE = (
+    "one-hop,transport=coap,clients=1000000,queries=4000000,rate=400000,"
+    "names=64,cache=client-dns+client-coap,substrate=fleet"
+)
+
+
+def show(label: str, report, elapsed: float) -> None:
+    m = report.metrics
+    print(f"{label:24s} issued={m['queries.issued']:>9,} "
+          f"ok={m['queries.succeeded']:>9,} "
+          f"p99={m['latency.p99_ms']:6.1f}ms "
+          f"dns_hit={m['cache.client_dns.hit_ratio']:.3f} "
+          f"({elapsed:.1f}s wall)")
+
+
+def timed_run(spec: str):
+    start = time.perf_counter()
+    report = run(RunSpec.from_spec(spec))
+    return report, time.perf_counter() - start
+
+
+def main() -> None:
+    baseline, elapsed = timed_run(BASE)
+    sample = baseline.metrics["fleet.sample.queries"]
+    scale = baseline.metrics["fleet.sample.scale"]
+    print(f"fleet of {baseline.metrics['fleet.clients']:,} clients; "
+          f"engine simulated a {sample:,}-query sample "
+          f"(scale {scale:.0f}x)\n")
+
+    show("steady state", baseline, elapsed)
+
+    crowd, elapsed = timed_run(BASE + ",flash_crowd=8")
+    show("flash_crowd=8", crowd, elapsed)
+
+    churned, elapsed = timed_run(BASE + ",churn=0.5")
+    show("churn=0.5/s", churned, elapsed)
+
+    # The fleet-only dimensions move the aggregates the way the paper's
+    # caching story predicts: a flash crowd concentrates queries on the
+    # same hot names (hit ratio holds or rises), while churn cold-starts
+    # caches and erodes it.
+    assert churned.metrics["cache.client_dns.hit_ratio"] \
+        < baseline.metrics["cache.client_dns.hit_ratio"]
+    print("\nchurn erodes the client DNS hit ratio "
+          f"({baseline.metrics['cache.client_dns.hit_ratio']:.3f} -> "
+          f"{churned.metrics['cache.client_dns.hit_ratio']:.3f}); "
+          "all three Reports share the sim/live metric vocabulary.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,16 +1,18 @@
-"""One API, two substrates: ``RunSpec`` in, versioned ``Report`` out.
+"""One API, three substrates: ``RunSpec`` in, versioned ``Report`` out.
 
 The façade over everything the toolkit can execute:
 
 * :class:`~repro.api.spec.RunSpec` — a declarative run description
   (scenario × workload × caching × ``substrate``) plus execution knobs
-  (seed, repeats, workers, live-loop options);
+  (seed, repeats, workers, live-loop or fleet options);
 * :func:`~repro.api.runner.run` — compiles the spec to a
-  :class:`~repro.scenarios.ScenarioRunner` execution (``substrate="sim"``)
-  or a serve+loadtest pairing (``substrate="live"``) and returns
+  :class:`~repro.scenarios.ScenarioRunner` execution (``substrate="sim"``),
+  a serve+loadtest pairing (``substrate="live"``), or a
+  :func:`~repro.fleet.run_fleet` aggregate pass (``substrate="fleet"``)
+  and returns
 * :class:`~repro.api.report.Report` — one versioned result document
   with stable dotted metric names, identical non-namespaced key sets
-  on both substrates, and ``to_json()``/``from_json()`` round-tripping.
+  on every substrate, and ``to_json()``/``from_json()`` round-tripping.
 
 Quick use::
 
@@ -44,6 +46,7 @@ _EXPORTS = {
     "report_from_experiment_result": ".report",
     "report_from_loadgen": ".report",
     "ApiError": ".spec",
+    "FleetOptions": ".spec",
     "LiveOptions": ".spec",
     "RunSpec": ".spec",
     "run": ".runner",

@@ -22,9 +22,10 @@ dotted identifiers** shared by both substrates:
     ``validation_ratio``.
 
 Everything only one substrate can measure is **explicitly namespaced**
-under ``sim.*`` (link frames/bytes, resolver/proxy cache stats) or
+under ``sim.*`` (link frames/bytes, resolver/proxy cache stats),
 ``live.*`` (wall-clock elapsed time, offered rate, loop mode, server
-counters). Two Reports produced from the same
+counters), or ``fleet.*`` (client count, sampling scale, service-model
+calibration — see :mod:`repro.fleet`). Reports produced from the same
 :class:`~repro.api.spec.RunSpec` on different substrates therefore
 carry identical non-namespaced key sets and diff directly.
 
@@ -49,8 +50,16 @@ from typing import Dict, List, Optional, Sequence
 #: introduced the unified Report; version 1 was the loadgen-only report.
 REPORT_VERSION = 2
 
-#: The two substrates a RunSpec can execute on.
-SUBSTRATES = ("sim", "live")
+#: Every substrate a RunSpec can execute on. Single-sourced: RunSpec
+#: validation, Report validation, the ``common_metrics()`` namespace
+#: filter, and ``tests/report_schema.json`` (via the schema-sync test)
+#: all derive from this tuple, so adding a substrate is one edit here
+#: plus the matching schema entry.
+SUBSTRATES = ("sim", "live", "fleet")
+
+#: The metric-key prefixes that mark substrate-namespaced metrics —
+#: everything else is the common, substrate-agnostic vocabulary.
+SUBSTRATE_NAMESPACES = tuple(f"{substrate}." for substrate in SUBSTRATES)
 
 #: Sub-metrics every cache location reports, in emission order.
 CACHE_METRICS = (
@@ -210,7 +219,7 @@ class Report:
         return {
             key: value
             for key, value in self.metrics.items()
-            if not key.startswith(("sim.", "live."))
+            if not key.startswith(SUBSTRATE_NAMESPACES)
         }
 
     def __getitem__(self, key: str) -> object:

@@ -1,4 +1,4 @@
-"""``repro.api.run``: one RunSpec in, one Report out, either substrate.
+"""``repro.api.run``: one RunSpec in, one Report out, any substrate.
 
 The sim path compiles the spec to a
 :class:`~repro.scenarios.ScenarioRunner` execution (repeats fan out
@@ -6,8 +6,10 @@ over the :mod:`~repro.scenarios.executors` backends); the live path
 compiles it to a serve+loadtest pairing — a loopback
 :class:`~repro.live.server.DocLiveServer` (or an externally provided
 endpoint) driven by :func:`~repro.live.loadgen.generate_load` through a
-:class:`~repro.live.client.LiveResolver`. Both paths emit the same
-versioned :class:`~repro.api.report.Report`.
+:class:`~repro.live.client.LiveResolver`; the fleet path compiles it to
+a :func:`~repro.fleet.run_fleet` aggregate pass (repeats fan out over
+the same executor backends). All paths emit the same versioned
+:class:`~repro.api.report.Report`.
 """
 
 from __future__ import annotations
@@ -42,6 +44,10 @@ def run(spec: Union[RunSpec, str], *, _config=None) -> Report:
     log.info("run starting")
     if spec.substrate == "sim":
         report = _run_sim(spec, _config=_config)
+    elif spec.substrate == "fleet":
+        if _config is not None:
+            raise ApiError("_config applies to the sim substrate only")
+        report = _run_fleet(spec)
     else:
         if _config is not None:
             raise ApiError("_config applies to the sim substrate only")
@@ -78,6 +84,28 @@ def _run_one_scenario(scenario):
     from repro.scenarios.runner import ScenarioRunner
 
     return ScenarioRunner().run(scenario, frame_capture="counts")
+
+
+def _run_fleet(spec: RunSpec) -> Report:
+    from repro.fleet import report_from_fleet, run_fleet
+    from repro.scenarios.executors import get_executor
+
+    if spec.repeats == 1:
+        result = run_fleet(spec.to_scenario(), spec.fleet)
+        return report_from_fleet(result, spec=spec.to_dict())
+    jobs = [
+        (spec.to_scenario(seed), spec.fleet) for seed in spec.repeat_seeds()
+    ]
+    results = get_executor(None, spec.workers).map(_run_one_fleet, jobs)
+    return report_from_fleet(results, spec=spec.to_dict())
+
+
+def _run_one_fleet(job):
+    """Module-level so the process executor can pickle it."""
+    from repro.fleet import run_fleet
+
+    scenario, options = job
+    return run_fleet(scenario, options)
 
 
 def _run_live(spec: RunSpec) -> Report:

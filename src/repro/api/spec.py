@@ -1,12 +1,14 @@
 """The substrate-agnostic run specification of the ``repro.api`` façade.
 
-A :class:`RunSpec` is everything one run needs, on either substrate: a
+A :class:`RunSpec` is everything one run needs, on any substrate: a
 declarative :class:`~repro.scenarios.Scenario` (transport × topology ×
-workload × caching), the ``substrate`` to execute it on (``"sim"`` or
-``"live"``), and the execution knobs (seed override, repeats, worker
-processes, live-loop options). ``repro.api.run(spec)`` compiles it to a
-:class:`~repro.scenarios.ScenarioRunner` execution or a serve+loadtest
-pairing and returns one :class:`~repro.api.report.Report` either way.
+workload × caching), the ``substrate`` to execute it on (``"sim"``,
+``"live"``, or ``"fleet"``), and the execution knobs (seed override,
+repeats, worker processes, live-loop or fleet options).
+``repro.api.run(spec)`` compiles it to a
+:class:`~repro.scenarios.ScenarioRunner` execution, a serve+loadtest
+pairing, or a :func:`~repro.fleet.run_fleet` aggregate pass and returns
+one :class:`~repro.api.report.Report` every way.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.fleet.options import FleetOptions, FleetOptionsError
 from repro.scenarios import Scenario, ScenarioError, scenario_from_spec
 
 from .report import SUBSTRATES
@@ -102,6 +105,7 @@ class RunSpec:
     repeats: int = 1
     workers: Optional[int] = None
     live: LiveOptions = field(default_factory=LiveOptions)
+    fleet: FleetOptions = field(default_factory=FleetOptions)
 
     def __post_init__(self) -> None:
         if self.substrate not in SUBSTRATES:
@@ -180,14 +184,18 @@ class RunSpec:
         """Parse ``"[preset][,key=value]..."`` into a RunSpec.
 
         Understands every :func:`~repro.scenarios.scenario_from_spec`
-        key plus the façade's own: ``substrate`` (``sim``/``live``),
-        ``repeats``, ``workers``, and the live-loop keys ``live-host``,
-        ``live-port``, ``mode``, ``concurrency``, ``timeout``,
-        ``serve_workers``, ``load_workers``.
+        key plus the façade's own: ``substrate``
+        (``sim``/``live``/``fleet``), ``repeats``, ``workers``, the
+        live-loop keys ``live-host``, ``live-port``, ``mode``,
+        ``concurrency``, ``timeout``, ``serve_workers``,
+        ``load_workers``, and the fleet keys ``churn``, ``duty_cycle``,
+        ``duty_period``, ``flash_crowd``, ``fleet-sample-cap``,
+        ``fleet-probe-clients``, ``fleet-probe-queries``.
         """
         base = base if base is not None else cls()
         api_fields: Dict[str, object] = {}
         live_fields: Dict[str, object] = {}
+        fleet_fields: Dict[str, object] = {}
         scenario_parts = []
         for part in (p.strip() for p in text.split(",")):
             if not part:
@@ -217,6 +225,20 @@ class RunSpec:
                 live_fields["serve_workers"] = int(value)
             elif key in ("load_workers", "load-workers"):
                 live_fields["load_workers"] = int(value)
+            elif key == "churn":
+                fleet_fields["churn"] = float(value)
+            elif key in ("duty_cycle", "duty-cycle"):
+                fleet_fields["duty_cycle"] = float(value)
+            elif key in ("duty_period", "duty-period"):
+                fleet_fields["duty_period"] = float(value)
+            elif key in ("flash_crowd", "flash-crowd"):
+                fleet_fields["flash_crowd"] = float(value)
+            elif key in ("fleet_sample_cap", "fleet-sample-cap"):
+                fleet_fields["sample_cap"] = int(value)
+            elif key in ("fleet_probe_clients", "fleet-probe-clients"):
+                fleet_fields["probe_clients"] = int(value)
+            elif key in ("fleet_probe_queries", "fleet-probe-queries"):
+                fleet_fields["probe_queries"] = int(value)
             else:
                 scenario_parts.append(part)
         scenario = base.scenario
@@ -225,6 +247,13 @@ class RunSpec:
                 ",".join(scenario_parts), base=scenario
             )
         live = replace(base.live, **live_fields) if live_fields else base.live
+        try:
+            fleet = (
+                replace(base.fleet, **fleet_fields)
+                if fleet_fields else base.fleet
+            )
+        except FleetOptionsError as error:
+            raise ApiError(str(error)) from error
         return cls(
             scenario=scenario,
             substrate=api_fields.get("substrate", base.substrate),
@@ -232,6 +261,7 @@ class RunSpec:
             repeats=api_fields.get("repeats", base.repeats),
             workers=api_fields.get("workers", base.workers),
             live=live,
+            fleet=fleet,
         )
 
     # -- serialisation -----------------------------------------------------
@@ -271,7 +301,7 @@ class RunSpec:
                 ),
             },
         }
-        if self.substrate == "sim":
+        if self.substrate in ("sim", "fleet"):
             spec["topology"] = {
                 "name": topology.name,
                 "hops": topology.hops,
@@ -281,6 +311,8 @@ class RunSpec:
                 "wired_tail": topology.wired_tail,
             }
             spec["use_proxy"] = scenario.use_proxy
+            if self.substrate == "fleet":
+                spec["fleet"] = self.fleet.to_dict()
         else:
             spec["live"] = self.live.to_dict()
         return spec

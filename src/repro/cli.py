@@ -4,8 +4,8 @@ Subcommands
 -----------
 ``run``
     The unified façade: execute one :class:`repro.api.RunSpec` —
-    ``"[preset][,key=value]..."`` including ``substrate=sim|live``,
-    ``repeats=N``, ``workers=N`` — on either substrate and print (or
+    ``"[preset][,key=value]..."`` including ``substrate=sim|live|fleet``,
+    ``repeats=N``, ``workers=N`` — on any substrate and print (or
     ``--json``-emit) the versioned unified Report.
 ``dissect``
     Print the Figure 6 per-layer packet dissection for one transport
@@ -917,14 +917,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser(
         "run",
-        help="run a unified RunSpec on either substrate (repro.api)",
+        help="run a unified RunSpec on any substrate (repro.api)",
     )
     run.add_argument(
         "spec", metavar="SPEC",
-        help="run spec: scenario keys plus substrate=sim|live, "
+        help="run spec: scenario keys plus substrate=sim|live|fleet, "
              "repeats=N, workers=N, live-host/live-port/mode/"
-             "concurrency/timeout, e.g. "
-             "'one-hop,transport=coap,queries=20,substrate=live'",
+             "concurrency/timeout, churn/duty_cycle/flash_crowd, e.g. "
+             "'one-hop,transport=coap,clients=1000000,substrate=fleet'",
     )
     run.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",

@@ -1,0 +1,60 @@
+"""``repro.fleet`` — the million-client aggregate simulation substrate.
+
+The third substrate (``substrate="fleet"``): instead of per-node
+protocol stacks (sim) or real sockets (live), a fleet run represents
+clients as columns — batched arrivals, an aggregate cache model with
+exact per-client ``KeyedCache`` semantics, and a per-transport
+service-time model calibrated once per scenario against the exact
+simulator. Aggregate metrics reproduce the exact simulator's in
+expectation at a small fraction of the cost, which buys fleet sizes
+(and fleet-only dimensions: churn, duty cycling, flash crowds) the
+per-node substrates cannot reach.
+
+Entry points: :func:`run_fleet` executes a
+:class:`~repro.scenarios.Scenario` under :class:`FleetOptions`;
+:func:`report_from_fleet` turns the result(s) into the unified
+:class:`~repro.api.report.Report`. Most callers go through
+``repro.api.run(RunSpec(..., substrate="fleet"))`` instead.
+"""
+
+from .arrivals import (
+    SamplePlan,
+    defer_to_wake,
+    flash_crowd_warp,
+    generate_arrivals,
+    plan_sample,
+    sampled_workload,
+    wake_time,
+)
+from .cache import FleetCacheModel
+from .engine import FleetResult, run_fleet
+from .options import (
+    DEFAULT_PROBE_CLIENTS,
+    DEFAULT_SAMPLE_CAP,
+    FleetOptions,
+    FleetOptionsError,
+)
+from .report import report_from_fleet
+from .service import Calibration, ServiceModel, calibrate, probe_scenario
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_PROBE_CLIENTS",
+    "DEFAULT_SAMPLE_CAP",
+    "FleetCacheModel",
+    "FleetOptions",
+    "FleetOptionsError",
+    "FleetResult",
+    "SamplePlan",
+    "ServiceModel",
+    "calibrate",
+    "defer_to_wake",
+    "flash_crowd_warp",
+    "generate_arrivals",
+    "plan_sample",
+    "probe_scenario",
+    "report_from_fleet",
+    "run_fleet",
+    "sampled_workload",
+    "wake_time",
+]

@@ -1,0 +1,177 @@
+"""Batched arrival generation for the fleet engine.
+
+The engine never schedules per-client events: one bulk call produces
+the whole run's arrival instants (reusing the exact simulator's
+:mod:`repro.sim.workload` primitives, so a fleet run's arrival stream
+is drawn from the same processes — and, for equal parameters, the same
+RNG stream — as a :class:`~repro.scenarios.ScenarioRunner` run), and
+the fleet-only dimensions are applied as array transforms:
+
+* **client sampling** (:func:`plan_sample`) — above the sample cap a
+  representative sub-fleet is simulated and counters scale up;
+* **flash crowds** (:func:`flash_crowd_warp`) — a time warp through
+  the inverse cumulative arrival intensity;
+* **duty cycling** (:func:`defer_to_wake`) — arrivals landing in a
+  client's sleep window defer to its next wake-up.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.scenarios.scenario import WorkloadSpec
+
+#: Golden-ratio conjugate: the classic low-discrepancy increment used
+#: to spread per-client duty-cycle phases over the period.
+_PHI = 0.6180339887498949
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """How a fleet run maps onto the exactly-simulated sample.
+
+    ``clients`` of the fleet's ``fleet_clients`` are simulated,
+    receiving ``queries`` of the fleet's ``fleet_queries``;
+    ``query_scale`` (= fleet_queries / queries, except when the sample
+    had to be time-truncated) and ``client_scale`` blow sampled
+    counters back up to fleet totals.
+    """
+
+    fleet_clients: int
+    fleet_queries: int
+    clients: int
+    queries: int
+    rate: float
+
+    @property
+    def query_scale(self) -> float:
+        return self.fleet_queries / self.queries
+
+    @property
+    def client_scale(self) -> float:
+        return self.fleet_clients / self.clients
+
+    @property
+    def exact(self) -> bool:
+        """True when the whole fleet is simulated (no scaling)."""
+        return self.queries == self.fleet_queries
+
+
+def plan_sample(
+    clients: int, queries: int, rate: float, cap: int
+) -> SamplePlan:
+    """Pick the sub-fleet a run simulates exactly.
+
+    At or below *cap* queries the whole fleet runs exactly. Above it, a
+    sub-fleet of ``ceil(clients × cap / queries)`` clients is simulated
+    at the proportional aggregate rate — each sampled client sees the
+    same per-client query rate as the full fleet, so cache occupancy
+    and TTL interplay are preserved; only the population is thinned.
+    When the fleet is too small for thinning to reach the cap (few
+    clients, very many queries) the sample is additionally truncated in
+    time, which per-client steady-state metrics tolerate.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if queries < 1:
+        raise ValueError("queries must be >= 1")
+    if queries <= cap:
+        return SamplePlan(clients, queries, clients, queries, rate)
+    sampled_clients = min(clients, max(1, math.ceil(clients * cap / queries)))
+    sampled_queries = min(
+        cap, max(1, round(queries * sampled_clients / clients))
+    )
+    return SamplePlan(
+        clients,
+        queries,
+        sampled_clients,
+        sampled_queries,
+        rate * sampled_clients / clients,
+    )
+
+
+def sampled_workload(workload: WorkloadSpec, plan: SamplePlan) -> WorkloadSpec:
+    """The workload the sampled sub-fleet actually runs."""
+    if plan.exact:
+        return workload
+    return replace(
+        workload, num_queries=plan.queries, query_rate=plan.rate
+    )
+
+
+def generate_arrivals(
+    workload: WorkloadSpec, plan: SamplePlan, rng: random.Random
+) -> List[float]:
+    """The sampled run's arrival instants, via the shared primitives."""
+    return sampled_workload(workload, plan).arrival_times(rng)
+
+
+def flash_crowd_warp(
+    arrivals: List[float],
+    multiplier: float,
+    start: float,
+    duration: float,
+) -> List[float]:
+    """Compress *arrivals* so the middle third runs *multiplier*× hot.
+
+    The base stream is treated as positions on the cumulative-intensity
+    axis of a piecewise-constant rate profile (slope 1 outside the
+    crowd window, *multiplier* inside) and mapped through the inverse:
+    every arrival keeps its rank and the total count is unchanged, but
+    instants inside the window pack ``multiplier``× tighter — the
+    flash crowd — and the tail shifts earlier accordingly.
+    """
+    if multiplier <= 1.0 or not arrivals:
+        return arrivals
+    window_start = start + duration / 3.0
+    window_mass = (duration / 6.0) * multiplier
+    window_end_mass = window_start + window_mass
+
+    warped = []
+    for t in arrivals:
+        if t <= window_start:
+            warped.append(t)
+        elif t <= window_end_mass:
+            warped.append(window_start + (t - window_start) / multiplier)
+        else:
+            warped.append(t - window_mass + duration / 6.0)
+    return warped
+
+
+def wake_time(
+    client: int, t: float, duty_cycle: float, period: float
+) -> float:
+    """When *client* can issue a query that arises at time *t*.
+
+    Client *client* is awake during the first ``duty_cycle × period``
+    seconds of its own phase-shifted period (phases follow the
+    golden-ratio sequence, so any subset of clients spreads evenly over
+    the period). If *t* falls in the client's sleep window the query
+    defers to the next wake-up; otherwise it issues at *t*.
+    """
+    if duty_cycle >= 1.0:
+        return t
+    phase = (client * _PHI) % 1.0 * period
+    offset = (t - phase) % period
+    awake = duty_cycle * period
+    if offset < awake:
+        return t
+    return t + (period - offset)
+
+
+def defer_to_wake(
+    arrivals: List[float],
+    clients: List[int],
+    duty_cycle: float,
+    period: float,
+) -> List[float]:
+    """Apply :func:`wake_time` across the run (bulk form)."""
+    if duty_cycle >= 1.0:
+        return arrivals
+    return [
+        wake_time(client, t, duty_cycle, period)
+        for client, t in zip(clients, arrivals)
+    ]

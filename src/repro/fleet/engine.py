@@ -1,0 +1,213 @@
+"""The fleet engine: one aggregate pass over a run's query columns.
+
+Where the exact simulator schedules per-event callbacks through a heap
+and instantiates a protocol stack per client, the fleet engine
+generates the whole run as arrays — arrival instants, name draws, and
+client assignments in bulk (:mod:`repro.fleet.arrivals`) — and walks
+them once in issue order, consulting the aggregate cache model
+(:mod:`repro.fleet.cache`) and the calibrated service-time model
+(:mod:`repro.fleet.service`) per query. Engine work is
+``O(min(num_queries, sample_cap))`` regardless of the fleet size, so a
+million-client run costs the same as a sixty-four-thousand-query one.
+
+Semantics mirror the exact per-node stack query-for-query:
+
+* client DNS cache hit → resolved immediately (latency 0), the CoAP
+  cache is not consulted;
+* DNS miss, fresh client CoAP hit → resolved immediately, the replayed
+  response enters the DNS cache with its *remaining* freshness;
+* stale CoAP hit → a wire exchange revalidates the entry (counted as a
+  validation) and both caches restamp to the full TTL;
+* miss everywhere → a wire exchange; successes store into both caches
+  at completion time (zero-TTL answers are uncacheable), timeouts and
+  rcode failures store nothing;
+* arrivals after ``run_duration`` never issue, and exchanges still in
+  flight at ``run_duration`` count as unresolved — both exactly as the
+  event loop's ``run(until=...)`` cutoff behaves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache import LookupState
+from repro.experiments.resolution import QueryOutcome
+from repro.live.reservoir import LatencyReservoir
+from repro.scenarios.runner import NAME_TEMPLATE
+from repro.scenarios.scenario import Scenario
+from repro.transports.registry import registry
+
+from .arrivals import (
+    SamplePlan,
+    defer_to_wake,
+    flash_crowd_warp,
+    generate_arrivals,
+    plan_sample,
+    sampled_workload,
+)
+from .cache import FleetCacheModel
+from .options import FleetOptions
+from .service import Calibration, ServiceModel, calibrate
+
+
+@dataclass
+class FleetResult:
+    """One fleet run's raw output (unscaled sample + the scaling plan)."""
+
+    scenario: Scenario
+    options: FleetOptions
+    plan: SamplePlan
+    calibration: Calibration
+    #: Sampled-query outcomes (the exact-sim vocabulary), unscaled.
+    outcomes: List[QueryOutcome]
+    #: Bounded success-latency sample (seconds).
+    reservoir: LatencyReservoir
+    #: Per-location cache counters of the sample, fleet-scaled.
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    active_clients: int = 0
+
+
+def run_fleet(
+    scenario: Scenario, options: Optional[FleetOptions] = None
+) -> FleetResult:
+    """Execute *scenario* on the fleet substrate."""
+    options = options if options is not None else FleetOptions()
+    profile = registry.get(scenario.transport)
+    calibration = calibrate(scenario, options)
+
+    workload = scenario.workload
+    plan = plan_sample(
+        scenario.topology.clients,
+        workload.num_queries,
+        workload.query_rate,
+        options.sample_cap,
+    )
+
+    # One seeded stream for the workload draws, consumed in the exact
+    # runner's order (zone TTLs, then arrivals, then per-query draws);
+    # bulk draws advance it exactly as per-query draws would.
+    rng = random.Random(scenario.seed)
+    ttls = [
+        float(rng.randint(*workload.ttl)) for _ in range(workload.num_names)
+    ]
+    arrivals = generate_arrivals(workload, plan, rng)
+    names = sampled_workload(workload, plan).draw_name_indices(
+        rng, plan.queries
+    )
+
+    if options.flash_crowd > 1.0:
+        duration = plan.queries / plan.rate
+        arrivals = flash_crowd_warp(
+            arrivals, options.flash_crowd, workload.start, duration
+        )
+    # The exact runner assigns query i to client i % clients; the fleet
+    # does the same over the sampled sub-fleet.
+    clients = [index % plan.clients for index in range(plan.queries)]
+    issue_times = defer_to_wake(
+        arrivals, clients, options.duty_cycle, options.duty_period
+    )
+    if options.duty_cycle < 1.0:
+        # Deferral can reorder queries; caches must see issue order.
+        order = sorted(range(plan.queries), key=issue_times.__getitem__)
+    else:
+        order = list(range(plan.queries))
+
+    # Model-internal draws (churn survival) come from a separate seeded
+    # stream so fleet-only dimensions never shift the workload streams.
+    model_rng = random.Random(f"fleet-model-{scenario.seed}")
+    cache_model = FleetCacheModel(
+        scenario.caching_spec,
+        coap_based=profile.coap_based,
+        # Plain OSCORE protects requests end-to-end; the outer message
+        # the CoAP layer sees is not cacheable, so the per-node stack
+        # never consults its client CoAP cache (counters stay zero).
+        coap_active=scenario.transport != "oscore",
+        churn=options.churn,
+        model_rng=model_rng,
+    )
+    service = ServiceModel(calibration)
+    reservoir = LatencyReservoir(seed=scenario.seed)
+    outcomes: List[QueryOutcome] = []
+    wired_clients = set()
+    run_duration = scenario.run_duration
+
+    for index in order:
+        issued_at = issue_times[index]
+        if issued_at > run_duration:
+            continue
+        client = clients[index]
+        name_index = names[index]
+        rtype = workload.draw_rtype(rng)
+        outcome = QueryOutcome(
+            name=NAME_TEMPLATE.format(index=name_index),
+            client=f"fleet{client}",
+            issued_at=issued_at,
+            resolution_time=None,
+            rtype=rtype,
+        )
+        outcomes.append(outcome)
+        cache_model.touch(client, issued_at)
+        key = (name_index, rtype)
+
+        dns = cache_model.dns(client)
+        if dns is not None:
+            entry, state = dns.lookup(key, issued_at)
+            if state is LookupState.HIT:
+                outcome.resolution_time = 0.0
+                reservoir.add(0.0)
+                continue
+
+        coap = cache_model.coap(client)
+        stale = False
+        if coap is not None:
+            entry, state = coap.lookup(key, issued_at)
+            if state is LookupState.HIT:
+                outcome.resolution_time = 0.0
+                reservoir.add(0.0)
+                if dns is not None:
+                    remaining = entry.expires_at - issued_at
+                    if remaining > 0:
+                        # The replayed response carries aged TTLs, so
+                        # the DNS entry expires with the CoAP one.
+                        dns.store(key, True, lifetime=remaining,
+                                  now=issued_at)
+                continue
+            stale = state is LookupState.STALE
+
+        first_exchange = client not in wired_clients
+        wired_clients.add(client)
+        kind, latency = service.draw(first_exchange)
+        if kind != ServiceModel.OK:
+            outcome.error = (
+                "TimeoutError" if kind == ServiceModel.TIMEOUT
+                else "RcodeError"
+            )
+            continue
+        done = issued_at + latency
+        if done > run_duration:
+            # Still in flight when the run ends: unresolved, no error —
+            # the same fate the event-loop cutoff hands such queries.
+            continue
+        outcome.resolution_time = latency
+        reservoir.add(latency)
+        ttl = ttls[name_index]
+        if coap is not None and ttl > 0:
+            if stale:
+                coap.refresh(key, done, ttl)
+            else:
+                coap.store(key, True, lifetime=ttl, now=done)
+        if dns is not None and ttl > 0:
+            dns.store(key, True, lifetime=ttl, now=done)
+
+    return FleetResult(
+        scenario=scenario,
+        options=options,
+        plan=plan,
+        calibration=calibration,
+        outcomes=outcomes,
+        reservoir=reservoir,
+        cache_stats=cache_model.scaled_stats(plan.query_scale),
+        active_clients=cache_model.active_clients,
+    )

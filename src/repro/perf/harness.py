@@ -311,6 +311,9 @@ GATE_THRESHOLD_OVERRIDES: Dict[str, float] = {
     "live_loopback_sharded": 0.75,
     "aesccm_seal": 0.40,
     "aesccm_open": 0.40,
+    # Whole-pipeline macro (spec parse, engine walk, report assembly):
+    # same scheduler-noise class as the other scenario macros.
+    "fleet_scale": 0.50,
 }
 
 

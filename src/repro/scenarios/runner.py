@@ -351,8 +351,9 @@ class ScenarioRunner:
 
             client.resolve(name, rtype, on_done)
 
-        for index, at in enumerate(arrivals):
-            sim.schedule_at(at, issue, index)
+        sim.schedule_many(
+            (at, issue, (index,)) for index, at in enumerate(arrivals)
+        )
 
         sim.run(until=scenario.run_duration)
 

@@ -246,24 +246,36 @@ class WorkloadSpec:
         """
         if self.zipf_alpha is None:
             return sequence_index % self.num_names
-        import bisect
-        from itertools import accumulate
+        from repro.sim import sample_zipf_many, zipf_cumulative
 
-        from repro.sim import zipf_weights
+        # The cumulative table is cached in repro.sim.workload (one
+        # O(n) accumulate per (count, alpha), then O(log n) per draw —
+        # this sits on the loadgen hot path). Consumes exactly one
+        # rng.random() per draw, the same stream rng.choices() would.
+        cumulative = zipf_cumulative(self.num_names, self.zipf_alpha)
+        return sample_zipf_many(rng, cumulative, 1)[0]
 
-        # Cache the cumulative distribution: one O(n) accumulate per
-        # spec, then O(log n) per draw — this sits on the loadgen hot
-        # path. Consumes exactly one rng.random() per draw, the same
-        # stream rng.choices() would.
-        cumulative = getattr(self, "_zipf_cumulative", None)
-        if cumulative is None:
-            cumulative = list(
-                accumulate(zipf_weights(self.num_names, self.zipf_alpha))
-            )
-            object.__setattr__(self, "_zipf_cumulative", cumulative)
-        return bisect.bisect(
-            cumulative, rng.random() * cumulative[-1], 0, self.num_names - 1
-        )
+    def draw_name_indices(
+        self, rng: random.Random, count: int, start_index: int = 0
+    ) -> List[int]:
+        """Bulk form of :meth:`draw_name_index` for *count* queries.
+
+        Advances the RNG exactly as *count* sequential single draws
+        would (zero draws round-robin, one ``rng.random()`` per Zipf
+        draw), so batched callers — the fleet engine — stay on the
+        same popularity stream as per-query ones.
+        """
+        if count < 0:
+            raise ScenarioError("count must be >= 0")
+        if self.zipf_alpha is None:
+            return [
+                (start_index + offset) % self.num_names
+                for offset in range(count)
+            ]
+        from repro.sim import sample_zipf_many, zipf_cumulative
+
+        cumulative = zipf_cumulative(self.num_names, self.zipf_alpha)
+        return sample_zipf_many(rng, cumulative, count)
 
     def draw_rtype(self, rng: random.Random) -> int:
         """One record type from the mix (no RNG draw for pure mixes)."""

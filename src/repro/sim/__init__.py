@@ -15,6 +15,9 @@ from .trace import FrameRecord, FrameTally, Sniffer
 from .workload import (
     bursty_arrival_times,
     poisson_arrival_times,
+    sample_zipf,
+    sample_zipf_many,
+    zipf_cumulative,
     zipf_weights,
 )
 
@@ -30,5 +33,8 @@ __all__ = [
     "Timer",
     "bursty_arrival_times",
     "poisson_arrival_times",
+    "sample_zipf",
+    "sample_zipf_many",
+    "zipf_cumulative",
     "zipf_weights",
 ]

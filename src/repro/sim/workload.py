@@ -17,7 +17,10 @@ the simulated sweeps and the live load generator
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from bisect import bisect
+from functools import lru_cache
+from itertools import accumulate
+from typing import List, Sequence, Tuple
 
 
 def poisson_arrival_times(
@@ -97,3 +100,36 @@ def zipf_weights(count: int, alpha: float) -> List[float]:
 def sample_zipf(rng: random.Random, weights: Sequence[float]) -> int:
     """One rank index (0-based) drawn from precomputed Zipf weights."""
     return rng.choices(range(len(weights)), weights=weights, k=1)[0]
+
+
+@lru_cache(maxsize=256)
+def zipf_cumulative(count: int, alpha: float) -> Tuple[float, ...]:
+    """Cached cumulative Zipf(α) weights for ranks ``1..count``.
+
+    The shared inversion table behind every Zipf draw in the repo:
+    :meth:`repro.scenarios.WorkloadSpec.draw_name_index` (sim and live
+    loadgen) and the fleet engine's bulk draws all bisect this array,
+    so the popularity stream is identical across substrates. Cached on
+    ``(count, alpha)`` because sweeps re-derive it per cell.
+    """
+    return tuple(accumulate(zipf_weights(count, alpha)))
+
+
+def sample_zipf_many(
+    rng: random.Random, cumulative: Sequence[float], n: int
+) -> List[int]:
+    """*n* rank indices (0-based) drawn from a cumulative-weight table.
+
+    *cumulative* is a :func:`zipf_cumulative` table (any non-decreasing
+    positive cumulative weights work). Consumes exactly one
+    ``rng.random()`` per draw via the same scaled-uniform bisection as
+    ``random.Random.choices`` — the stream contract: a bulk call of
+    size *n* advances the RNG identically to *n* single draws through
+    :func:`sample_zipf` or ``draw_name_index``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    total = cumulative[-1] + 0.0
+    hi = len(cumulative) - 1
+    random_ = rng.random
+    return [bisect(cumulative, random_() * total, 0, hi) for _ in range(n)]

@@ -229,23 +229,30 @@ class TestReport:
 
 
 class TestSubstrateParity:
-    def test_sim_and_live_reports_have_identical_common_keys(self):
+    def test_all_substrates_report_identical_common_keys(self):
         sim_report = run(RunSpec.from_spec(PARITY_SPEC))
         live_report = run(
             RunSpec.from_spec(PARITY_SPEC + ",substrate=live,timeout=5")
         )
+        fleet_report = run(
+            RunSpec.from_spec(PARITY_SPEC + ",substrate=fleet")
+        )
         assert sim_report.substrate == "sim"
         assert live_report.substrate == "live"
+        assert fleet_report.substrate == "fleet"
         assert (
             sorted(sim_report.common_metrics())
             == sorted(live_report.common_metrics())
+            == sorted(fleet_report.common_metrics())
         )
         validate(sim_report.to_json(), SCHEMA)
         validate(live_report.to_json(), SCHEMA)
-        # Both substrates resolved real queries against the same
+        validate(fleet_report.to_json(), SCHEMA)
+        # All substrates resolved real queries against the same
         # deterministic name universe.
         assert live_report.metrics["queries.succeeded"] > 0
         assert live_report.metrics["live.elapsed_s"] > 0
+        assert fleet_report.metrics["queries.succeeded"] > 0
 
     def test_live_repeats_sum_server_counters(self):
         # Each live repeat restarts the loopback server; the pooled
@@ -444,6 +451,24 @@ class TestSchemaValidator:
         assert main([str(SCHEMA_PATH), str(good), str(bad)]) == 1
         err = capsys.readouterr().err
         assert "bogus key" in err
+
+
+def test_schema_substrates_stay_in_sync_with_the_enum():
+    # SUBSTRATES (repro.api.report) is the single source of truth; the
+    # checked-in schema must list exactly those names and carry one
+    # namespaced patternProperty per substrate so adding a substrate
+    # without updating the schema fails loudly here.
+    from repro.api import SUBSTRATES
+
+    report_schema = SCHEMA["$defs"]["report"]
+    assert report_schema["properties"]["substrate"]["enum"] == list(SUBSTRATES)
+    patterns = SCHEMA["$defs"]["metrics"]["patternProperties"]
+    for substrate in SUBSTRATES:
+        namespaced = [
+            pattern for pattern in patterns
+            if pattern.startswith(f"^{substrate}\\.")
+        ]
+        assert namespaced, f"no {substrate}.* patternProperty in the schema"
 
 
 def test_schema_is_valid_draft7_and_agrees_with_jsonschema():

@@ -97,6 +97,81 @@ class TestEventLoop:
         sim.run()
         assert fired == ["first", "second"]
 
+    def test_schedule_many_matches_sequential_order(self):
+        batched = Simulator()
+        fired_batched = []
+        batched.schedule_many(
+            (time, fired_batched.append, (tag,))
+            for time, tag in [(2.0, "b"), (1.0, "a"), (2.0, "c"), (1.0, "d")]
+        )
+        batched.run()
+        sequential = Simulator()
+        fired_sequential = []
+        for time, tag in [(2.0, "b"), (1.0, "a"), (2.0, "c"), (1.0, "d")]:
+            sequential.schedule_at(time, fired_sequential.append, tag)
+        sequential.run()
+        # Same (time, sequence) keys -> identical pop order, including
+        # the FIFO tie-break at equal timestamps.
+        assert fired_batched == fired_sequential == ["a", "d", "b", "c"]
+
+    def test_schedule_many_interleaves_with_singles(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "single")
+        events = sim.schedule_many(
+            [(1.0, fired.append, ("x",)), (2.0, fired.append, ("y",))]
+        )
+        assert len(events) == 2
+        assert sim.pending() == 3
+        sim.run()
+        assert fired == ["x", "single", "y"]
+
+    def test_schedule_many_rejects_past_times_atomically(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_many(
+                [(3.0, fired.append, ("ok",)), (1.0, fired.append, ("past",))]
+            )
+        # All-or-nothing: the valid entry must not have been scheduled.
+        assert sim.pending() == 0
+        sim.run()
+        assert fired == []
+
+    def test_schedule_many_events_cancellable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many(
+            [(1.0, fired.append, (1,)), (2.0, fired.append, (2,))]
+        )
+        events[1].cancel()
+        sim.run()
+        assert fired == [1]
+
+    def test_same_timestamp_callbacks_coalesce_under_compaction(self):
+        # Same-timestamp pops coalesce inside run(); a callback that
+        # triggers mass cancellation (hence heap compaction, which
+        # replaces the heap list) must not break the batch in flight.
+        sim = Simulator()
+        fired = []
+        doomed = [
+            sim.schedule(5.0, fired.append, f"late{i}") for i in range(600)
+        ]
+
+        def cancel_all():
+            fired.append("cancel")
+            for event in doomed:
+                event.cancel()
+
+        sim.schedule_many(
+            [(1.0, cancel_all, ()), (1.0, fired.append, ("after",))]
+        )
+        sim.run()
+        assert fired == ["cancel", "after"]
+        assert sim.pending() == 0
+
     def test_runaway_guard(self):
         sim = Simulator()
 
@@ -436,3 +511,38 @@ class TestWorkload:
             poisson_arrival_times(random.Random(1), 0.0, 5)
         with pytest.raises(ValueError):
             poisson_arrival_times(random.Random(1), 1.0, -1)
+
+
+class TestScheduleManyBitIdentity:
+    def test_sweep_grid_identical_with_sequential_scheduling(self, monkeypatch):
+        # The batched arrival path (Simulator.schedule_many + coalesced
+        # same-timestamp pops) must be a pure optimisation: the full
+        # 8-cell perf-sweep grid replays bit-identically when arrivals
+        # are scheduled one at a time through schedule_at.
+        from repro.scenarios import Scenario, ScenarioRunner, WorkloadSpec
+        from repro.sim.core import Simulator
+
+        grid = dict(
+            transports=("coap", "oscore"),
+            topologies=("figure2", "one-hop"),
+            losses=(0.05, 0.25),
+        )
+        base = Scenario(workload=WorkloadSpec(num_queries=6))
+        batched = ScenarioRunner().sweep(base=base, **grid)
+
+        def sequential(self, entries):
+            return [
+                self.schedule_at(time, callback, *args)
+                for time, callback, args in entries
+            ]
+
+        monkeypatch.setattr(Simulator, "schedule_many", sequential)
+        looped = ScenarioRunner().sweep(base=base, **grid)
+
+        cells_batched = list(batched)
+        cells_looped = list(looped)
+        assert len(cells_batched) == 8
+        for cell_b, cell_l in zip(cells_batched, cells_looped):
+            assert cell_b.result.outcomes == cell_l.result.outcomes
+            assert cell_b.result.cache_stats == cell_l.result.cache_stats
+            assert cell_b.metrics() == cell_l.metrics()

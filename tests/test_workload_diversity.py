@@ -167,3 +167,59 @@ def test_simulated_run_with_zipf_and_bursty():
     result = ScenarioRunner().run(scenario)
     assert len(result.outcomes) == 12
     assert result.success_rate > 0
+
+
+# -- bulk Zipf sampling (the vectorized fleet path) ----------------------
+
+
+def test_zipf_cumulative_is_cached_and_consistent():
+    from itertools import accumulate
+
+    from repro.sim import zipf_cumulative
+
+    cumulative = zipf_cumulative(12, 1.1)
+    assert cumulative == tuple(accumulate(zipf_weights(12, 1.1)))
+    # lru_cache: the same (count, alpha) returns the same tuple object.
+    assert zipf_cumulative(12, 1.1) is cumulative
+
+
+def test_sample_zipf_many_stream_identical_to_singles():
+    from repro.sim import sample_zipf_many, zipf_cumulative
+
+    weights = zipf_weights(12, 1.1)
+    cumulative = zipf_cumulative(12, 1.1)
+    bulk = sample_zipf_many(random.Random(9), cumulative, 200)
+    singles_rng = random.Random(9)
+    singles = [sample_zipf(singles_rng, weights) for _ in range(200)]
+    assert bulk == singles
+    # ...and to the stdlib's own cumulative-weights sampling: exactly
+    # one rng.random() per draw, same bisect, same stream.
+    choices_rng = random.Random(9)
+    choices = [
+        choices_rng.choices(range(12), cum_weights=list(cumulative))[0]
+        for _ in range(200)
+    ]
+    assert bulk == choices
+
+
+def test_draw_name_indices_matches_repeated_single_draws():
+    bulk_rng = random.Random(21)
+    single_rng = random.Random(21)
+    spec = WorkloadSpec(num_names=10, zipf_alpha=1.5)
+    bulk = spec.draw_name_indices(bulk_rng, 50)
+    singles = [spec.draw_name_index(single_rng, i) for i in range(50)]
+    assert bulk == singles
+    # Round-robin (no zipf) bulk draws consume no randomness and honour
+    # the start index.
+    plain = WorkloadSpec(num_names=4, zipf_alpha=None)
+    assert plain.draw_name_indices(bulk_rng, 6, start_index=2) == [
+        2, 3, 0, 1, 2, 3
+    ]
+
+
+def test_sample_zipf_many_validation():
+    from repro.sim import sample_zipf_many, zipf_cumulative
+
+    with pytest.raises(ValueError):
+        sample_zipf_many(random.Random(1), zipf_cumulative(4, 1.0), -1)
+    assert sample_zipf_many(random.Random(1), zipf_cumulative(4, 1.0), 0) == []
